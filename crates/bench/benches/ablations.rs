@@ -1,0 +1,89 @@
+//! Ablation benches for the design choices called out in DESIGN.md:
+//! arbitration policy, VC count at fixed buffering, and packet-size
+//! mix. Criterion measures wall time; each iteration also exercises the
+//! metric of interest (the printed reproduction uses the fig binaries —
+//! these benches track the *cost* of each configuration).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use noc_closedloop::BatchConfig;
+use noc_openloop::OpenLoopConfig;
+use noc_sim::config::{Arbitration, NetConfig};
+use noc_traffic::{PatternKind, SizeKind};
+
+fn bench_arbitration(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablate_arbiter");
+    g.sample_size(10);
+    for (label, arb) in [("rr", Arbitration::RoundRobin), ("age", Arbitration::AgeBased)] {
+        g.bench_with_input(BenchmarkId::new("batch", label), &arb, |b, &arb| {
+            b.iter(|| {
+                let cfg = BatchConfig {
+                    net: NetConfig::baseline().with_arbitration(arb),
+                    batch: 300,
+                    max_outstanding: 8,
+                    ..BatchConfig::default()
+                };
+                noc_closedloop::run_batch(&cfg).unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_vc_count(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablate_vcs");
+    g.sample_size(10);
+    // fixed total buffering: 2 VCs x 8 flits vs 4 VCs x 4 flits
+    for &(vcs, q) in &[(2usize, 8usize), (4, 4)] {
+        g.bench_with_input(
+            BenchmarkId::new("openloop", format!("{vcs}vc x{q}")),
+            &(vcs, q),
+            |b, &(vcs, q)| {
+                b.iter(|| {
+                    let cfg = OpenLoopConfig {
+                        net: NetConfig::baseline().with_vcs(vcs).with_vc_buf(q),
+                        pattern: PatternKind::Uniform,
+                        size: SizeKind::Fixed(1),
+                        load: 0.3,
+                        warmup: 500,
+                        measure: 2_000,
+                        drain_max: 20_000,
+                        percentiles: false,
+                    };
+                    noc_openloop::measure(&cfg).unwrap()
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_packet_sizes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablate_pktsize");
+    g.sample_size(10);
+    let sizes = [
+        ("1flit", SizeKind::Fixed(1)),
+        ("bimodal", SizeKind::Bimodal { short: 1, long: 4, p_long: 0.5 }),
+    ];
+    for (label, size) in sizes {
+        g.bench_with_input(BenchmarkId::new("openloop", label), &size, |b, size| {
+            b.iter(|| {
+                let cfg = OpenLoopConfig {
+                    net: NetConfig::baseline(),
+                    pattern: PatternKind::Uniform,
+                    size: *size,
+                    load: 0.25,
+                    warmup: 500,
+                    measure: 2_000,
+                    drain_max: 20_000,
+                    percentiles: false,
+                };
+                noc_openloop::measure(&cfg).unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_arbitration, bench_vc_count, bench_packet_sizes);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! Simulator performance benches: cycles/second of the core engine
+//! under open-loop load, batch-model runs, and execution-driven runs —
+//! quantifying the paper's speed motivation ("a few minutes to simulate
+//! a 64-node network" vs 88.5 hours of GEMS).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use noc_closedloop::BatchConfig;
+use noc_openloop::OpenLoopConfig;
+use noc_sim::config::{NetConfig, TopologyKind};
+use noc_traffic::{PatternKind, SizeKind};
+
+fn bench_openloop_step(c: &mut Criterion) {
+    let mut g = c.benchmark_group("openloop");
+    g.sample_size(10);
+    for &(k, load) in &[(8usize, 0.1f64), (8, 0.35), (16, 0.1)] {
+        g.bench_with_input(
+            BenchmarkId::new("mesh", format!("k={k},load={load}")),
+            &(k, load),
+            |b, &(k, load)| {
+                b.iter(|| {
+                    let cfg = OpenLoopConfig {
+                        net: NetConfig::baseline().with_topology(TopologyKind::Mesh2D { k }),
+                        pattern: PatternKind::Uniform,
+                        size: SizeKind::Fixed(1),
+                        load,
+                        warmup: 500,
+                        measure: 2_000,
+                        drain_max: 20_000,
+                        percentiles: false,
+                    };
+                    noc_openloop::measure(&cfg).unwrap()
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_batch_run(c: &mut Criterion) {
+    let mut g = c.benchmark_group("batch");
+    g.sample_size(10);
+    for &m in &[1usize, 8, 32] {
+        g.bench_with_input(BenchmarkId::new("m", m), &m, |b, &m| {
+            b.iter(|| {
+                let cfg = BatchConfig {
+                    net: NetConfig::baseline(),
+                    batch: 300,
+                    max_outstanding: m,
+                    ..BatchConfig::default()
+                };
+                noc_closedloop::run_batch(&cfg).unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_cmp_run(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cmp");
+    g.sample_size(10);
+    let profile = noc_workloads::all_benchmarks()[0];
+    g.bench_function("blackscholes-10k", |b| {
+        b.iter(|| {
+            let cfg = cmp_sim::CmpConfig::table2(profile)
+                .with_instructions(10_000)
+                .with_os(false);
+            cmp_sim::run_cmp(&cfg).unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_openloop_step, bench_batch_run, bench_cmp_run);
+criterion_main!(benches);

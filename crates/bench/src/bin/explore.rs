@@ -1,0 +1,171 @@
+//! `explore` — interactive design-space exploration from the command
+//! line: pick a topology/routing/router configuration and a workload,
+//! get both the open-loop (network) and batch (system) views.
+//!
+//! ```text
+//! cargo run --release -p noc-bench --bin explore -- \
+//!     --topology mesh8 --routing dor --vcs 2 --buf 4 --tr 1 \
+//!     --pattern uniform --load 0.2 --batch 1000 --m 4
+//! ```
+//!
+//! Every flag has a baseline default, so `explore` with no arguments
+//! reproduces the paper's Table I bold row.
+
+use noc_closedloop::BatchConfig;
+use noc_openloop::OpenLoopConfig;
+use noc_sim::config::{Arbitration, NetConfig, RoutingKind, TopologyKind};
+use noc_traffic::{PatternKind, SizeKind};
+
+fn parse_args() -> Result<(NetConfig, PatternKind, SizeKind, f64, u64, usize), String> {
+    let mut net = NetConfig::baseline();
+    let mut pattern = PatternKind::Uniform;
+    let mut size = SizeKind::Fixed(1);
+    let mut load = 0.2f64;
+    let mut batch = 1000u64;
+    let mut m = 4usize;
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let val = args.get(i + 1).ok_or_else(|| format!("{flag} needs a value"))?;
+        match flag {
+            "--topology" => {
+                net.topology = match val.as_str() {
+                    "mesh8" => TopologyKind::Mesh2D { k: 8 },
+                    "mesh16" => TopologyKind::Mesh2D { k: 16 },
+                    "mesh4" => TopologyKind::Mesh2D { k: 4 },
+                    "torus8" => TopologyKind::FoldedTorus2D { k: 8 },
+                    "ring64" => TopologyKind::Ring { n: 64 },
+                    other => return Err(format!("unknown topology `{other}`")),
+                }
+            }
+            "--routing" => {
+                net.routing = match val.as_str() {
+                    "dor" => RoutingKind::Dor,
+                    "val" => RoutingKind::Valiant,
+                    "romm" => RoutingKind::Romm,
+                    "ma" => RoutingKind::MinAdaptive,
+                    other => return Err(format!("unknown routing `{other}`")),
+                }
+            }
+            "--vcs" => net.vcs = val.parse().map_err(|e| format!("--vcs: {e}"))?,
+            "--buf" => net.vc_buf = val.parse().map_err(|e| format!("--buf: {e}"))?,
+            "--tr" => net.router_delay = val.parse().map_err(|e| format!("--tr: {e}"))?,
+            "--arb" => {
+                net.arbitration = match val.as_str() {
+                    "rr" => Arbitration::RoundRobin,
+                    "age" => Arbitration::AgeBased,
+                    other => return Err(format!("unknown arbitration `{other}`")),
+                }
+            }
+            "--seed" => net.seed = val.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--pattern" => {
+                pattern = match val.as_str() {
+                    "uniform" => PatternKind::Uniform,
+                    "transpose" => PatternKind::Transpose,
+                    "bitcomp" => PatternKind::BitComplement,
+                    "bitrev" => PatternKind::BitReversal,
+                    "shuffle" => PatternKind::Shuffle,
+                    "tornado" => PatternKind::Tornado,
+                    "neighbor" => PatternKind::Neighbor,
+                    other => return Err(format!("unknown pattern `{other}`")),
+                }
+            }
+            "--size" => {
+                size = match val.as_str() {
+                    "1" => SizeKind::Fixed(1),
+                    "bimodal" => SizeKind::Bimodal { short: 1, long: 4, p_long: 0.5 },
+                    other => SizeKind::Fixed(
+                        other.parse().map_err(|e| format!("--size: {e}"))?,
+                    ),
+                }
+            }
+            "--load" => load = val.parse().map_err(|e| format!("--load: {e}"))?,
+            "--batch" => batch = val.parse().map_err(|e| format!("--batch: {e}"))?,
+            "--m" => m = val.parse().map_err(|e| format!("--m: {e}"))?,
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+        i += 2;
+    }
+    Ok((net, pattern, size, load, batch, m))
+}
+
+fn main() {
+    let (net, pattern, size, load, batch, m) = match parse_args() {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!(
+                "flags: --topology mesh4|mesh8|mesh16|torus8|ring64  --routing dor|val|romm|ma"
+            );
+            eprintln!("       --vcs N --buf N --tr N --arb rr|age --seed N");
+            eprintln!("       --pattern uniform|transpose|bitcomp|bitrev|shuffle|tornado|neighbor");
+            eprintln!("       --size 1|N|bimodal --load F --batch N --m N");
+            std::process::exit(2);
+        }
+    };
+
+    if let Err(e) = net.validate() {
+        eprintln!("invalid network configuration: {e}");
+        std::process::exit(2);
+    }
+    let topo = net.topology.build();
+    println!(
+        "network: {} | {:?} routing | {} VCs x {} flits | tr={} | {:?}",
+        topo.name(),
+        net.routing,
+        net.vcs,
+        net.vc_buf,
+        net.router_delay,
+        net.arbitration
+    );
+    println!(
+        "workload: {} pattern, {:?} packets\n",
+        match pattern {
+            PatternKind::Hotspot { .. } => "hotspot",
+            other => other.name(),
+        },
+        size
+    );
+
+    // open-loop view
+    let open = noc_openloop::measure(&OpenLoopConfig {
+        net: net.clone(),
+        pattern,
+        size,
+        load,
+        ..OpenLoopConfig::default()
+    });
+    match open {
+        Ok(r) => {
+            println!("open-loop @ {load} flits/cycle/node:");
+            println!("  avg latency     {:.1} cycles", r.avg_latency);
+            println!("  worst-node avg  {:.1} cycles", r.worst_node_latency);
+            println!("  throughput      {:.4} flits/cycle/node", r.throughput);
+            println!("  stable          {}", r.stable);
+        }
+        Err(e) => println!("open-loop failed: {e}"),
+    }
+
+    // closed-loop view
+    let closed = noc_closedloop::run_batch(&BatchConfig {
+        net,
+        pattern,
+        batch,
+        max_outstanding: m,
+        ..BatchConfig::default()
+    });
+    match closed {
+        Ok(r) => {
+            println!("\nbatch model (b={batch}, m={m}):");
+            println!("  runtime         {} cycles", r.runtime);
+            println!("  normalized      {:.2} cycles/op", r.normalized_runtime);
+            println!("  throughput      {:.4} flits/cycle/node", r.throughput);
+            let best = *r.per_node_runtime.iter().min().unwrap_or(&1) as f64;
+            let worst = *r.per_node_runtime.iter().max().unwrap_or(&1) as f64;
+            println!("  node spread     {:.2}x", worst / best.max(1.0));
+        }
+        Err(e) => println!("batch model failed: {e}"),
+    }
+}

@@ -1,0 +1,5 @@
+//! Extension: round-robin vs age-based arbitration ablation.
+fn main() {
+    let e = noc_bench::effort_from_args();
+    print!("{}", noc_eval::figures::ext_arbitration(&e).render());
+}

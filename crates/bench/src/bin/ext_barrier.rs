@@ -1,0 +1,5 @@
+//! Extension: barrier model vs open-loop saturation.
+fn main() {
+    let e = noc_bench::effort_from_args();
+    print!("{}", noc_eval::figures::ext_barrier(&e).render());
+}

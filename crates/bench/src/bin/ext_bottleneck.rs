@@ -1,0 +1,5 @@
+//! Extension: saturation bottleneck analysis via pipeline counters.
+fn main() {
+    let e = noc_bench::effort_from_args();
+    print!("{}", noc_eval::figures::ext_bottleneck(&e).render());
+}

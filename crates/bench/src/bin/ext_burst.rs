@@ -1,0 +1,5 @@
+//! Extension: bursty (on/off) vs Bernoulli injection.
+fn main() {
+    let e = noc_bench::effort_from_args();
+    print!("{}", noc_eval::figures::ext_burst(&e).render());
+}

@@ -1,0 +1,5 @@
+//! Extension: packet-size robustness of the batch comparison.
+fn main() {
+    let e = noc_bench::effort_from_args();
+    print!("{}", noc_eval::figures::ext_pktsize(&e).render());
+}

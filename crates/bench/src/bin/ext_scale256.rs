@@ -1,0 +1,5 @@
+//! Extension: 256-node (16x16 mesh) scale check.
+fn main() {
+    let e = noc_bench::effort_from_args();
+    print!("{}", noc_eval::figures::ext_scale256(&e).render());
+}

@@ -1,0 +1,5 @@
+//! Extension: trace-driven replay vs closed-loop (causality loss).
+fn main() {
+    let e = noc_bench::effort_from_args();
+    print!("{}", noc_eval::figures::ext_trace(&e).render());
+}

@@ -1,0 +1,5 @@
+//! Regenerates Fig 1: the canonical latency vs offered traffic curve.
+fn main() {
+    let e = noc_bench::effort_from_args();
+    print!("{}", noc_eval::figures::fig01(&e).render());
+}

@@ -1,0 +1,5 @@
+//! Regenerates Fig 2: normalized runtime vs batch size for each m.
+fn main() {
+    let e = noc_bench::effort_from_args();
+    print!("{}", noc_eval::figures::fig02(&e).render());
+}

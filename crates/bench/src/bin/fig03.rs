@@ -1,0 +1,7 @@
+//! Regenerates Fig 3: open-loop router delay and buffer size sweeps.
+fn main() {
+    let e = noc_bench::effort_from_args();
+    let f = noc_eval::figures::fig03(&e);
+    print!("{}", f.render());
+    println!("zero-load ratios vs tr=1: {:?}", f.zero_load_ratios());
+}

@@ -1,0 +1,5 @@
+//! Regenerates Fig 4: batch-model router delay and buffer size sweeps.
+fn main() {
+    let e = noc_bench::effort_from_args();
+    print!("{}", noc_eval::figures::fig04(&e).render());
+}

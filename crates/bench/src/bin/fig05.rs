@@ -1,0 +1,5 @@
+//! Regenerates Fig 5: open-loop vs batch correlation scatter.
+fn main() {
+    let e = noc_bench::effort_from_args();
+    print!("{}", noc_eval::figures::fig05(&e).render());
+}

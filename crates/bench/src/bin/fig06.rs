@@ -1,0 +1,6 @@
+//! Regenerates Fig 6: topology comparison, open-loop (a) + batch (b).
+fn main() {
+    let e = noc_bench::effort_from_args();
+    print!("{}", noc_eval::figures::fig06a(&e).render());
+    print!("{}", noc_eval::figures::fig06b(&e).render());
+}

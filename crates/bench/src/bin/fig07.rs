@@ -1,0 +1,5 @@
+//! Regenerates Fig 7: per-node runtime maps on mesh and torus.
+fn main() {
+    let e = noc_bench::effort_from_args();
+    print!("{}", noc_eval::figures::fig07(&e).render());
+}

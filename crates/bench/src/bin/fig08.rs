@@ -1,0 +1,5 @@
+//! Regenerates Fig 8: topology correlation via worst-case latency.
+fn main() {
+    let e = noc_bench::effort_from_args();
+    print!("{}", noc_eval::figures::fig08(&e).render());
+}

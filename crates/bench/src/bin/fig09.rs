@@ -1,0 +1,5 @@
+//! Regenerates Fig 9: routing algorithms, open-loop.
+fn main() {
+    let e = noc_bench::effort_from_args();
+    print!("{}", noc_eval::figures::fig09(&e).render());
+}

@@ -1,0 +1,7 @@
+//! Regenerates Fig 10: routing algorithms, batch model.
+fn main() {
+    let e = noc_bench::effort_from_args();
+    let f = noc_eval::figures::fig10(&e);
+    print!("{}", f.render());
+    println!("VAL/DOR runtime at m=1 under transpose: {:.3}", f.val_over_dor_transpose_m1());
+}

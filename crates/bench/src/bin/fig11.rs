@@ -1,0 +1,5 @@
+//! Regenerates Fig 11: per-node latency/runtime distributions, DOR vs VAL.
+fn main() {
+    let e = noc_bench::effort_from_args();
+    print!("{}", noc_eval::figures::fig11(&e).render());
+}

@@ -1,0 +1,4 @@
+//! Regenerates Fig 12: example DOR and VAL routes.
+fn main() {
+    print!("{}", noc_eval::figures::fig12().render());
+}

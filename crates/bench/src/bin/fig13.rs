@@ -1,0 +1,5 @@
+//! Regenerates Fig 13: lu communication matrices (app-level vs actual).
+fn main() {
+    let e = noc_bench::effort_from_args();
+    print!("{}", noc_eval::figures::fig13(&e).render());
+}

@@ -1,0 +1,5 @@
+//! Regenerates Fig 14: normalized runtime vs router delay per benchmark.
+fn main() {
+    let e = noc_bench::effort_from_args();
+    print!("{}", noc_eval::figures::fig14(&e).render());
+}

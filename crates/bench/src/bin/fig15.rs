@@ -1,0 +1,10 @@
+//! Regenerates Fig 15: exec-driven vs plain batch correlation.
+fn main() {
+    let e = noc_bench::effort_from_args();
+    let o = noc_eval::figures::fig15(&e);
+    println!("== Fig 15: exec-driven vs plain batch ==");
+    println!("r = {:.4} (paper: 0.829)", o.r.unwrap_or(f64::NAN));
+    for p in &o.points {
+        println!("{:<14} tr={} exec={:.3} batch={:.3}", p.benchmark, p.tr, p.cmp_norm, p.batch_norm);
+    }
+}

@@ -1,0 +1,8 @@
+//! Regenerates Fig 16: the NAR-enhanced injection model.
+fn main() {
+    let e = noc_bench::effort_from_args();
+    let f = noc_eval::figures::fig16(&e);
+    print!("{}", f.render());
+    let (lo, hi) = f.tr4_sensitivity();
+    println!("tr=4 runtime penalty at NAR=0.04: {lo:.3}x; at NAR=1.0: {hi:.3}x");
+}

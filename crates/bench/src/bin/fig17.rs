@@ -1,0 +1,5 @@
+//! Regenerates Fig 17: the enhanced reply model.
+fn main() {
+    let e = noc_bench::effort_from_args();
+    print!("{}", noc_eval::figures::fig17(&e).render());
+}

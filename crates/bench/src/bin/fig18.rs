@@ -1,0 +1,5 @@
+//! Regenerates Fig 18/19: extended batch models vs exec-driven.
+fn main() {
+    let e = noc_bench::effort_from_args();
+    print!("{}", noc_eval::figures::fig19(&e).render());
+}

@@ -1,0 +1,11 @@
+//! Regenerates Fig 19: correlation of extended batch models (same data
+//! as fig18, correlation summary only).
+fn main() {
+    let e = noc_bench::effort_from_args();
+    let f = noc_eval::figures::fig19(&e);
+    println!("== Fig 19: correlations ==");
+    for (label, r) in f.correlations() {
+        println!("{label:<12} r = {r:.4}");
+    }
+    println!("(paper: BA 0.829; extended models improve, BA_inj+re before OS modeling)");
+}

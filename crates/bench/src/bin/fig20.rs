@@ -1,0 +1,11 @@
+//! Regenerates Fig 20: user vs kernel injection split.
+fn main() {
+    let e = noc_bench::effort_from_args();
+    let f = noc_eval::figures::fig20(&e);
+    print!("{}", f.render());
+    println!(
+        "kernel share: 75 MHz {:.0}%, 3 GHz {:.0}%",
+        f.kernel_fraction("75 MHz") * 100.0,
+        f.kernel_fraction("3 GHz") * 100.0
+    );
+}

@@ -1,0 +1,5 @@
+//! Regenerates Fig 21: blackscholes injection rate over time.
+fn main() {
+    let e = noc_bench::effort_from_args();
+    print!("{}", noc_eval::figures::fig21(&e).render());
+}

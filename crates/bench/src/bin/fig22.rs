@@ -1,0 +1,5 @@
+//! Regenerates Fig 22: correlation with/without OS modeling.
+fn main() {
+    let e = noc_bench::effort_from_args();
+    print!("{}", noc_eval::figures::fig22(&e).render());
+}

@@ -1,0 +1,5 @@
+//! Reports simulator speed (the paper's "minutes vs 88.5 hours" claim).
+fn main() {
+    let e = noc_bench::effort_from_args();
+    print!("{}", noc_eval::figures::sim_speed(&e));
+}

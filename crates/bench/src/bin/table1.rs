@@ -1,0 +1,4 @@
+//! Prints Table I: simulation parameter space.
+fn main() {
+    print!("{}", noc_eval::figures::table1());
+}

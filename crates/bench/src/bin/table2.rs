@@ -1,0 +1,4 @@
+//! Prints Table II: CMP parameters.
+fn main() {
+    print!("{}", noc_eval::figures::table2());
+}

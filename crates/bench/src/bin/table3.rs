@@ -1,0 +1,5 @@
+//! Regenerates Table III: NAR measured under the ideal network.
+fn main() {
+    let e = noc_bench::effort_from_args();
+    print!("{}", noc_eval::figures::table3(&e).render());
+}

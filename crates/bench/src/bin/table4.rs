@@ -1,0 +1,4 @@
+//! Prints Table IV: benchmark characteristics.
+fn main() {
+    print!("{}", noc_eval::figures::table4());
+}

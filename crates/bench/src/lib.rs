@@ -1,0 +1,19 @@
+//! # noc-bench — benchmark harness
+//!
+//! One binary per paper table/figure (`fig01`..`fig22`, `table1`..
+//! `table4`), an umbrella `repro` binary that regenerates everything,
+//! and criterion performance benches (`sim_speed`, `ablations`).
+//!
+//! Every binary accepts an effort argument: `quick` (seconds, CI-sized)
+//! or `paper` (the default; the full reproduction scale).
+
+use noc_eval::Effort;
+
+/// Parse the effort from `argv[1]`, defaulting to `paper`.
+pub fn effort_from_args() -> Effort {
+    let arg = std::env::args().nth(1).unwrap_or_else(|| "paper".to_string());
+    Effort::parse(&arg).unwrap_or_else(|| {
+        eprintln!("unknown effort `{arg}`, expected quick|paper; using paper");
+        Effort::paper()
+    })
+}

@@ -1,0 +1,309 @@
+//! The in-order core model with OS activity phases.
+
+use noc_sim::rng::SimRng;
+
+use crate::config::CmpConfig;
+
+/// What a core's retired instruction did this cycle.
+///
+/// The L2 hit/miss outcome is drawn at issue time from the *core's own*
+/// RNG, so a benchmark's memory behavior is a property of its
+/// instruction stream, independent of network timing — run-to-run
+/// variability then reflects only genuine contention, not RNG
+/// interleaving (the "IPC considered harmful" pitfall the paper cites).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemRequest {
+    /// No network activity (L1 hit or non-memory instruction).
+    None,
+    /// Blocking load miss: the core stalls until the data reply returns.
+    Load {
+        /// Executed in kernel mode?
+        os: bool,
+        /// Will this access miss in the L2 (pay DRAM latency)?
+        l2_miss: bool,
+    },
+    /// Non-blocking store miss: occupies an MSHR until acknowledged.
+    Store {
+        /// Executed in kernel mode?
+        os: bool,
+        /// Will this access miss in the L2?
+        l2_miss: bool,
+    },
+}
+
+/// Execution phase of a core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CorePhase {
+    /// Startup syscall phase (thread creation) — kernel mode.
+    Startup,
+    /// Application instructions — user mode, interruptible by timers.
+    User,
+    /// Finish syscall phase (join/teardown) — kernel mode.
+    Finish,
+    /// All work retired.
+    Done,
+}
+
+/// One in-order core running a synthetic instruction stream.
+#[derive(Debug)]
+pub struct Core {
+    /// Remaining user instructions.
+    user_remaining: u64,
+    /// Remaining instructions in the current kernel burst (startup,
+    /// timer handler, or finish phase).
+    os_burst: u64,
+    /// Remaining finish-phase instructions (entered after user work).
+    finish_remaining: u64,
+    /// Blocked on an outstanding load reply.
+    pub stalled_on_load: bool,
+    /// Outstanding (unacknowledged) stores.
+    pub stores_in_flight: usize,
+    /// Blocked because the store buffer is full.
+    pub stalled_on_store: bool,
+    /// Total instructions retired.
+    pub retired: u64,
+    miss_user: f64,
+    miss_os: f64,
+    l2_miss_user: f64,
+    l2_miss_os: f64,
+    store_frac: f64,
+    mshrs: usize,
+    in_finish: bool,
+    initial_user: u64,
+    rng: SimRng,
+}
+
+impl Core {
+    /// New core for the given configuration; `node` seeds the core's
+    /// private RNG so its instruction stream is independent of all
+    /// other timing.
+    pub fn new(cfg: &CmpConfig, node: usize) -> Self {
+        Self {
+            user_remaining: cfg.user_instructions,
+            os_burst: if cfg.os_model { cfg.startup_instructions() } else { 0 },
+            finish_remaining: if cfg.os_model { cfg.finish_instructions() } else { 0 },
+            stalled_on_load: false,
+            stores_in_flight: 0,
+            stalled_on_store: false,
+            retired: 0,
+            miss_user: cfg.miss_prob_user(),
+            miss_os: cfg.miss_prob_os(),
+            l2_miss_user: cfg.profile.l2_miss_user,
+            l2_miss_os: cfg.profile.l2_miss_os,
+            store_frac: cfg.store_frac,
+            mshrs: cfg.mshrs,
+            in_finish: false,
+            initial_user: cfg.user_instructions,
+            rng: SimRng::new(cfg.net.seed ^ (node as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)),
+        }
+    }
+
+    /// Current phase.
+    pub fn phase(&self) -> CorePhase {
+        if self.done() {
+            CorePhase::Done
+        } else if self.in_finish {
+            CorePhase::Finish
+        } else if self.os_burst > 0 && self.user_remaining == self.initial_user {
+            CorePhase::Startup
+        } else {
+            CorePhase::User
+        }
+    }
+
+    /// True once every instruction (user and kernel) has retired and no
+    /// memory operation is outstanding.
+    pub fn done(&self) -> bool {
+        self.user_remaining == 0
+            && self.os_burst == 0
+            && self.finish_remaining == 0
+            && !self.stalled_on_load
+            && self.stores_in_flight == 0
+    }
+
+    /// Deliver a timer interrupt: queue a kernel burst (only while the
+    /// core still has work; an idle core's interrupts are invisible to
+    /// the workload).
+    pub fn timer_interrupt(&mut self, handler_instructions: u64) {
+        if self.user_remaining > 0 || self.finish_remaining > 0 || self.os_burst > 0 {
+            self.os_burst += handler_instructions;
+        }
+    }
+
+    /// Advance one cycle: retire at most one instruction. Returns the
+    /// memory request generated, if any.
+    pub fn tick(&mut self) -> MemRequest {
+        if self.stalled_on_load || self.stalled_on_store {
+            return MemRequest::None;
+        }
+        // priority: kernel burst, then user, then finish phase
+        let (os, miss_p, l2_p) = if self.os_burst > 0 {
+            self.os_burst -= 1;
+            (true, self.miss_os, self.l2_miss_os)
+        } else if self.user_remaining > 0 {
+            self.user_remaining -= 1;
+            if self.user_remaining == 0 && self.finish_remaining > 0 {
+                // enter the finish syscall phase next
+                self.in_finish = true;
+                self.os_burst += self.finish_remaining;
+                self.finish_remaining = 0;
+            }
+            (false, self.miss_user, self.l2_miss_user)
+        } else {
+            return MemRequest::None;
+        };
+        self.retired += 1;
+        if !self.rng.chance(miss_p) {
+            return MemRequest::None;
+        }
+        let l2_miss = self.rng.chance(l2_p);
+        if self.rng.chance(self.store_frac) {
+            self.stores_in_flight += 1;
+            if self.stores_in_flight >= self.mshrs {
+                self.stalled_on_store = true;
+            }
+            MemRequest::Store { os, l2_miss }
+        } else {
+            self.stalled_on_load = true;
+            MemRequest::Load { os, l2_miss }
+        }
+    }
+
+    /// A load reply arrived: resume execution.
+    pub fn load_reply(&mut self) {
+        debug_assert!(self.stalled_on_load);
+        self.stalled_on_load = false;
+    }
+
+    /// A store acknowledgment arrived: free an MSHR.
+    pub fn store_ack(&mut self) {
+        debug_assert!(self.stores_in_flight > 0);
+        self.stores_in_flight -= 1;
+        self.stalled_on_store = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noc_workloads::all_benchmarks;
+
+    fn cfg() -> CmpConfig {
+        let mut c = CmpConfig::table2(all_benchmarks()[0]);
+        c.user_instructions = 1000;
+        c
+    }
+
+    #[test]
+    fn core_retires_all_instructions_without_os() {
+        let c = cfg().with_os(false);
+        let mut core = Core::new(&c, 0);
+        let mut requests = 0;
+        for _ in 0..100_000 {
+            if core.done() {
+                break;
+            }
+            match core.tick() {
+                MemRequest::None => {}
+                MemRequest::Load { .. } => {
+                    requests += 1;
+                    core.load_reply(); // ideal: instant
+                }
+                MemRequest::Store { .. } => {
+                    requests += 1;
+                    core.store_ack();
+                }
+            }
+        }
+        assert!(core.done());
+        assert_eq!(core.retired, 1000);
+        // miss prob ~0.005 for blackscholes user: expect a few misses
+        assert!(requests < 50, "requests = {requests}");
+    }
+
+    #[test]
+    fn os_model_adds_kernel_instructions() {
+        let c = cfg();
+        let mut core = Core::new(&c, 0);
+        assert_eq!(core.phase(), CorePhase::Startup);
+        while !core.done() {
+            match core.tick() {
+                MemRequest::Load { .. } => core.load_reply(),
+                MemRequest::Store { .. } => core.store_ack(),
+                MemRequest::None => {}
+            }
+        }
+        let expected = 1000 + c.startup_instructions() + c.finish_instructions();
+        assert_eq!(core.retired, expected);
+    }
+
+    #[test]
+    fn blocking_load_stalls_until_reply() {
+        let c = cfg().with_os(false);
+        let mut core = Core::new(&c, 0);
+        // drive until the first load
+        loop {
+            match core.tick() {
+                MemRequest::Load { .. } => break,
+                MemRequest::Store { .. } => core.store_ack(),
+                MemRequest::None => {}
+            }
+        }
+        let retired = core.retired;
+        for _ in 0..10 {
+            assert_eq!(core.tick(), MemRequest::None, "stalled core retires nothing");
+        }
+        assert_eq!(core.retired, retired);
+        core.load_reply();
+        core.tick();
+        assert_eq!(core.retired, retired + 1);
+    }
+
+    #[test]
+    fn store_buffer_fills_and_stalls() {
+        let mut c = cfg().with_os(false);
+        c.mshrs = 2;
+        c.store_frac = 1.0; // every miss is a store
+        let mut core = Core::new(&c, 0);
+        let mut stores = 0;
+        while stores < 2 {
+            if let MemRequest::Store { .. } = core.tick() {
+                stores += 1;
+            }
+        }
+        assert!(core.stalled_on_store);
+        assert_eq!(core.tick(), MemRequest::None);
+        core.store_ack();
+        assert!(!core.stalled_on_store);
+    }
+
+    #[test]
+    fn timer_interrupt_queues_kernel_burst() {
+        let c = cfg().with_os(false);
+        let mut core = Core::new(&c, 0);
+        core.timer_interrupt(100);
+        while !core.done() {
+            match core.tick() {
+                MemRequest::Load { .. } => core.load_reply(),
+                MemRequest::Store { .. } => core.store_ack(),
+                MemRequest::None => {}
+            }
+        }
+        assert_eq!(core.retired, 1100);
+    }
+
+    #[test]
+    fn timer_interrupt_on_finished_core_is_ignored() {
+        let c = cfg().with_os(false);
+        let mut core = Core::new(&c, 0);
+        while !core.done() {
+            match core.tick() {
+                MemRequest::Load { .. } => core.load_reply(),
+                MemRequest::Store { .. } => core.store_ack(),
+                MemRequest::None => {}
+            }
+        }
+        core.timer_interrupt(100);
+        assert!(core.done(), "idle cores take no more kernel work");
+    }
+}

@@ -1,0 +1,26 @@
+//! # cmp-sim — execution-driven CMP simulator substrate
+//!
+//! The stand-in for the paper's Simics/GEMS + Garnet stack (see
+//! DESIGN.md's substitution table): a 16-core tiled CMP with in-order
+//! cores, blocking loads, a bounded store buffer (MSHRs), private L1s, a
+//! shared address-interleaved L2 (one bank per tile), a fixed-latency
+//! DRAM, and an OS-activity model (startup/finish syscall phases plus
+//! periodic timer interrupts whose cycle interval scales with the core
+//! clock). The memory traffic rides the *same* `noc-sim` network as the
+//! synthetic models, closing the loop between core stalls and network
+//! latency exactly as an execution-driven simulation does.
+//!
+//! Cores execute *synthetic instruction streams* whose L1-miss and
+//! L2-miss probabilities are derived from the paper's own per-benchmark
+//! measurements (Tables III & IV, `noc-workloads`); user and kernel
+//! phases use their respective statistics.
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod core_model;
+pub mod sim;
+
+pub use config::CmpConfig;
+pub use core_model::{Core, CorePhase, MemRequest};
+pub use sim::{run_cmp, run_ideal, CmpResult};

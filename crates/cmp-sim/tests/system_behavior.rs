@@ -1,0 +1,121 @@
+//! System-behavior tests of the execution-driven substrate: the
+//! benchmark-differentiation properties the validation figures rest on.
+
+use cmp_sim::{run_cmp, run_ideal, CmpConfig};
+use noc_workloads::{all_benchmarks, BenchmarkProfile, ClockFreq};
+
+fn profile(name: &str) -> BenchmarkProfile {
+    *all_benchmarks().iter().find(|p| p.name == name).unwrap()
+}
+
+fn quick(name: &str) -> CmpConfig {
+    CmpConfig::table2(profile(name)).with_instructions(15_000)
+}
+
+#[test]
+fn high_nar_benchmarks_inject_more() {
+    let low = run_cmp(&quick("lu").with_os(false)).unwrap(); // NAR 0.011
+    let high = run_cmp(&quick("barnes").with_os(false)).unwrap(); // NAR 0.047
+    let rate = |r: &cmp_sim::CmpResult| (r.user_flits as f64) / r.runtime as f64 / 16.0;
+    assert!(
+        rate(&high) > 1.5 * rate(&low),
+        "barnes {} should inject well above lu {}",
+        rate(&high),
+        rate(&low)
+    );
+}
+
+#[test]
+fn l2_miss_rate_stretches_runtime() {
+    // fft has 70% user L2 misses -> most accesses pay 300-cycle DRAM;
+    // blackscholes misses 0.4% of the time. At similar NAR-ish levels,
+    // fft's cycles-per-instruction must be much higher.
+    let bs = run_cmp(&quick("blackscholes").with_os(false)).unwrap();
+    let fft = run_cmp(&quick("fft").with_os(false)).unwrap();
+    let cpi = |r: &cmp_sim::CmpResult| r.runtime as f64 / (r.instructions as f64 / 16.0);
+    assert!(
+        cpi(&fft) > 1.5 * cpi(&bs),
+        "fft CPI {} vs blackscholes {}",
+        cpi(&fft),
+        cpi(&bs)
+    );
+}
+
+#[test]
+fn ideal_network_is_a_lower_bound_on_runtime() {
+    for name in ["blackscholes", "canneal"] {
+        let cfg = quick(name).with_os(false);
+        let ideal = run_ideal(&cfg);
+        let real = run_cmp(&cfg).unwrap();
+        assert!(
+            real.runtime >= ideal.runtime,
+            "{name}: real {} must not beat ideal {}",
+            real.runtime,
+            ideal.runtime
+        );
+    }
+}
+
+#[test]
+fn kernel_traffic_profile_matches_table_iv_ordering() {
+    // blackscholes has the highest nar_os/nar_user contrast among
+    // {blackscholes, barnes}; its kernel share must be higher too
+    let bs = run_cmp(&quick("blackscholes").with_clock(ClockFreq::MHz75)).unwrap();
+    let barnes = run_cmp(&quick("barnes").with_clock(ClockFreq::MHz75)).unwrap();
+    assert!(
+        bs.kernel_fraction() > barnes.kernel_fraction(),
+        "blackscholes {:.2} vs barnes {:.2}",
+        bs.kernel_fraction(),
+        barnes.kernel_fraction()
+    );
+}
+
+#[test]
+fn startup_and_finish_phases_show_in_time_series() {
+    // Fig 21's signature: kernel traffic concentrated at the start
+    // (thread creation). Compare kernel rate in the first decile of the
+    // run against the middle deciles.
+    let r = run_cmp(&quick("blackscholes").with_clock(ClockFreq::GHz3)).unwrap();
+    let rates = r.series_kernel.rates();
+    assert!(rates.len() >= 10, "need enough bins, got {}", rates.len());
+    let n = rates.len();
+    let first: f64 = rates[..n / 10 + 1].iter().map(|&(_, v)| v).sum();
+    let mid: f64 = rates[4 * n / 10..5 * n / 10 + 1].iter().map(|&(_, v)| v).sum();
+    assert!(
+        first > 2.0 * mid.max(1e-9),
+        "startup kernel burst {first} should dominate mid-run {mid}"
+    );
+}
+
+#[test]
+fn timer_interrupt_counts_scale_inversely_with_clock() {
+    let slow = run_cmp(&quick("lu").with_clock(ClockFreq::MHz75)).unwrap();
+    let fast = run_cmp(&quick("lu").with_clock(ClockFreq::GHz3)).unwrap();
+    // 40x interval ratio; runtimes differ, but the counts must separate clearly
+    assert!(
+        slow.timer_interrupts >= 10 * fast.timer_interrupts.max(1) / 2,
+        "slow {} vs fast {}",
+        slow.timer_interrupts,
+        fast.timer_interrupts
+    );
+}
+
+#[test]
+fn router_delay_monotonically_slows_every_benchmark() {
+    for name in ["lu", "fft"] {
+        let mut last = 0;
+        for tr in [1u32, 2, 4, 8] {
+            let r = run_cmp(&quick(name).with_os(false).with_router_delay(tr)).unwrap();
+            assert!(r.runtime >= last, "{name}: runtime not monotone at tr={tr}");
+            last = r.runtime;
+        }
+    }
+}
+
+#[test]
+fn instructions_conserved_across_network_configs() {
+    // the network changes *when* instructions retire, never *how many*
+    let a = run_cmp(&quick("canneal").with_os(false)).unwrap();
+    let b = run_cmp(&quick("canneal").with_os(false).with_router_delay(8)).unwrap();
+    assert_eq!(a.instructions, b.instructions);
+}

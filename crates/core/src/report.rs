@@ -1,0 +1,130 @@
+//! Plain-text tables and CSV output for experiment reports.
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+/// Render a left-aligned text table with a header row and a separator.
+///
+/// ```
+/// let t = noc_eval::report::render_table(
+///     &["m", "runtime"],
+///     &[vec!["1".into(), "24000".into()], vec!["32".into(), "4500".into()]],
+/// );
+/// assert!(t.contains("m"));
+/// assert!(t.lines().count() == 4);
+/// ```
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), cols, "row width mismatch");
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let mut line = String::new();
+    for (i, h) in headers.iter().enumerate() {
+        let _ = write!(line, "{:<w$}  ", h, w = widths[i]);
+    }
+    out.push_str(line.trim_end());
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+    out.push('\n');
+    for row in rows {
+        let mut line = String::new();
+        for (i, cell) in row.iter().enumerate() {
+            let _ = write!(line, "{:<w$}  ", cell, w = widths[i]);
+        }
+        out.push_str(line.trim_end());
+        out.push('\n');
+    }
+    out
+}
+
+/// Write rows as CSV (simple escaping: fields containing commas or
+/// quotes are quoted).
+pub fn write_csv<P: AsRef<Path>>(
+    path: P,
+    headers: &[&str],
+    rows: &[Vec<String>],
+) -> io::Result<()> {
+    let mut out = String::new();
+    out.push_str(&headers.iter().map(|h| csv_field(h)).collect::<Vec<_>>().join(","));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&row.iter().map(|c| csv_field(c)).collect::<Vec<_>>().join(","));
+        out.push('\n');
+    }
+    std::fs::write(path, out)
+}
+
+fn csv_field(s: &str) -> String {
+    if s.contains(',') || s.contains('"') || s.contains('\n') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+/// Format a float with sensible precision for reports.
+pub fn f(v: f64) -> String {
+    if v == 0.0 {
+        "0".into()
+    } else if v.abs() >= 100.0 {
+        format!("{v:.0}")
+    } else if v.abs() >= 1.0 {
+        format!("{v:.2}")
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment() {
+        let t = render_table(
+            &["name", "x"],
+            &[vec!["a".into(), "1".into()], vec!["long-name".into(), "22".into()]],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[3].starts_with("long-name"));
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_row_panics() {
+        render_table(&["a", "b"], &[vec!["only-one".into()]]);
+    }
+
+    #[test]
+    fn csv_escaping() {
+        assert_eq!(csv_field("plain"), "plain");
+        assert_eq!(csv_field("a,b"), "\"a,b\"");
+        assert_eq!(csv_field("q\"q"), "\"q\"\"q\"");
+    }
+
+    #[test]
+    fn csv_roundtrip_to_disk() {
+        let dir = std::env::temp_dir().join("noc-eval-test-csv");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("t.csv");
+        write_csv(&p, &["a", "b"], &[vec!["1".into(), "x,y".into()]]).unwrap();
+        let body = std::fs::read_to_string(&p).unwrap();
+        assert_eq!(body, "a,b\n1,\"x,y\"\n");
+    }
+
+    #[test]
+    fn float_formats() {
+        assert_eq!(f(0.0), "0");
+        assert_eq!(f(0.12345), "0.1235");
+        assert_eq!(f(3.14159), "3.14");
+        assert_eq!(f(12345.6), "12346");
+    }
+}

@@ -1,0 +1,98 @@
+//! Load sweeps and saturation search.
+
+use serde::{Deserialize, Serialize};
+
+use crate::measure::{measure, OpenLoopConfig, OpenLoopResult};
+
+/// One point of a latency–load curve.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SweepPoint {
+    /// Offered load (flits/cycle/node).
+    pub load: f64,
+    /// Full measurement result.
+    pub result: OpenLoopResult,
+}
+
+/// Measure the latency–load curve at the given offered loads. Points are
+/// measured independently (fresh network each), so they can be compared
+/// across configurations.
+pub fn sweep(base: &OpenLoopConfig, loads: &[f64]) -> Vec<SweepPoint> {
+    loads
+        .iter()
+        .map(|&load| {
+            let cfg = base.clone().with_load(load);
+            let result = measure(&cfg).expect("sweep point must be a valid config");
+            SweepPoint { load, result }
+        })
+        .collect()
+}
+
+/// Bisect for the saturation throughput: the highest offered load that
+/// remains *stable* (all marked packets drain) with average latency
+/// below `latency_cap` cycles.
+///
+/// Returns the bracketing `(stable_load, unstable_load)` pair once the
+/// bracket is narrower than `tol`.
+pub fn saturation_throughput(
+    base: &OpenLoopConfig,
+    latency_cap: f64,
+    tol: f64,
+) -> (f64, f64) {
+    let stable_at = |load: f64| -> bool {
+        let cfg = base.clone().with_load(load);
+        match measure(&cfg) {
+            Ok(r) => r.stable && r.avg_latency <= latency_cap,
+            Err(_) => false,
+        }
+    };
+    let mut lo = 0.0;
+    let mut hi = 1.0;
+    // ensure the upper end is actually unstable; if not, the network
+    // absorbs full injection bandwidth
+    if stable_at(hi) {
+        return (hi, hi);
+    }
+    while hi - lo > tol {
+        let mid = 0.5 * (lo + hi);
+        if stable_at(mid) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    (lo, hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noc_sim::config::{NetConfig, TopologyKind};
+
+    fn base() -> OpenLoopConfig {
+        OpenLoopConfig {
+            net: NetConfig::baseline().with_topology(TopologyKind::Mesh2D { k: 4 }),
+            ..OpenLoopConfig::default()
+        }
+        .quick()
+    }
+
+    #[test]
+    fn sweep_returns_all_points_in_order() {
+        let pts = sweep(&base(), &[0.05, 0.15, 0.25]);
+        assert_eq!(pts.len(), 3);
+        assert_eq!(pts[0].load, 0.05);
+        assert!(pts[2].result.avg_latency > pts[0].result.avg_latency);
+    }
+
+    #[test]
+    fn saturation_bracket_is_sane_for_4x4_mesh() {
+        // capacity bound for uniform on a 4-ary 2-mesh is 4/k = 1.0? No:
+        // 2*bisection/N = 2*(2*4)/16 = 1.0 flit/cycle/node theoretical;
+        // DOR with small buffers lands well below. Just check ordering
+        // and a plausible range.
+        let (lo, hi) = saturation_throughput(&base(), 200.0, 0.05);
+        assert!(lo <= hi);
+        assert!(lo > 0.2, "saturation too low: {lo}");
+        assert!(hi < 1.0, "saturation too high: {hi}");
+    }
+}

@@ -1,0 +1,123 @@
+//! Inter-router links: forward flit delay lines plus the backward credit
+//! delay lines of the same physical channel.
+
+use std::collections::VecDeque;
+
+use crate::flit::{Cycle, Flit};
+
+/// One directed link from a router output port to a neighbor input port.
+#[derive(Debug)]
+pub struct Link {
+    /// Destination router.
+    pub dst_router: usize,
+    /// Destination input port.
+    pub dst_port: usize,
+    /// Propagation delay in cycles.
+    pub delay: u32,
+    /// Flits carried over the whole run (utilization statistics).
+    pub flits_carried: u64,
+    flits: VecDeque<(Cycle, Flit)>,
+    credits: VecDeque<(Cycle, u8)>,
+}
+
+impl Link {
+    /// New idle link.
+    pub fn new(dst_router: usize, dst_port: usize, delay: u32) -> Self {
+        Self {
+            dst_router,
+            dst_port,
+            delay,
+            flits_carried: 0,
+            flits: VecDeque::new(),
+            credits: VecDeque::new(),
+        }
+    }
+
+    /// Enqueue a flit arriving at `ready`.
+    ///
+    /// Ready times must be pushed in non-decreasing order (they are, as
+    /// each cycle pushes `now + const`).
+    pub fn push_flit(&mut self, ready: Cycle, flit: Flit) {
+        debug_assert!(self.flits.back().is_none_or(|&(r, _)| r <= ready), "link reordering");
+        self.flits.push_back((ready, flit));
+        self.flits_carried += 1;
+    }
+
+    /// Enqueue a credit (for the *source* router's output VC) arriving at
+    /// `ready`.
+    pub fn push_credit(&mut self, ready: Cycle, vc: u8) {
+        debug_assert!(self.credits.back().is_none_or(|&(r, _)| r <= ready));
+        self.credits.push_back((ready, vc));
+    }
+
+    /// Pop the next flit if it has arrived by `now`.
+    pub fn pop_flit(&mut self, now: Cycle) -> Option<Flit> {
+        match self.flits.front() {
+            Some(&(ready, _)) if ready <= now => Some(self.flits.pop_front().expect("front").1),
+            _ => None,
+        }
+    }
+
+    /// Pop the next credit if it has arrived by `now`.
+    pub fn pop_credit(&mut self, now: Cycle) -> Option<u8> {
+        match self.credits.front() {
+            Some(&(ready, _)) if ready <= now => {
+                Some(self.credits.pop_front().expect("front").1)
+            }
+            _ => None,
+        }
+    }
+
+    /// Flits currently in flight on the wire.
+    pub fn in_flight(&self) -> usize {
+        self.flits.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flit(seq: u16) -> Flit {
+        Flit { pkt: 0, seq, vc: 0 }
+    }
+
+    #[test]
+    fn flits_arrive_after_delay() {
+        let mut l = Link::new(1, 2, 3);
+        l.push_flit(5, flit(0));
+        assert_eq!(l.pop_flit(4), None);
+        assert_eq!(l.pop_flit(5).map(|f| f.seq), Some(0));
+        assert_eq!(l.pop_flit(6), None, "drained");
+    }
+
+    #[test]
+    fn order_preserved() {
+        let mut l = Link::new(0, 0, 1);
+        l.push_flit(2, flit(0));
+        l.push_flit(3, flit(1));
+        l.push_flit(3, flit(2));
+        assert_eq!(l.pop_flit(10).map(|f| f.seq), Some(0));
+        assert_eq!(l.pop_flit(10).map(|f| f.seq), Some(1));
+        assert_eq!(l.pop_flit(10).map(|f| f.seq), Some(2));
+        assert_eq!(l.in_flight(), 0);
+    }
+
+    #[test]
+    fn credits_flow_independently() {
+        let mut l = Link::new(0, 0, 1);
+        l.push_credit(4, 1);
+        l.push_flit(2, flit(0));
+        assert_eq!(l.pop_credit(3), None);
+        assert_eq!(l.pop_flit(3).map(|f| f.seq), Some(0));
+        assert_eq!(l.pop_credit(4), Some(1));
+    }
+
+    #[test]
+    fn carried_counter() {
+        let mut l = Link::new(0, 0, 1);
+        l.push_flit(1, flit(0));
+        l.push_flit(2, flit(1));
+        assert_eq!(l.flits_carried, 2);
+    }
+}

@@ -1,0 +1,274 @@
+//! Network configuration: the parameter space of Table I.
+
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::ConfigError;
+use crate::routing::{Dor, MinAdaptive, Romm, RoutingAlgorithm, Valiant, VcBook};
+use crate::topology::{KAryNCube, Topology};
+
+/// Switch/VC arbitration policy (Table I: round robin, age-based).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Arbitration {
+    /// Rotating round-robin priority (default).
+    RoundRobin,
+    /// Oldest packet (smallest birth cycle) wins.
+    AgeBased,
+}
+
+/// Named topology selector, convertible to a concrete [`Topology`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TopologyKind {
+    /// k-ary 2-mesh.
+    Mesh2D {
+        /// Nodes per dimension.
+        k: usize,
+    },
+    /// Folded k-ary 2-cube (torus) — all link delays doubled.
+    FoldedTorus2D {
+        /// Nodes per dimension.
+        k: usize,
+    },
+    /// Unfolded torus with unit link delay.
+    Torus2D {
+        /// Nodes per dimension.
+        k: usize,
+    },
+    /// Bidirectional ring.
+    Ring {
+        /// Node count.
+        n: usize,
+    },
+}
+
+impl TopologyKind {
+    /// Instantiate the topology.
+    pub fn build(&self) -> Arc<dyn Topology> {
+        match *self {
+            TopologyKind::Mesh2D { k } => Arc::new(KAryNCube::mesh(&[k, k])),
+            TopologyKind::FoldedTorus2D { k } => Arc::new(KAryNCube::folded_torus(&[k, k])),
+            TopologyKind::Torus2D { k } => Arc::new(KAryNCube::torus(&[k, k])),
+            TopologyKind::Ring { n } => Arc::new(KAryNCube::ring(n)),
+        }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        match *self {
+            TopologyKind::Mesh2D { k } | TopologyKind::FoldedTorus2D { k } | TopologyKind::Torus2D { k } => k * k,
+            TopologyKind::Ring { n } => n,
+        }
+    }
+}
+
+/// Named routing selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RoutingKind {
+    /// Dimension-ordered routing.
+    Dor,
+    /// Valiant randomized routing.
+    Valiant,
+    /// Randomized two-phase minimal (ROMM).
+    Romm,
+    /// Minimal adaptive with DOR escape.
+    MinAdaptive,
+}
+
+impl RoutingKind {
+    /// Instantiate the algorithm.
+    pub fn build(&self) -> Arc<dyn RoutingAlgorithm> {
+        match self {
+            RoutingKind::Dor => Arc::new(Dor),
+            RoutingKind::Valiant => Arc::new(Valiant),
+            RoutingKind::Romm => Arc::new(Romm),
+            RoutingKind::MinAdaptive => Arc::new(MinAdaptive),
+        }
+    }
+}
+
+/// Full network configuration (Table I parameter space).
+///
+/// Defaults mirror the paper's bold baseline: 8x8 mesh, DOR, 2 VCs,
+/// 4-flit buffers per VC, 1-cycle router, round-robin arbitration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NetConfig {
+    /// Topology selector.
+    pub topology: TopologyKind,
+    /// Routing algorithm selector.
+    pub routing: RoutingKind,
+    /// Total virtual channels per physical port.
+    pub vcs: usize,
+    /// Buffer depth per VC, in flits (`q`).
+    pub vc_buf: usize,
+    /// Router pipeline delay in cycles (`t_r`).
+    pub router_delay: u32,
+    /// Arbitration policy for VC and switch allocation.
+    pub arbitration: Arbitration,
+    /// Number of message classes sharing the network (1 for open-loop,
+    /// 2 for request/reply closed-loop protocols).
+    pub classes: usize,
+    /// RNG seed; a `(config, seed)` pair fully determines a run.
+    pub seed: u64,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        Self {
+            topology: TopologyKind::Mesh2D { k: 8 },
+            routing: RoutingKind::Dor,
+            vcs: 2,
+            vc_buf: 4,
+            router_delay: 1,
+            arbitration: Arbitration::RoundRobin,
+            classes: 1,
+            seed: 0x0c5e_ed01,
+        }
+    }
+}
+
+impl NetConfig {
+    /// Baseline open-loop configuration (Table I bold values).
+    pub fn baseline() -> Self {
+        Self::default()
+    }
+
+    /// Validate the configuration and build the VC partition book.
+    pub fn validate(&self) -> Result<VcBook, ConfigError> {
+        if self.vc_buf == 0 {
+            return Err(ConfigError::Parameter { name: "vc_buf", why: "must be >= 1 flit".into() });
+        }
+        if self.router_delay == 0 {
+            return Err(ConfigError::Parameter {
+                name: "router_delay",
+                why: "must be >= 1 cycle".into(),
+            });
+        }
+        if self.vcs > 64 {
+            return Err(ConfigError::Parameter {
+                name: "vcs",
+                why: "at most 64 VCs supported (bitmask width)".into(),
+            });
+        }
+        let topo = self.topology.build();
+        let routing = self.routing.build();
+        VcBook::new(self.vcs, self.classes, routing.as_ref(), topo.as_ref())
+    }
+
+    /// Builder-style setters for sweep ergonomics.
+    pub fn with_router_delay(mut self, tr: u32) -> Self {
+        self.router_delay = tr;
+        self
+    }
+
+    /// Set buffer depth per VC.
+    pub fn with_vc_buf(mut self, q: usize) -> Self {
+        self.vc_buf = q;
+        self
+    }
+
+    /// Set VC count.
+    pub fn with_vcs(mut self, vcs: usize) -> Self {
+        self.vcs = vcs;
+        self
+    }
+
+    /// Set topology.
+    pub fn with_topology(mut self, t: TopologyKind) -> Self {
+        self.topology = t;
+        self
+    }
+
+    /// Set routing algorithm.
+    pub fn with_routing(mut self, r: RoutingKind) -> Self {
+        self.routing = r;
+        self
+    }
+
+    /// Set message class count.
+    pub fn with_classes(mut self, c: usize) -> Self {
+        self.classes = c;
+        self
+    }
+
+    /// Set the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Set arbitration policy.
+    pub fn with_arbitration(mut self, a: Arbitration) -> Self {
+        self.arbitration = a;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_validates() {
+        let cfg = NetConfig::baseline();
+        let book = cfg.validate().unwrap();
+        assert_eq!(book.vcs(), 2);
+        assert_eq!(book.classes(), 1);
+    }
+
+    #[test]
+    fn closed_loop_mesh_two_classes() {
+        let cfg = NetConfig::baseline().with_classes(2);
+        cfg.validate().unwrap();
+    }
+
+    #[test]
+    fn torus_two_classes_needs_four_vcs() {
+        let cfg = NetConfig::baseline()
+            .with_topology(TopologyKind::FoldedTorus2D { k: 8 })
+            .with_classes(2);
+        assert!(cfg.validate().is_err());
+        assert!(cfg.with_vcs(4).validate().is_ok());
+    }
+
+    #[test]
+    fn valiant_two_classes_needs_four_vcs() {
+        let cfg = NetConfig::baseline().with_routing(RoutingKind::Valiant).with_classes(2);
+        assert!(cfg.validate().is_err());
+        assert!(cfg.with_vcs(4).validate().is_ok());
+    }
+
+    #[test]
+    fn bad_parameters_rejected() {
+        assert!(NetConfig::baseline().with_vc_buf(0).validate().is_err());
+        assert!(NetConfig::baseline().with_router_delay(0).validate().is_err());
+        let mut cfg = NetConfig::baseline();
+        cfg.vcs = 65;
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn topology_kind_builds() {
+        assert_eq!(TopologyKind::Mesh2D { k: 8 }.build().num_nodes(), 64);
+        assert_eq!(TopologyKind::Ring { n: 64 }.build().num_nodes(), 64);
+        assert_eq!(TopologyKind::FoldedTorus2D { k: 4 }.num_nodes(), 16);
+    }
+
+    #[test]
+    fn builder_setters_compose() {
+        let cfg = NetConfig::baseline()
+            .with_vcs(4)
+            .with_routing(RoutingKind::Romm)
+            .with_arbitration(Arbitration::AgeBased)
+            .with_seed(99)
+            .with_vc_buf(8)
+            .with_router_delay(2);
+        assert_eq!(cfg.vcs, 4);
+        assert_eq!(cfg.routing, RoutingKind::Romm);
+        assert_eq!(cfg.arbitration, Arbitration::AgeBased);
+        assert_eq!(cfg.seed, 99);
+        assert_eq!(cfg.vc_buf, 8);
+        assert_eq!(cfg.router_delay, 2);
+        cfg.validate().unwrap();
+    }
+}

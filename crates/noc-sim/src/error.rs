@@ -1,0 +1,55 @@
+//! Configuration validation errors.
+
+use std::fmt;
+
+/// Error returned when a network configuration is internally inconsistent
+/// (for example, too few virtual channels for the chosen topology/routing
+/// combination to be deadlock-free).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// Total VCs is not divisible into the required partition blocks.
+    VcPartition {
+        /// Total VCs configured.
+        vcs: usize,
+        /// Number of message classes.
+        classes: usize,
+        /// Number of routing phases.
+        phases: usize,
+    },
+    /// Each (class, phase) block needs at least `needed` VCs but only
+    /// `available` are left after partitioning.
+    VcBlockTooSmall {
+        /// VCs available per (class, phase) block.
+        available: usize,
+        /// VCs required per block for deadlock freedom.
+        needed: usize,
+        /// Human-readable reason (dateline, escape VC, ...).
+        why: &'static str,
+    },
+    /// A parameter is out of its meaningful range.
+    Parameter {
+        /// Parameter name.
+        name: &'static str,
+        /// What went wrong.
+        why: String,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::VcPartition { vcs, classes, phases } => write!(
+                f,
+                "{vcs} virtual channels cannot be partitioned into {classes} message \
+                 class(es) x {phases} routing phase(s)"
+            ),
+            ConfigError::VcBlockTooSmall { available, needed, why } => write!(
+                f,
+                "each VC block has {available} VC(s) but {needed} are required: {why}"
+            ),
+            ConfigError::Parameter { name, why } => write!(f, "invalid parameter `{name}`: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}

@@ -1,0 +1,241 @@
+//! Packets, flits, and the packet slab.
+//!
+//! A [`Packet`] is the unit of the workload (one request or reply); it is
+//! broken into [`Flit`]s, the unit of flow control. Flits carry only an
+//! index into the [`PacketSlab`] plus a sequence number, keeping the hot
+//! per-cycle data two words wide.
+
+use crate::routing::RouteState;
+
+/// Simulation time in cycles.
+pub type Cycle = u64;
+
+/// Index into the packet slab (dense, reused).
+pub type PacketId = u32;
+
+/// Sentinel for "no packet".
+pub const NO_PACKET: PacketId = u32::MAX;
+
+/// Message class, used to partition virtual channels so request/reply
+/// protocols cannot deadlock. Class 0 = requests, class 1 = replies in
+/// the closed-loop models; open-loop traffic uses a single class 0.
+pub type MsgClass = u8;
+
+/// One flow-control unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Flit {
+    /// Slab index of the owning packet.
+    pub pkt: PacketId,
+    /// Position within the packet (0 = head).
+    pub seq: u16,
+    /// The VC this flit targets at the *downstream* buffer it is moving
+    /// toward; rewritten at each switch allocation.
+    pub vc: u8,
+}
+
+/// A packet in flight (or queued at a source).
+#[derive(Debug, Clone)]
+pub struct Packet {
+    /// Globally unique sequence number (never reused, unlike the slab id).
+    pub uid: u64,
+    /// Source node.
+    pub src: usize,
+    /// Destination node.
+    pub dst: usize,
+    /// Length in flits (>= 1).
+    pub size: u16,
+    /// Message class for VC partitioning.
+    pub class: MsgClass,
+    /// Cycle the packet was created (entered the source queue).
+    pub birth: Cycle,
+    /// Cycle the head flit entered the network (left the source queue);
+    /// `u64::MAX` until injection.
+    pub inject: Cycle,
+    /// Routing state (phase, intermediate, dateline bit).
+    pub route: RouteState,
+    /// Opaque workload tag (e.g. request id for reply matching).
+    pub payload: u64,
+}
+
+impl Packet {
+    /// True once the head flit has entered the network.
+    pub fn injected(&self) -> bool {
+        self.inject != u64::MAX
+    }
+}
+
+/// Information handed to [`crate::network::NodeBehavior::deliver`] when a
+/// packet fully arrives.
+#[derive(Debug, Clone)]
+pub struct Delivered {
+    /// Globally unique packet sequence number.
+    pub uid: u64,
+    /// Source node.
+    pub src: usize,
+    /// Destination node (the node receiving the delivery callback).
+    pub dst: usize,
+    /// Length in flits.
+    pub size: u16,
+    /// Message class.
+    pub class: MsgClass,
+    /// Creation cycle (source-queue entry).
+    pub birth: Cycle,
+    /// Network-entry cycle of the head flit.
+    pub inject: Cycle,
+    /// Opaque workload tag.
+    pub payload: u64,
+}
+
+/// Request to create a packet, returned by
+/// [`crate::network::NodeBehavior::pull`].
+#[derive(Debug, Clone, Copy)]
+pub struct PacketSpec {
+    /// Destination node.
+    pub dst: usize,
+    /// Length in flits (>= 1).
+    pub size: u16,
+    /// Message class.
+    pub class: MsgClass,
+    /// Opaque workload tag echoed back at delivery.
+    pub payload: u64,
+}
+
+/// Dense slab of live packets with index reuse.
+#[derive(Debug, Default)]
+pub struct PacketSlab {
+    slots: Vec<Option<Packet>>,
+    free: Vec<PacketId>,
+    next_uid: u64,
+    live: usize,
+}
+
+impl PacketSlab {
+    /// Empty slab.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert a packet, assigning its `uid`; returns the slab id.
+    pub fn insert(&mut self, mut pkt: Packet) -> PacketId {
+        pkt.uid = self.next_uid;
+        self.next_uid += 1;
+        self.live += 1;
+        match self.free.pop() {
+            Some(id) => {
+                debug_assert!(self.slots[id as usize].is_none());
+                self.slots[id as usize] = Some(pkt);
+                id
+            }
+            None => {
+                self.slots.push(Some(pkt));
+                (self.slots.len() - 1) as PacketId
+            }
+        }
+    }
+
+    /// Borrow a live packet.
+    ///
+    /// # Panics
+    /// If `id` is not live (indicates a flit outliving its packet — a bug).
+    pub fn get(&self, id: PacketId) -> &Packet {
+        self.slots[id as usize].as_ref().expect("dangling packet id")
+    }
+
+    /// Mutably borrow a live packet.
+    pub fn get_mut(&mut self, id: PacketId) -> &mut Packet {
+        self.slots[id as usize].as_mut().expect("dangling packet id")
+    }
+
+    /// Remove and return a packet, freeing its slot.
+    pub fn remove(&mut self, id: PacketId) -> Packet {
+        let pkt = self.slots[id as usize].take().expect("double free of packet id");
+        self.free.push(id);
+        self.live -= 1;
+        pkt
+    }
+
+    /// Number of live packets.
+    pub fn live(&self) -> usize {
+        self.live
+    }
+
+    /// Total uids ever assigned (== packets ever created).
+    pub fn total_created(&self) -> u64 {
+        self.next_uid
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mk(src: usize, dst: usize) -> Packet {
+        Packet {
+            uid: 0,
+            src,
+            dst,
+            size: 1,
+            class: 0,
+            birth: 0,
+            inject: u64::MAX,
+            route: RouteState::direct(),
+            payload: 0,
+        }
+    }
+
+    #[test]
+    fn insert_get_remove() {
+        let mut slab = PacketSlab::new();
+        let a = slab.insert(mk(0, 1));
+        let b = slab.insert(mk(2, 3));
+        assert_eq!(slab.live(), 2);
+        assert_eq!(slab.get(a).dst, 1);
+        assert_eq!(slab.get(b).src, 2);
+        let pa = slab.remove(a);
+        assert_eq!(pa.dst, 1);
+        assert_eq!(slab.live(), 1);
+    }
+
+    #[test]
+    fn ids_are_reused_but_uids_are_not() {
+        let mut slab = PacketSlab::new();
+        let a = slab.insert(mk(0, 1));
+        let uid_a = slab.get(a).uid;
+        slab.remove(a);
+        let b = slab.insert(mk(4, 5));
+        assert_eq!(a, b, "slot should be reused");
+        assert_ne!(uid_a, slab.get(b).uid, "uid must be fresh");
+        assert_eq!(slab.total_created(), 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn get_after_remove_panics() {
+        let mut slab = PacketSlab::new();
+        let a = slab.insert(mk(0, 1));
+        slab.remove(a);
+        slab.get(a);
+    }
+
+    #[test]
+    #[should_panic]
+    fn double_remove_panics() {
+        let mut slab = PacketSlab::new();
+        let a = slab.insert(mk(0, 1));
+        slab.remove(a);
+        slab.remove(a);
+    }
+
+    #[test]
+    fn injected_flag() {
+        let mut p = mk(0, 1);
+        assert!(!p.injected());
+        p.inject = 10;
+        assert!(p.injected());
+    }
+
+    #[test]
+    fn flit_is_small() {
+        assert!(std::mem::size_of::<Flit>() <= 8);
+    }
+}

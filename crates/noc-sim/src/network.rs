@@ -1,0 +1,805 @@
+//! The cycle-accurate network engine.
+//!
+//! [`Network`] owns the routers, links, NIs, and packet slab, and advances
+//! them one cycle at a time. Workloads plug in through [`NodeBehavior`]:
+//! the network *pulls* packet specifications from the behavior (so
+//! closed-loop models can react to feedback) and *pushes* completed
+//! deliveries back, making both open-loop and closed-loop measurement
+//! drivers thin layers over the same engine.
+
+use std::sync::Arc;
+
+use crate::channel::Link;
+use crate::config::NetConfig;
+use crate::error::ConfigError;
+use crate::flit::{Cycle, Delivered, Flit, Packet, PacketSlab, PacketSpec};
+use crate::interface::{InjStream, Ni};
+use crate::router::{Router, RouterCtx, SaWin};
+use crate::routing::{RoutingAlgorithm, VcBook};
+use crate::rng::SimRng;
+use crate::topology::{Topology, LOCAL_PORT};
+
+/// A workload driving the network.
+///
+/// `pull` is invoked repeatedly per node per cycle until it returns
+/// `None`; returned packets enter that node's (unbounded) source queue.
+/// `deliver` is invoked when a packet's tail flit reaches its
+/// destination NI.
+pub trait NodeBehavior {
+    /// Offer the next packet to inject at `node`, if any.
+    fn pull(&mut self, node: usize, cycle: Cycle) -> Option<PacketSpec>;
+
+    /// Notification of a completed packet delivery at `node`.
+    fn deliver(&mut self, node: usize, delivered: &Delivered, cycle: Cycle);
+
+    /// True when the behavior has no future work scheduled (it will not
+    /// generate more packets unless triggered by a delivery).
+    /// [`Network::drain`] stops only when both the network is idle and
+    /// the behavior is quiescent.
+    fn quiescent(&self) -> bool {
+        true
+    }
+}
+
+/// Aggregate counters maintained by the engine.
+#[derive(Debug, Clone, Default)]
+pub struct NetStats {
+    /// Flits that entered router injection ports.
+    pub flits_injected: u64,
+    /// Flits that left through ejection ports (excludes self-delivery).
+    pub flits_ejected: u64,
+    /// Packets injected into the network (excludes self-delivery).
+    pub packets_injected: u64,
+    /// Packets fully delivered (includes self-delivery).
+    pub packets_delivered: u64,
+    /// Self-addressed packets delivered without entering the network.
+    pub self_delivered: u64,
+    /// Per-node injected flit counts.
+    pub node_injected: Vec<u64>,
+    /// Per-node delivered flit counts.
+    pub node_delivered: Vec<u64>,
+    /// FNV-1a digest over the full delivery stream
+    /// `(uid, src, dst, cycle)` — a cycle-exact fingerprint of the run.
+    /// Two runs with equal digests delivered exactly the same packets at
+    /// exactly the same times; use it as a golden value in regression
+    /// tests of the simulator's determinism.
+    pub delivery_digest: u64,
+}
+
+/// Fold one value into an FNV-1a digest.
+fn fnv1a(mut hash: u64, value: u64) -> u64 {
+    for byte in value.to_le_bytes() {
+        hash ^= byte as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// FNV-1a offset basis (the digest's initial value).
+pub const DIGEST_SEED: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// The simulated network.
+pub struct Network {
+    cfg: NetConfig,
+    topo: Arc<dyn Topology>,
+    routing: Arc<dyn RoutingAlgorithm>,
+    book: VcBook,
+    routers: Vec<Router>,
+    /// Directed links indexed `router * (ports-1) + (port-1)`; `None`
+    /// where a mesh edge has no neighbor.
+    links: Vec<Option<Link>>,
+    nis: Vec<Ni>,
+    packets: PacketSlab,
+    rng: SimRng,
+    cycle: Cycle,
+    stats: NetStats,
+    traffic_matrix: Option<Vec<u64>>,
+    win_buf: Vec<SaWin>,
+}
+
+impl Network {
+    /// Build a network from a validated configuration.
+    pub fn new(cfg: NetConfig) -> Result<Self, ConfigError> {
+        let book = cfg.validate()?;
+        let topo = cfg.topology.build();
+        let routing = cfg.routing.build();
+        let n = topo.num_nodes();
+        let ports = topo.num_ports();
+        let routers =
+            (0..n).map(|i| Router::new(i, ports, cfg.vcs, cfg.vc_buf)).collect::<Vec<_>>();
+        let mut links = Vec::with_capacity(n * (ports - 1));
+        for r in 0..n {
+            for p in 1..ports {
+                links.push(
+                    topo.neighbor(r, p)
+                        .map(|(d, dp)| Link::new(d, dp, topo.link_delay(r, p))),
+                );
+            }
+        }
+        let nis = (0..n).map(|_| Ni::new(cfg.classes, cfg.vcs, cfg.vc_buf)).collect();
+        let rng = SimRng::new(cfg.seed);
+        let stats =
+            NetStats {
+                node_injected: vec![0; n],
+                node_delivered: vec![0; n],
+                delivery_digest: DIGEST_SEED,
+                ..Default::default()
+            };
+        Ok(Self {
+            cfg,
+            topo,
+            routing,
+            book,
+            routers,
+            links,
+            nis,
+            packets: PacketSlab::new(),
+            rng,
+            cycle: 0,
+            stats,
+            traffic_matrix: None,
+            win_buf: Vec::new(),
+        })
+    }
+
+    /// Current cycle.
+    pub fn cycle(&self) -> Cycle {
+        self.cycle
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.topo.num_nodes()
+    }
+
+    /// The topology.
+    pub fn topo(&self) -> &dyn Topology {
+        self.topo.as_ref()
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &NetConfig {
+        &self.cfg
+    }
+
+    /// The VC partition.
+    pub fn book(&self) -> &VcBook {
+        &self.book
+    }
+
+    /// Engine counters.
+    pub fn stats(&self) -> &NetStats {
+        &self.stats
+    }
+
+    /// Packets alive anywhere (source queues, network, ejection).
+    pub fn live_packets(&self) -> usize {
+        self.packets.live()
+    }
+
+    /// True when no packet is queued or in flight.
+    pub fn is_idle(&self) -> bool {
+        self.packets.live() == 0
+    }
+
+    /// Start recording the actual injected traffic matrix
+    /// (`src * N + dst` packet counts), for communication-pattern plots.
+    pub fn enable_traffic_matrix(&mut self) {
+        let n = self.num_nodes();
+        self.traffic_matrix = Some(vec![0; n * n]);
+    }
+
+    /// The recorded traffic matrix, if enabled.
+    pub fn traffic_matrix(&self) -> Option<&[u64]> {
+        self.traffic_matrix.as_deref()
+    }
+
+    /// Aggregate router pipeline counters across the network — the
+    /// saturation bottleneck signature (see
+    /// [`crate::router::PipelineStats`]).
+    pub fn pipeline_stats(&self) -> crate::router::PipelineStats {
+        let mut total = crate::router::PipelineStats::default();
+        for r in &self.routers {
+            total.va_grants += r.pipeline.va_grants;
+            total.va_blocked += r.pipeline.va_blocked;
+            total.sa_grants += r.pipeline.sa_grants;
+            total.sa_credit_starved += r.pipeline.sa_credit_starved;
+        }
+        total
+    }
+
+    /// Per-link carried-flit counts keyed by `(router, port)`.
+    pub fn link_loads(&self) -> Vec<((usize, usize), u64)> {
+        let ports = self.topo.num_ports();
+        self.links
+            .iter()
+            .enumerate()
+            .filter_map(|(i, l)| {
+                l.as_ref().map(|l| ((i / (ports - 1), i % (ports - 1) + 1), l.flits_carried))
+            })
+            .collect()
+    }
+
+    /// Dump buffer/VC occupancy for debugging stuck simulations: every
+    /// non-idle input VC with its queue depth, allocated output, and the
+    /// output VC's owner/credits.
+    pub fn debug_state(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for r in &self.routers {
+            for (p, vcs) in r.inputs.iter().enumerate() {
+                for (v, ivc) in vcs.iter().enumerate() {
+                    if ivc.q.is_empty() && ivc.state == crate::router::VcState::Idle {
+                        continue;
+                    }
+                    let _ = write!(
+                        out,
+                        "router {} in[{p}][{v}]: state {:?} qlen {} pkt {}",
+                        r.id,
+                        ivc.state,
+                        ivc.q.len(),
+                        ivc.pkt
+                    );
+                    if ivc.state == crate::router::VcState::Active {
+                        let op = ivc.out_port as usize;
+                        let ov = ivc.out_vc as usize;
+                        let o = &r.outputs[op].vcs[ov];
+                        let _ = write!(
+                            out,
+                            " -> out[{op}][{ov}] owner {} credits {}",
+                            o.owner, o.credits
+                        );
+                    }
+                    if let Some(f) = ivc.q.front() {
+                        let pkt = self.packets.get(f.pkt);
+                        let _ = write!(
+                            out,
+                            " | front: pkt {} seq {} {}->{} class {} phase {} dl {}",
+                            f.pkt, f.seq, pkt.src, pkt.dst, pkt.class, pkt.route.phase,
+                            pkt.route.dateline
+                        );
+                    }
+                    out.push('\n');
+                }
+            }
+        }
+        for (n, ni) in self.nis.iter().enumerate() {
+            let q = ni.queued_packets();
+            if q > 0 || ni.stream.iter().any(Option::is_some) {
+                let _ = writeln!(
+                    out,
+                    "ni {n}: queued {q} streams {:?} credits {:?}",
+                    ni.stream, ni.inj_credits
+                );
+            }
+        }
+        out
+    }
+
+    fn link_idx(&self, router: usize, port: usize) -> usize {
+        debug_assert!(port >= 1);
+        router * (self.topo.num_ports() - 1) + (port - 1)
+    }
+
+    /// Advance one cycle.
+    pub fn step(&mut self, behavior: &mut dyn NodeBehavior) {
+        let t = self.cycle;
+        self.arrivals(t);
+        self.ejections(t, behavior);
+        self.injections(t, behavior);
+        self.route_and_switch(t);
+        self.cycle = t + 1;
+    }
+
+    /// Advance `cycles` cycles.
+    pub fn run(&mut self, cycles: u64, behavior: &mut dyn NodeBehavior) {
+        for _ in 0..cycles {
+            self.step(behavior);
+        }
+    }
+
+    /// Step until the network is idle *and* the behavior is quiescent, or
+    /// until `max_cycles` elapse; returns true if fully drained.
+    pub fn drain(&mut self, behavior: &mut dyn NodeBehavior, max_cycles: u64) -> bool {
+        for _ in 0..max_cycles {
+            self.step(behavior);
+            if self.is_idle() && behavior.quiescent() {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Deliver link flits and credits that have arrived by `t`.
+    fn arrivals(&mut self, t: Cycle) {
+        // flit deliveries mutate the destination router, credit
+        // deliveries the source router; collect credits first to avoid
+        // double borrows of `self.routers`
+        let n_links = self.links.len();
+        for i in 0..n_links {
+            // credits: link i belongs to source router i / (ports-1)
+            let src_router = i / (self.topo.num_ports() - 1);
+            let src_port = i % (self.topo.num_ports() - 1) + 1;
+            if let Some(link) = self.links[i].as_mut() {
+                while let Some(vc) = link.pop_credit(t) {
+                    self.routers[src_router].credit(src_port, vc as usize);
+                }
+            }
+            while let Some(flit) =
+                self.links[i].as_mut().and_then(|link| link.pop_flit(t))
+            {
+                let link = self.links[i].as_ref().expect("link exists");
+                let (dr, dp) = (link.dst_router, link.dst_port);
+                self.routers[dr].deposit(dp, flit);
+            }
+        }
+    }
+
+    /// Deliver ejected and self-addressed packets whose time has come.
+    fn ejections(&mut self, t: Cycle, behavior: &mut dyn NodeBehavior) {
+        for node in 0..self.nis.len() {
+            while let Some(&(ready, flit)) = self.nis[node].eject_q.front() {
+                if ready > t {
+                    break;
+                }
+                self.nis[node].eject_q.pop_front();
+                self.stats.flits_ejected += 1;
+                self.stats.node_delivered[node] += 1;
+                let pkt = self.packets.get(flit.pkt);
+                if flit.seq as usize == pkt.size as usize - 1 {
+                    let pkt = self.packets.remove(flit.pkt);
+                    self.stats.packets_delivered += 1;
+                    let d = delivered_of(&pkt);
+                    self.stats.delivery_digest =
+                        fold_digest(self.stats.delivery_digest, &d, node, t);
+                    behavior.deliver(node, &d, t);
+                }
+            }
+            while let Some(&(ready, pid)) = self.nis[node].local_q.front() {
+                if ready > t {
+                    break;
+                }
+                self.nis[node].local_q.pop_front();
+                let pkt = self.packets.remove(pid);
+                self.stats.packets_delivered += 1;
+                self.stats.self_delivered += 1;
+                let d = delivered_of(&pkt);
+                self.stats.delivery_digest =
+                    fold_digest(self.stats.delivery_digest, &d, node, t);
+                behavior.deliver(node, &d, t);
+            }
+        }
+    }
+
+    /// Pull new packets from the behavior and inject up to one flit per
+    /// node into the router fabric.
+    fn injections(&mut self, t: Cycle, behavior: &mut dyn NodeBehavior) {
+        let n = self.num_nodes();
+        let classes = self.cfg.classes;
+        for node in 0..n {
+            self.nis[node].absorb_credits(t);
+
+            // pull freshly generated packets into source queues
+            while let Some(spec) = behavior.pull(node, t) {
+                assert!(spec.dst < n, "destination {} out of range", spec.dst);
+                assert!(spec.size >= 1, "packets must have at least one flit");
+                assert!(
+                    (spec.class as usize) < classes,
+                    "class {} exceeds configured {classes}",
+                    spec.class
+                );
+                if let Some(m) = self.traffic_matrix.as_mut() {
+                    m[node * n + spec.dst] += 1;
+                }
+                if spec.dst == node {
+                    // local delivery: bypass the fabric with router-only latency
+                    let pid = self.packets.insert(Packet {
+                        uid: 0,
+                        src: node,
+                        dst: node,
+                        size: spec.size,
+                        class: spec.class,
+                        birth: t,
+                        inject: t,
+                        route: crate::routing::RouteState::direct(),
+                        payload: spec.payload,
+                    });
+                    let ready = t + self.cfg.router_delay as Cycle + 1;
+                    self.nis[node].local_q.push_back((ready, pid));
+                } else {
+                    let route = self.routing.init(self.topo.as_ref(), node, spec.dst, &mut self.rng);
+                    let pid = self.packets.insert(Packet {
+                        uid: 0,
+                        src: node,
+                        dst: spec.dst,
+                        size: spec.size,
+                        class: spec.class,
+                        birth: t,
+                        inject: u64::MAX,
+                        route,
+                        payload: spec.payload,
+                    });
+                    self.nis[node].class_q[spec.class as usize].push_back(pid);
+                }
+            }
+
+            self.inject_one_flit(node, t);
+        }
+    }
+
+    /// Inject at most one flit at `node` (1 flit/cycle/node injection
+    /// bandwidth), round-robin across message classes so no class can
+    /// head-of-line-block another.
+    fn inject_one_flit(&mut self, node: usize, t: Cycle) {
+        let classes = self.cfg.classes;
+        for k in 0..classes {
+            let c = (self.nis[node].class_rr + k) % classes;
+
+            // continue an in-progress stream
+            if let Some(s) = self.nis[node].stream[c] {
+                if self.nis[node].inj_credits[s.vc as usize] == 0 {
+                    continue; // this class is blocked; try another
+                }
+                self.emit_flit(node, c, s, t);
+                self.nis[node].class_rr = (c + 1) % classes;
+                return;
+            }
+
+            // start a new packet
+            let Some(&pid) = self.nis[node].class_q[c].front() else { continue };
+            let mask = self.book.injection(c);
+            let Some(vc) = self.nis[node].pick_inj_vc(mask) else { continue };
+            self.nis[node].class_q[c].pop_front();
+            self.packets.get_mut(pid).inject = t;
+            self.stats.packets_injected += 1;
+            let s = InjStream { pkt: pid, vc, next_seq: 0 };
+            let size = self.packets.get(pid).size;
+            if size > 1 {
+                self.nis[node].inj_busy[vc as usize] = true;
+                self.nis[node].stream[c] = Some(s);
+            }
+            self.emit_flit(node, c, s, t);
+            self.nis[node].class_rr = (c + 1) % classes;
+            return;
+        }
+    }
+
+    /// Push one flit of stream `s` into the router's injection buffer.
+    fn emit_flit(&mut self, node: usize, class: usize, s: InjStream, _t: Cycle) {
+        let size = self.packets.get(s.pkt).size;
+        let flit = Flit { pkt: s.pkt, seq: s.next_seq, vc: s.vc };
+        self.routers[node].deposit(LOCAL_PORT, flit);
+        self.nis[node].inj_credits[s.vc as usize] -= 1;
+        self.stats.flits_injected += 1;
+        self.stats.node_injected[node] += 1;
+        if s.next_seq as usize == size as usize - 1 {
+            // tail injected: stream complete
+            if size > 1 {
+                self.nis[node].inj_busy[s.vc as usize] = false;
+                self.nis[node].stream[class] = None;
+            }
+        } else if size > 1 {
+            self.nis[node].stream[class] =
+                Some(InjStream { pkt: s.pkt, vc: s.vc, next_seq: s.next_seq + 1 });
+        }
+    }
+
+    /// Run VC allocation and switch allocation on every router, then move
+    /// winning flits onto links (or into ejection) and return credits.
+    fn route_and_switch(&mut self, t: Cycle) {
+        let tr = self.cfg.router_delay as Cycle;
+        let n = self.num_nodes();
+        for r in 0..n {
+            if self.routers[r].is_idle() {
+                continue; // no buffered flit: nothing to allocate
+            }
+            let ctx = RouterCtx {
+                topo: self.topo.as_ref(),
+                routing: self.routing.as_ref(),
+                book: &self.book,
+                arb: self.cfg.arbitration,
+            };
+            self.routers[r].vc_allocate(&ctx, &mut self.packets);
+            let mut wins = std::mem::take(&mut self.win_buf);
+            wins.clear();
+            self.routers[r].switch_allocate(&ctx, &self.packets, &mut wins);
+            for w in &wins {
+                // forward the flit
+                if w.out_port as usize == LOCAL_PORT {
+                    self.nis[r].eject_q.push_back((t + tr, w.flit));
+                } else {
+                    let li = self.link_idx(r, w.out_port as usize);
+                    let link = self.links[li].as_mut().expect("routing used a dead port");
+                    let ready = t + tr + link.delay as Cycle;
+                    link.push_flit(ready, w.flit);
+                }
+                // return the credit for the freed input slot
+                if w.in_port as usize == LOCAL_PORT {
+                    self.nis[r].credit_q.push_back((t + 1, w.in_vc));
+                } else {
+                    let (u, up) = self
+                        .topo
+                        .neighbor(r, w.in_port as usize)
+                        .expect("input port has an upstream link");
+                    let li = self.link_idx(u, up);
+                    let link = self.links[li].as_mut().expect("upstream link exists");
+                    let ready = t + link.delay as Cycle;
+                    link.push_credit(ready, w.in_vc);
+                }
+            }
+            self.win_buf = wins;
+        }
+    }
+}
+
+/// Fold one delivery into an FNV-1a run digest.
+fn fold_digest(mut h: u64, d: &Delivered, node: usize, t: Cycle) -> u64 {
+    h = fnv1a(h, d.uid);
+    h = fnv1a(h, d.src as u64);
+    h = fnv1a(h, node as u64);
+    h = fnv1a(h, t);
+    h
+}
+
+fn delivered_of(pkt: &Packet) -> Delivered {
+    Delivered {
+        uid: pkt.uid,
+        src: pkt.src,
+        dst: pkt.dst,
+        size: pkt.size,
+        class: pkt.class,
+        birth: pkt.birth,
+        inject: pkt.inject,
+        payload: pkt.payload,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{NetConfig, RoutingKind, TopologyKind};
+
+    /// A behavior that sends a fixed list of (cycle, src, dst, size)
+    /// packets and records deliveries.
+    struct Script {
+        sends: Vec<(Cycle, usize, usize, u16)>,
+        delivered: Vec<(usize, Delivered, Cycle)>,
+    }
+
+    impl Script {
+        fn new(mut sends: Vec<(Cycle, usize, usize, u16)>) -> Self {
+            sends.sort_by_key(|&(c, s, ..)| (s, c));
+            Self { sends, delivered: Vec::new() }
+        }
+    }
+
+    impl NodeBehavior for Script {
+        fn pull(&mut self, node: usize, cycle: Cycle) -> Option<PacketSpec> {
+            let idx = self
+                .sends
+                .iter()
+                .position(|&(c, s, ..)| s == node && c <= cycle)?;
+            let (_, _, dst, size) = self.sends.remove(idx);
+            Some(PacketSpec { dst, size, class: 0, payload: 0 })
+        }
+
+        fn deliver(&mut self, node: usize, delivered: &Delivered, cycle: Cycle) {
+            self.delivered.push((node, delivered.clone(), cycle));
+        }
+
+        fn quiescent(&self) -> bool {
+            self.sends.is_empty()
+        }
+    }
+
+    fn mesh_cfg() -> NetConfig {
+        NetConfig::baseline().with_topology(TopologyKind::Mesh2D { k: 4 })
+    }
+
+    #[test]
+    fn single_packet_zero_load_latency() {
+        let mut net = Network::new(mesh_cfg()).unwrap();
+        // 0 -> 3: 3 hops in x
+        let mut b = Script::new(vec![(0, 0, 3, 1)]);
+        net.drain(&mut b, 1000);
+        assert_eq!(b.delivered.len(), 1);
+        let (node, d, t) = &b.delivered[0];
+        assert_eq!(*node, 3);
+        assert_eq!(d.src, 0);
+        // analytic: H hops * (tr + link) + tr = 3*2 + 1 = 7
+        assert_eq!(*t - d.birth, 7);
+    }
+
+    #[test]
+    fn latency_scales_with_router_delay() {
+        for (tr, expect) in [(1u32, 7u64), (2, 11), (4, 19), (8, 35)] {
+            let mut net = Network::new(mesh_cfg().with_router_delay(tr)).unwrap();
+            let mut b = Script::new(vec![(0, 0, 3, 1)]);
+            net.drain(&mut b, 2000);
+            let (_, d, t) = &b.delivered[0];
+            assert_eq!(t - d.birth, expect, "tr = {tr}");
+        }
+    }
+
+    #[test]
+    fn multi_flit_serialization_latency() {
+        let mut net = Network::new(mesh_cfg()).unwrap();
+        let mut b = Script::new(vec![(0, 0, 3, 4)]);
+        net.drain(&mut b, 1000);
+        let (_, d, t) = &b.delivered[0];
+        // head takes 7; three more flits pipeline behind at 1/cycle
+        assert_eq!(t - d.birth, 10);
+    }
+
+    #[test]
+    fn self_delivery_has_local_latency() {
+        let mut net = Network::new(mesh_cfg()).unwrap();
+        let mut b = Script::new(vec![(0, 5, 5, 1)]);
+        net.drain(&mut b, 100);
+        let (node, d, t) = &b.delivered[0];
+        assert_eq!(*node, 5);
+        assert_eq!(d.src, 5);
+        assert_eq!(t - d.birth, 2); // tr + 1
+        assert_eq!(net.stats().self_delivered, 1);
+        assert_eq!(net.stats().flits_injected, 0, "self traffic bypasses the fabric");
+    }
+
+    #[test]
+    fn all_packets_conserved_under_random_storm() {
+        let mut sends = Vec::new();
+        let mut rng = crate::rng::SimRng::new(77);
+        for i in 0..500 {
+            let src = rng.below(16);
+            let dst = rng.below(16);
+            let size = 1 + rng.below(4) as u16;
+            sends.push((i % 50, src, dst, size));
+        }
+        let total = sends.len();
+        let mut net = Network::new(mesh_cfg()).unwrap();
+        let mut b = Script::new(sends);
+        assert!(net.drain(&mut b, 100_000), "network must drain");
+        assert_eq!(b.delivered.len(), total);
+        assert_eq!(net.stats().packets_delivered as usize, total);
+        assert_eq!(net.live_packets(), 0);
+    }
+
+    #[test]
+    fn conservation_on_all_topologies_and_routings() {
+        for topo in [
+            TopologyKind::Mesh2D { k: 4 },
+            TopologyKind::Torus2D { k: 4 },
+            TopologyKind::FoldedTorus2D { k: 4 },
+            TopologyKind::Ring { n: 8 },
+        ] {
+            for routing in
+                [RoutingKind::Dor, RoutingKind::Valiant, RoutingKind::Romm, RoutingKind::MinAdaptive]
+            {
+                let nodes = topo.num_nodes();
+                let cfg = NetConfig::baseline()
+                    .with_topology(topo)
+                    .with_routing(routing)
+                    .with_vcs(4)
+                    .with_vc_buf(4);
+                if cfg.validate().is_err() {
+                    continue; // combination needs more VCs than this sweep uses
+                }
+                let mut sends = Vec::new();
+                let mut rng = crate::rng::SimRng::new(5);
+                for i in 0..300 {
+                    sends.push((i % 30, rng.below(nodes), rng.below(nodes), 1));
+                }
+                let total = sends.len();
+                let mut net = Network::new(cfg).unwrap();
+                let mut b = Script::new(sends);
+                assert!(
+                    net.drain(&mut b, 200_000),
+                    "drain failed for {topo:?} {routing:?}"
+                );
+                assert_eq!(b.delivered.len(), total, "{topo:?} {routing:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn determinism_same_seed_same_result() {
+        let run = || {
+            let mut sends = Vec::new();
+            let mut rng = crate::rng::SimRng::new(123);
+            for i in 0..200 {
+                sends.push((i % 20, rng.below(16), rng.below(16), 1));
+            }
+            let cfg = mesh_cfg().with_routing(RoutingKind::Valiant).with_seed(99);
+            let mut net = Network::new(cfg).unwrap();
+            let mut b = Script::new(sends);
+            net.drain(&mut b, 100_000);
+            let mut log: Vec<(usize, u64, Cycle)> =
+                b.delivered.iter().map(|(n, d, t)| (*n, d.uid, *t)).collect();
+            log.sort_unstable();
+            log
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn pipeline_stats_expose_bottlenecks() {
+        // starved buffers (q=1) make credit stalls the dominant event;
+        // roomy buffers (q=8) mostly eliminate them at the same traffic
+        let run = |q: usize| {
+            let mut sends = Vec::new();
+            let mut rng = crate::rng::SimRng::new(17);
+            for i in 0..400 {
+                sends.push((i % 40, rng.below(16), rng.below(16), 2u16));
+            }
+            let mut net = Network::new(mesh_cfg().with_vc_buf(q)).unwrap();
+            let mut b = Script::new(sends);
+            assert!(net.drain(&mut b, 200_000));
+            net.pipeline_stats()
+        };
+        let starved = run(1);
+        let roomy = run(8);
+        assert!(starved.sa_grants > 0 && starved.va_grants > 0);
+        assert_eq!(starved.sa_grants, roomy.sa_grants, "same traffic, same flit-hops");
+        assert!(
+            starved.sa_credit_starved > 5 * roomy.sa_credit_starved.max(1),
+            "q=1 must be credit-bound: {} vs {}",
+            starved.sa_credit_starved,
+            roomy.sa_credit_starved
+        );
+    }
+
+    #[test]
+    fn delivery_digest_fingerprints_runs() {
+        let run = |seed: u64| {
+            let mut sends = Vec::new();
+            let mut rng = crate::rng::SimRng::new(7);
+            for i in 0..150 {
+                sends.push((i % 15, rng.below(16), rng.below(16), 1u16));
+            }
+            // Valiant so the seed actually affects routing decisions
+            let cfg = mesh_cfg().with_routing(RoutingKind::Valiant).with_vcs(4).with_seed(seed);
+            let mut net = Network::new(cfg).unwrap();
+            let mut b = Script::new(sends);
+            net.drain(&mut b, 100_000);
+            net.stats().delivery_digest
+        };
+        assert_eq!(run(1), run(1), "same seed, same digest");
+        assert_ne!(run(1), run(2), "different seed, different digest");
+        assert_ne!(run(1), DIGEST_SEED, "digest moved off the seed value");
+    }
+
+    #[test]
+    fn traffic_matrix_records_sources_and_destinations() {
+        let mut net = Network::new(mesh_cfg()).unwrap();
+        net.enable_traffic_matrix();
+        let mut b = Script::new(vec![(0, 0, 3, 1), (0, 0, 3, 1), (1, 2, 1, 1)]);
+        net.drain(&mut b, 1000);
+        let m = net.traffic_matrix().unwrap();
+        assert_eq!(m[3], 2); // 0 -> 3
+        assert_eq!(m[2 * 16 + 1], 1); // 2 -> 1
+        assert_eq!(m.iter().sum::<u64>(), 3);
+    }
+
+    #[test]
+    fn stats_count_flits() {
+        let mut net = Network::new(mesh_cfg()).unwrap();
+        let mut b = Script::new(vec![(0, 0, 3, 4), (0, 1, 2, 2)]);
+        net.drain(&mut b, 1000);
+        assert_eq!(net.stats().flits_injected, 6);
+        assert_eq!(net.stats().flits_ejected, 6);
+        assert_eq!(net.stats().packets_injected, 2);
+        assert_eq!(net.stats().packets_delivered, 2);
+        assert_eq!(net.stats().node_injected[0], 4);
+        assert_eq!(net.stats().node_delivered[3], 4);
+    }
+
+    #[test]
+    fn link_loads_reflect_path() {
+        let mut net = Network::new(mesh_cfg()).unwrap();
+        let mut b = Script::new(vec![(0, 0, 2, 1)]);
+        net.drain(&mut b, 1000);
+        let loads = net.link_loads();
+        let used: Vec<_> = loads.iter().filter(|(_, c)| *c > 0).collect();
+        // 0 -> 1 -> 2 under DOR: exactly two links carry the flit
+        assert_eq!(used.len(), 2);
+    }
+}

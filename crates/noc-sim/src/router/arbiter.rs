@@ -1,0 +1,95 @@
+//! Arbitration primitives shared by VC and switch allocation.
+
+use crate::config::Arbitration;
+
+/// Choose one winner among `cands`, where each candidate is
+/// `(index, age)` with `index` its position in the arbiter's input space
+/// (e.g. input-port number) and `age` the birth cycle of the packet it
+/// carries (smaller = older).
+///
+/// * `RoundRobin`: the first candidate at or after the rotating pointer
+///   `ptr` (wrapping over `space`) wins.
+/// * `AgeBased`: the candidate with the smallest age wins; ties break by
+///   lowest index for determinism.
+///
+/// Returns the winning candidate's position within `cands`.
+pub fn arbitrate(
+    policy: Arbitration,
+    cands: &[(usize, u64)],
+    ptr: usize,
+    space: usize,
+) -> Option<usize> {
+    if cands.is_empty() {
+        return None;
+    }
+    match policy {
+        Arbitration::RoundRobin => {
+            debug_assert!(space > 0);
+            let mut best: Option<(usize, usize)> = None; // (distance from ptr, pos)
+            for (pos, &(idx, _)) in cands.iter().enumerate() {
+                let dist = (idx + space - ptr % space) % space;
+                if best.is_none_or(|(bd, _)| dist < bd) {
+                    best = Some((dist, pos));
+                }
+            }
+            best.map(|(_, pos)| pos)
+        }
+        Arbitration::AgeBased => {
+            let mut best: Option<(u64, usize, usize)> = None; // (age, idx, pos)
+            for (pos, &(idx, age)) in cands.iter().enumerate() {
+                if best.is_none_or(|(ba, bi, _)| (age, idx) < (ba, bi)) {
+                    best = Some((age, idx, pos));
+                }
+            }
+            best.map(|(_, _, pos)| pos)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_picks_at_or_after_pointer() {
+        let cands = [(0, 10), (2, 5), (5, 1)];
+        assert_eq!(arbitrate(Arbitration::RoundRobin, &cands, 0, 8), Some(0));
+        assert_eq!(arbitrate(Arbitration::RoundRobin, &cands, 1, 8), Some(1));
+        assert_eq!(arbitrate(Arbitration::RoundRobin, &cands, 2, 8), Some(1));
+        assert_eq!(arbitrate(Arbitration::RoundRobin, &cands, 3, 8), Some(2));
+        assert_eq!(arbitrate(Arbitration::RoundRobin, &cands, 6, 8), Some(0), "wraps");
+    }
+
+    #[test]
+    fn age_based_picks_oldest() {
+        let cands = [(0, 10), (2, 5), (5, 7)];
+        assert_eq!(arbitrate(Arbitration::AgeBased, &cands, 3, 8), Some(1));
+    }
+
+    #[test]
+    fn age_ties_break_by_index() {
+        let cands = [(4, 5), (2, 5)];
+        assert_eq!(arbitrate(Arbitration::AgeBased, &cands, 0, 8), Some(1));
+    }
+
+    #[test]
+    fn empty_candidates() {
+        assert_eq!(arbitrate(Arbitration::RoundRobin, &[], 0, 8), None);
+        assert_eq!(arbitrate(Arbitration::AgeBased, &[], 0, 8), None);
+    }
+
+    #[test]
+    fn round_robin_alternates_when_pointer_follows_winner() {
+        // with the standard "pointer = winner + 1" update, two persistent
+        // requesters alternate grants
+        let cands = [(1, 0), (3, 0)];
+        let mut ptr = 0;
+        let mut wins = [0usize; 2];
+        for _ in 0..8 {
+            let w = arbitrate(Arbitration::RoundRobin, &cands, ptr, 8).unwrap();
+            wins[w] += 1;
+            ptr = (cands[w].0 + 1) % 8;
+        }
+        assert_eq!(wins, [4, 4]);
+    }
+}

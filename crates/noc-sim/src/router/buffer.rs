@@ -1,0 +1,184 @@
+//! Per-VC input buffers and output-side VC state.
+
+use std::collections::VecDeque;
+
+use crate::flit::{Flit, PacketId, NO_PACKET};
+
+/// State of an input virtual channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VcState {
+    /// No packet allocated; a head flit at the front triggers VC
+    /// allocation.
+    Idle,
+    /// Output port/VC allocated; flits stream through switch allocation.
+    Active,
+}
+
+/// One input VC: a flit FIFO plus allocation state.
+#[derive(Debug)]
+pub struct InputVc {
+    /// Buffered flits (depth enforced by upstream credits).
+    pub q: VecDeque<Flit>,
+    /// Allocation state.
+    pub state: VcState,
+    /// Allocated output port (valid when `Active`).
+    pub out_port: u8,
+    /// Allocated output VC (valid when `Active`).
+    pub out_vc: u8,
+    /// Packet currently occupying this VC (valid when `Active`).
+    pub pkt: PacketId,
+}
+
+impl InputVc {
+    /// Fresh idle VC.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            q: VecDeque::with_capacity(capacity),
+            state: VcState::Idle,
+            out_port: 0,
+            out_vc: 0,
+            pkt: NO_PACKET,
+        }
+    }
+
+    /// True when the VC is idle with a head flit waiting for allocation.
+    pub fn wants_allocation(&self) -> bool {
+        self.state == VcState::Idle && self.q.front().is_some_and(|f| f.seq == 0)
+    }
+
+    /// Release the VC after the tail flit departs.
+    pub fn release(&mut self) {
+        self.state = VcState::Idle;
+        self.pkt = NO_PACKET;
+    }
+}
+
+/// Output-side state of one VC: wormhole ownership plus the credit count
+/// for the downstream buffer.
+#[derive(Debug, Clone, Copy)]
+pub struct OutputVc {
+    /// Packet currently owning this output VC (tail not yet passed).
+    pub owner: PacketId,
+    /// Downstream buffer slots available.
+    pub credits: u32,
+}
+
+impl OutputVc {
+    /// Fresh, unowned, fully credited VC.
+    pub fn new(credits: u32) -> Self {
+        Self { owner: NO_PACKET, credits }
+    }
+
+    /// True when no packet owns the VC.
+    pub fn is_free(&self) -> bool {
+        self.owner == NO_PACKET
+    }
+}
+
+/// An output port: its VCs plus rotating arbitration pointers.
+#[derive(Debug)]
+pub struct OutputPort {
+    /// Per-VC output state.
+    pub vcs: Vec<OutputVc>,
+    /// Rotating pointer for the switch-output arbiter (over input ports).
+    pub sa_rr: usize,
+    /// Rotating pointer for free-VC selection during VC allocation.
+    pub vc_rr: usize,
+}
+
+impl OutputPort {
+    /// New output port with `vcs` VCs of `credits` credits each.
+    pub fn new(vcs: usize, credits: u32) -> Self {
+        Self { vcs: vec![OutputVc::new(credits); vcs], sa_rr: 0, vc_rr: 0 }
+    }
+
+    /// Total credits across VCs allowed by `mask` that are currently
+    /// unowned — the local congestion metric used for adaptive routing.
+    pub fn free_credit_score(&self, mask: u64) -> u64 {
+        let mut score = 0;
+        for (v, vc) in self.vcs.iter().enumerate() {
+            if mask & (1 << v) != 0 && vc.is_free() {
+                score += vc.credits as u64;
+            }
+        }
+        score
+    }
+
+    /// Pick a *claimable* VC within `mask` starting from the rotating
+    /// pointer; returns the VC index. Claimable means unowned AND holding
+    /// at least one credit: committing a packet to a credit-less VC would
+    /// let it wait forever there, which breaks Duato's escape guarantee
+    /// for adaptive routing (a blocked head must always be able to fall
+    /// back to the escape VC — so heads stay unallocated, retrying each
+    /// cycle, until a VC they can actually enter is available).
+    pub fn pick_free_vc(&mut self, mask: u64) -> Option<usize> {
+        let n = self.vcs.len();
+        for i in 0..n {
+            let v = (self.vc_rr + i) % n;
+            if mask & (1 << v) != 0 && self.vcs[v].is_free() && self.vcs[v].credits > 0 {
+                self.vc_rr = (v + 1) % n;
+                return Some(v);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flit(pkt: u32, seq: u16) -> Flit {
+        Flit { pkt, seq, vc: 0 }
+    }
+
+    #[test]
+    fn wants_allocation_only_on_head() {
+        let mut vc = InputVc::new(4);
+        assert!(!vc.wants_allocation(), "empty VC");
+        vc.q.push_back(flit(1, 0));
+        assert!(vc.wants_allocation());
+        vc.state = VcState::Active;
+        assert!(!vc.wants_allocation(), "active VC");
+        vc.release();
+        vc.q.clear();
+        vc.q.push_back(flit(1, 3)); // body flit at front: mid-packet, no alloc
+        assert!(!vc.wants_allocation());
+    }
+
+    #[test]
+    fn release_resets() {
+        let mut vc = InputVc::new(4);
+        vc.state = VcState::Active;
+        vc.pkt = 7;
+        vc.release();
+        assert_eq!(vc.state, VcState::Idle);
+        assert_eq!(vc.pkt, NO_PACKET);
+    }
+
+    #[test]
+    fn pick_free_vc_respects_mask_and_rotates() {
+        let mut port = OutputPort::new(4, 8);
+        assert_eq!(port.pick_free_vc(0b0110), Some(1));
+        // pointer advanced past 1; next pick in same mask returns 2
+        assert_eq!(port.pick_free_vc(0b0110), Some(2));
+        // wrap back around
+        assert_eq!(port.pick_free_vc(0b0110), Some(1));
+        // owned VCs skipped
+        port.vcs[1].owner = 5;
+        port.vcs[2].owner = 6;
+        assert_eq!(port.pick_free_vc(0b0110), None);
+        assert_eq!(port.pick_free_vc(0b1001), Some(3));
+    }
+
+    #[test]
+    fn free_credit_score_counts_unowned_masked() {
+        let mut port = OutputPort::new(2, 4);
+        assert_eq!(port.free_credit_score(0b11), 8);
+        port.vcs[0].credits = 1;
+        assert_eq!(port.free_credit_score(0b11), 5);
+        port.vcs[1].owner = 9;
+        assert_eq!(port.free_credit_score(0b11), 1);
+        assert_eq!(port.free_credit_score(0b10), 0);
+    }
+}

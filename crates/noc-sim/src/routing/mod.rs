@@ -1,0 +1,603 @@
+//! Routing algorithms and virtual-channel partitioning.
+//!
+//! Implemented algorithms (Table I of the paper):
+//! * [`Dor`] — dimension-ordered routing (X then Y), deterministic minimal;
+//! * [`Valiant`] — VAL: route to a uniformly random intermediate node, then
+//!   to the destination, DOR in each phase;
+//! * [`Romm`] — two-phase randomized minimal: the intermediate is drawn
+//!   from the minimal quadrant, so the overall path stays minimal;
+//! * [`MinAdaptive`] — minimal adaptive with a Duato-style DOR escape VC.
+//!
+//! # Deadlock freedom
+//!
+//! Virtual channels are partitioned by *(message class) x (routing phase)*;
+//! within each block, wrap-around (torus/ring) dimensions use dateline VC
+//! switching, and adaptive routing reserves escape VCs that are restricted
+//! to the DOR output. [`VcBook`] computes the partition and validates that
+//! the configured VC count suffices — a too-small count is a configuration
+//! error, not a silent deadlock.
+
+mod adaptive;
+mod dor;
+mod romm;
+mod valiant;
+
+pub use adaptive::MinAdaptive;
+pub use dor::Dor;
+pub use romm::Romm;
+pub use valiant::Valiant;
+
+use crate::error::ConfigError;
+use crate::rng::SimRng;
+use crate::topology::Topology;
+
+/// Per-packet routing state carried on the head flit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RouteState {
+    /// Intermediate node for two-phase algorithms (`usize::MAX` if none).
+    pub intermediate: usize,
+    /// Current phase (0 = toward intermediate, 1 = toward destination).
+    pub phase: u8,
+    /// Set when the packet has crossed the current dimension's dateline.
+    pub dateline: bool,
+    /// Dimension the packet was last routed in (dateline resets when the
+    /// dimension changes); `u8::MAX` before the first hop.
+    pub last_dim: u8,
+}
+
+impl RouteState {
+    /// State for a single-phase route.
+    pub fn direct() -> Self {
+        Self { intermediate: usize::MAX, phase: 1, dateline: false, last_dim: u8::MAX }
+    }
+
+    /// State for a two-phase route through `mid`.
+    pub fn via(mid: usize) -> Self {
+        Self { intermediate: mid, phase: 0, dateline: false, last_dim: u8::MAX }
+    }
+
+    /// The node this packet is currently steering toward.
+    pub fn target(&self, dst: usize) -> usize {
+        if self.phase == 0 {
+            self.intermediate
+        } else {
+            dst
+        }
+    }
+
+    /// Routing target accounting for the phase transition: a packet
+    /// sitting *at* its intermediate routes toward the destination (the
+    /// flip is applied to its state by `advance_common` when the next
+    /// hop commits, so the hop out of the intermediate uses phase-1
+    /// VCs while the hop into it used phase-0 VCs — this ordering is
+    /// what keeps the two phase sub-networks' channel dependencies
+    /// acyclic).
+    pub fn effective_target(&self, cur: usize, dst: usize) -> usize {
+        if self.phase == 0 && cur == self.intermediate {
+            dst
+        } else {
+            self.target(dst)
+        }
+    }
+}
+
+/// A small inline set of candidate output ports, in priority order.
+/// By convention the first entry is always the DOR (escape-safe) port.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PortSet {
+    ports: [u8; 8],
+    len: u8,
+}
+
+impl PortSet {
+    /// Empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a port.
+    ///
+    /// # Panics
+    /// If more than 8 ports are pushed (no supported topology has more).
+    pub fn push(&mut self, port: usize) {
+        assert!((self.len as usize) < 8, "too many candidate ports");
+        self.ports[self.len as usize] = port as u8;
+        self.len += 1;
+    }
+
+    /// Number of candidates.
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// True when no candidate exists (packet is at its target).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Candidate `i`.
+    pub fn get(&self, i: usize) -> usize {
+        debug_assert!(i < self.len());
+        self.ports[i] as usize
+    }
+
+    /// Iterate over candidates in priority order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..self.len()).map(move |i| self.get(i))
+    }
+
+    /// True if `port` is a member.
+    pub fn contains(&self, port: usize) -> bool {
+        self.iter().any(|p| p == port)
+    }
+}
+
+/// A routing algorithm.
+///
+/// The router calls [`candidates`](RoutingAlgorithm::candidates) for the
+/// head flit of each packet waiting for VC allocation, then
+/// [`advance`](RoutingAlgorithm::advance) once a hop has been committed to
+/// update phase/dateline state.
+pub trait RoutingAlgorithm: Send + Sync {
+    /// Short name (`"DOR"`, `"VAL"`, ...).
+    fn name(&self) -> &'static str;
+
+    /// Number of routing phases (1 or 2); determines VC partitioning.
+    fn num_phases(&self) -> usize;
+
+    /// True if the algorithm routes adaptively and therefore needs escape
+    /// VCs restricted to the DOR output.
+    fn is_adaptive(&self) -> bool;
+
+    /// Initialize per-packet state at injection (chooses the intermediate
+    /// node for two-phase algorithms).
+    fn init(&self, topo: &dyn Topology, src: usize, dst: usize, rng: &mut SimRng) -> RouteState;
+
+    /// Candidate output ports at router `cur` for a packet with state
+    /// `state` destined to `dst`. The first candidate is the DOR port.
+    /// Returns an empty set iff the packet should be ejected here.
+    fn candidates(
+        &self,
+        topo: &dyn Topology,
+        cur: usize,
+        dst: usize,
+        state: &RouteState,
+    ) -> PortSet;
+
+    /// State after taking `port` out of `cur` (phase transition at the
+    /// intermediate node, dateline crossing, dimension change).
+    fn advance(
+        &self,
+        topo: &dyn Topology,
+        cur: usize,
+        port: usize,
+        dst: usize,
+        state: &RouteState,
+    ) -> RouteState;
+}
+
+/// Dimension-ordered next port toward `target`, or `None` if `cur ==
+/// target`. On wrap dimensions ties (distance exactly k/2) break toward
+/// the positive direction for determinism.
+pub fn dor_port(topo: &dyn Topology, cur: usize, target: usize) -> Option<usize> {
+    use crate::topology::{port_minus, port_plus};
+    if cur == target {
+        return None;
+    }
+    let cc = topo.coords_of(cur);
+    let ct = topo.coords_of(target);
+    for d in 0..topo.dims() {
+        if cc[d] == ct[d] {
+            continue;
+        }
+        let k = topo.radix(d);
+        let plus_dist = (ct[d] + k - cc[d]) % k;
+        let minus_dist = (cc[d] + k - ct[d]) % k;
+        let go_plus = if topo.wraps(d) {
+            plus_dist <= minus_dist
+        } else {
+            ct[d] > cc[d]
+        };
+        return Some(if go_plus { port_plus(d) } else { port_minus(d) });
+    }
+    None
+}
+
+/// All minimal productive ports toward `target` (one or two in 2D).
+/// The DOR port is always first.
+pub fn minimal_ports(topo: &dyn Topology, cur: usize, target: usize) -> PortSet {
+    use crate::topology::{port_minus, port_plus};
+    let mut set = PortSet::new();
+    if cur == target {
+        return set;
+    }
+    let cc = topo.coords_of(cur);
+    let ct = topo.coords_of(target);
+    for d in 0..topo.dims() {
+        if cc[d] == ct[d] {
+            continue;
+        }
+        let k = topo.radix(d);
+        let plus_dist = (ct[d] + k - cc[d]) % k;
+        let minus_dist = (cc[d] + k - ct[d]) % k;
+        if topo.wraps(d) {
+            // minimal direction(s); on a tie both are minimal but we take
+            // the deterministic positive one to match `dor_port`
+            if plus_dist <= minus_dist {
+                set.push(port_plus(d));
+            } else {
+                set.push(port_minus(d));
+            }
+        } else if ct[d] > cc[d] {
+            set.push(port_plus(d));
+        } else {
+            set.push(port_minus(d));
+        }
+    }
+    set
+}
+
+/// Whether the hop `cur --port-->` crosses the wraparound ("dateline")
+/// link of the port's dimension.
+pub fn crosses_dateline(topo: &dyn Topology, cur: usize, port: usize) -> bool {
+    use crate::topology::{port_dim, port_is_plus};
+    if port == 0 {
+        return false;
+    }
+    let d = port_dim(port);
+    if !topo.wraps(d) {
+        return false;
+    }
+    let c = topo.coords_of(cur)[d];
+    let k = topo.radix(d);
+    if port_is_plus(port) {
+        c == k - 1
+    } else {
+        c == 0
+    }
+}
+
+/// Shared `advance` logic for DOR-per-phase algorithms: update phase at
+/// the intermediate node, track dateline crossings, reset the dateline on
+/// dimension change.
+pub(crate) fn advance_common(
+    topo: &dyn Topology,
+    cur: usize,
+    port: usize,
+    _dst: usize,
+    state: &RouteState,
+) -> RouteState {
+    use crate::topology::port_dim;
+    let mut next = *state;
+    // phase transition happens when the packet leaves its intermediate:
+    // the hop *into* the intermediate stays on phase-0 VCs, the hop
+    // *out* starts a fresh phase-1 DOR route on phase-1 VCs. Flipping
+    // one hop earlier (on arrival) would let a U-turning packet place
+    // both its inbound and outbound hops in the same VC class and close
+    // a channel-dependency cycle across one link pair.
+    if next.phase == 0 && cur == next.intermediate {
+        next.phase = 1;
+        next.dateline = false;
+        next.last_dim = u8::MAX;
+    }
+    let d = port_dim(port) as u8;
+    if next.last_dim != d {
+        next.dateline = false;
+        next.last_dim = d;
+    }
+    if crosses_dateline(topo, cur, port) {
+        next.dateline = true;
+    }
+    next
+}
+
+/// The virtual-channel partition: which VCs a packet may occupy at the
+/// next router, given its class, phase, dateline state, and whether the
+/// hop uses the adaptive or the escape sub-function.
+#[derive(Debug, Clone)]
+pub struct VcBook {
+    vcs: usize,
+    classes: usize,
+    phases: usize,
+    block: usize,
+    /// escape VCs per block (adaptive routing only)
+    escape: usize,
+    adaptive: bool,
+    wrap: bool,
+}
+
+impl VcBook {
+    /// Build and validate the partition.
+    pub fn new(
+        vcs: usize,
+        classes: usize,
+        routing: &dyn RoutingAlgorithm,
+        topo: &dyn Topology,
+    ) -> Result<Self, ConfigError> {
+        let phases = routing.num_phases();
+        if classes == 0 || phases == 0 || vcs == 0 {
+            return Err(ConfigError::Parameter {
+                name: "vcs/classes/phases",
+                why: "must all be positive".into(),
+            });
+        }
+        if !vcs.is_multiple_of(classes * phases) {
+            return Err(ConfigError::VcPartition { vcs, classes, phases });
+        }
+        let block = vcs / (classes * phases);
+        let wrap = topo.has_wrap();
+        let adaptive = routing.is_adaptive();
+        let escape = if adaptive {
+            let esc = if wrap { 2 } else { 1 };
+            if block < esc + 1 {
+                return Err(ConfigError::VcBlockTooSmall {
+                    available: block,
+                    needed: esc + 1,
+                    why: "adaptive routing needs escape VC(s) plus at least one adaptive VC",
+                });
+            }
+            esc
+        } else {
+            if wrap && block < 2 {
+                return Err(ConfigError::VcBlockTooSmall {
+                    available: block,
+                    needed: 2,
+                    why: "torus/ring dateline needs two VCs per (class, phase) block",
+                });
+            }
+            0
+        };
+        Ok(Self { vcs, classes, phases, block, escape, adaptive, wrap })
+    }
+
+    /// Total VCs.
+    pub fn vcs(&self) -> usize {
+        self.vcs
+    }
+
+    /// Message classes.
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// Bitmask of VCs a packet `(class, phase)` may use at the downstream
+    /// buffer after a hop, where `dateline` is the packet's state *after*
+    /// the hop and `escape_only` selects the escape sub-function
+    /// (deterministic DOR hop for adaptive routing).
+    pub fn allowed(&self, class: usize, phase: usize, dateline: bool, escape_only: bool) -> u64 {
+        debug_assert!(class < self.classes);
+        let phase = phase.min(self.phases - 1);
+        let base = (class * self.phases + phase) * self.block;
+        if self.adaptive {
+            if escape_only {
+                // dateline selects which escape VC within the block
+                let idx = if self.wrap && dateline { 1 } else { 0 };
+                1u64 << (base + idx)
+            } else {
+                // all adaptive VCs (beyond the escape ones)
+                let mut mask = 0u64;
+                for v in self.escape..self.block {
+                    mask |= 1 << (base + v);
+                }
+                mask
+            }
+        } else if self.wrap {
+            let half = self.block / 2;
+            let (lo, hi) = if dateline { (half, self.block) } else { (0, half) };
+            let mut mask = 0u64;
+            for v in lo..hi {
+                mask |= 1 << (base + v);
+            }
+            mask
+        } else {
+            let mut mask = 0u64;
+            for v in 0..self.block {
+                mask |= 1 << (base + v);
+            }
+            mask
+        }
+    }
+
+    /// VCs a packet of `class` may use at the injection port (phase 0,
+    /// no dateline; for adaptive routing both escape and adaptive VCs are
+    /// legal entry points, but we inject on adaptive VCs when available).
+    pub fn injection(&self, class: usize) -> u64 {
+        if self.adaptive {
+            self.allowed(class, 0, false, false) | self.allowed(class, 0, false, true)
+        } else {
+            self.allowed(class, 0, false, false)
+        }
+    }
+
+    /// All VCs belonging to `class`, regardless of phase or dateline —
+    /// used at ejection, where deadlock restrictions no longer apply.
+    pub fn class_mask(&self, class: usize) -> u64 {
+        debug_assert!(class < self.classes);
+        let per_class = self.phases * self.block;
+        let mut mask = 0u64;
+        for v in 0..per_class {
+            mask |= 1 << (class * per_class + v);
+        }
+        mask
+    }
+
+    /// True when `vc` is an escape VC of its block (adaptive routing).
+    pub fn is_escape(&self, vc: usize) -> bool {
+        self.adaptive && (vc % self.block) < self.escape
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::{port_minus, port_plus, KAryNCube};
+
+    #[test]
+    fn route_state_target() {
+        let s = RouteState::via(7);
+        assert_eq!(s.target(3), 7);
+        let mut s2 = s;
+        s2.phase = 1;
+        assert_eq!(s2.target(3), 3);
+        assert_eq!(RouteState::direct().target(5), 5);
+    }
+
+    #[test]
+    fn portset_basics() {
+        let mut s = PortSet::new();
+        assert!(s.is_empty());
+        s.push(3);
+        s.push(1);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.get(0), 3);
+        assert_eq!(s.get(1), 1);
+        assert!(s.contains(1));
+        assert!(!s.contains(2));
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![3, 1]);
+    }
+
+    #[test]
+    fn dor_port_mesh_goes_x_first() {
+        let t = KAryNCube::mesh(&[4, 4]);
+        // from (0,0) to (2,3): x first
+        assert_eq!(dor_port(&t, 0, t.node_at(&[2, 3, 0, 0])), Some(port_plus(0)));
+        // same column: y
+        assert_eq!(dor_port(&t, 0, t.node_at(&[0, 3, 0, 0])), Some(port_plus(1)));
+        // arrived
+        assert_eq!(dor_port(&t, 5, 5), None);
+        // negative directions
+        assert_eq!(dor_port(&t, t.node_at(&[3, 3, 0, 0]), 0), Some(port_minus(0)));
+    }
+
+    #[test]
+    fn dor_port_torus_takes_short_way() {
+        let t = KAryNCube::torus(&[8, 8]);
+        // (0,0) -> (7,0): wrap in -x (distance 1) beats +x (distance 7)
+        assert_eq!(dor_port(&t, 0, 7), Some(port_minus(0)));
+        // distance 4 tie: deterministic positive
+        assert_eq!(dor_port(&t, 0, 4), Some(port_plus(0)));
+    }
+
+    #[test]
+    fn minimal_ports_counts() {
+        let t = KAryNCube::mesh(&[4, 4]);
+        let both = minimal_ports(&t, 0, t.node_at(&[2, 2, 0, 0]));
+        assert_eq!(both.len(), 2);
+        assert_eq!(both.get(0), port_plus(0), "DOR port first");
+        let one = minimal_ports(&t, 0, t.node_at(&[0, 2, 0, 0]));
+        assert_eq!(one.len(), 1);
+        assert!(minimal_ports(&t, 5, 5).is_empty());
+    }
+
+    #[test]
+    fn dateline_detection() {
+        let t = KAryNCube::torus(&[4, 4]);
+        // node (3,0) going +x wraps
+        assert!(crosses_dateline(&t, 3, port_plus(0)));
+        assert!(!crosses_dateline(&t, 2, port_plus(0)));
+        // node (0,y) going -x wraps
+        assert!(crosses_dateline(&t, 0, port_minus(0)));
+        // mesh never crosses
+        let m = KAryNCube::mesh(&[4, 4]);
+        assert!(!crosses_dateline(&m, 3, port_plus(0)));
+    }
+
+    #[test]
+    fn vcbook_single_class_mesh() {
+        let t = KAryNCube::mesh(&[4, 4]);
+        let dor = Dor;
+        let book = VcBook::new(2, 1, &dor, &t).unwrap();
+        assert_eq!(book.allowed(0, 0, false, false), 0b11);
+        assert_eq!(book.injection(0), 0b11);
+    }
+
+    #[test]
+    fn vcbook_two_classes() {
+        let t = KAryNCube::mesh(&[4, 4]);
+        let dor = Dor;
+        let book = VcBook::new(4, 2, &dor, &t).unwrap();
+        assert_eq!(book.allowed(0, 0, false, false), 0b0011);
+        assert_eq!(book.allowed(1, 0, false, false), 0b1100);
+    }
+
+    #[test]
+    fn vcbook_torus_dateline_split() {
+        let t = KAryNCube::torus(&[4, 4]);
+        let dor = Dor;
+        let book = VcBook::new(4, 2, &dor, &t).unwrap();
+        assert_eq!(book.allowed(0, 0, false, false), 0b0001);
+        assert_eq!(book.allowed(0, 0, true, false), 0b0010);
+        assert_eq!(book.allowed(1, 0, false, false), 0b0100);
+        assert_eq!(book.allowed(1, 0, true, false), 0b1000);
+    }
+
+    #[test]
+    fn vcbook_valiant_phases() {
+        let t = KAryNCube::mesh(&[4, 4]);
+        let val = Valiant;
+        let book = VcBook::new(2, 1, &val, &t).unwrap();
+        assert_eq!(book.allowed(0, 0, false, false), 0b01);
+        assert_eq!(book.allowed(0, 1, false, false), 0b10);
+    }
+
+    #[test]
+    fn vcbook_adaptive_escape() {
+        let t = KAryNCube::mesh(&[4, 4]);
+        let ma = MinAdaptive;
+        let book = VcBook::new(2, 1, &ma, &t).unwrap();
+        assert_eq!(book.allowed(0, 0, false, true), 0b01, "escape VC");
+        assert_eq!(book.allowed(0, 0, false, false), 0b10, "adaptive VC");
+        assert!(book.is_escape(0));
+        assert!(!book.is_escape(1));
+        assert_eq!(book.injection(0), 0b11);
+    }
+
+    #[test]
+    fn vcbook_rejections() {
+        let t = KAryNCube::torus(&[4, 4]);
+        let dor = Dor;
+        // torus with 2 classes needs 4 VCs: 2 is rejected
+        assert!(VcBook::new(2, 2, &dor, &t).is_err());
+        // indivisible
+        let m = KAryNCube::mesh(&[4, 4]);
+        assert!(VcBook::new(3, 2, &dor, &m).is_err());
+        // adaptive torus needs 3 per block
+        let ma = MinAdaptive;
+        assert!(VcBook::new(2, 1, &ma, &t).is_err());
+        assert!(VcBook::new(3, 1, &ma, &t).is_ok());
+        // zero anything
+        assert!(VcBook::new(0, 1, &dor, &m).is_err());
+    }
+
+    #[test]
+    fn advance_phase_transition() {
+        let t = KAryNCube::mesh(&[4, 4]);
+        // packet at node 0 with intermediate 1 (one hop +x away):
+        // the hop INTO the intermediate stays phase 0 (phase-0 VCs)...
+        let s = RouteState::via(1);
+        let s1 = advance_common(&t, 0, port_plus(0), 9, &s);
+        assert_eq!(s1.phase, 0, "arrival hop is the last phase-0 hop");
+        // ...and the hop OUT of the intermediate flips to phase 1 with a
+        // fresh DOR route
+        let s2 = advance_common(&t, 1, port_plus(1), 9, &s1);
+        assert_eq!(s2.phase, 1);
+        assert_eq!(s2.last_dim, 1, "new hop's dimension recorded after reset");
+        // effective_target reflects the flip while sitting at the mid
+        assert_eq!(s1.effective_target(1, 9), 9);
+        assert_eq!(s1.effective_target(0, 9), 1);
+    }
+
+    #[test]
+    fn advance_tracks_dateline_and_dim_change() {
+        let t = KAryNCube::torus(&[4, 4]);
+        let s = RouteState::direct();
+        // wrap hop in x
+        let s1 = advance_common(&t, 3, port_plus(0), 0, &s);
+        assert!(s1.dateline);
+        assert_eq!(s1.last_dim, 0);
+        // then a hop in y resets the dateline
+        let s2 = advance_common(&t, 0, port_plus(1), 0, &s1);
+        assert!(!s2.dateline);
+        assert_eq!(s2.last_dim, 1);
+    }
+}

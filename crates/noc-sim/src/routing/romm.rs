@@ -1,0 +1,179 @@
+//! ROMM: Randomized, Oblivious, Multi-phase Minimal routing
+//! (Nesson & Johnsson, SPAA '95).
+
+use super::{advance_common, dor_port, PortSet, RouteState, RoutingAlgorithm};
+use crate::rng::SimRng;
+use crate::topology::{Coords, Topology};
+
+/// Two-phase ROMM: the intermediate node is drawn uniformly from the
+/// *minimal quadrant* between source and destination, so the full path
+/// remains minimal while spreading load over many minimal paths.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Romm;
+
+impl Romm {
+    /// Sample an intermediate node inside the minimal box from `src` to
+    /// `dst` (inclusive of both endpoints).
+    fn sample_mid(topo: &dyn Topology, src: usize, dst: usize, rng: &mut SimRng) -> usize {
+        let cs = topo.coords_of(src);
+        let cd = topo.coords_of(dst);
+        let mut mid: Coords = [0; crate::topology::MAX_DIMS];
+        for d in 0..topo.dims() {
+            let k = topo.radix(d);
+            if cs[d] == cd[d] {
+                mid[d] = cs[d];
+                continue;
+            }
+            let plus_dist = (cd[d] + k - cs[d]) % k;
+            let minus_dist = (cs[d] + k - cd[d]) % k;
+            let (go_plus, dist) = if topo.wraps(d) {
+                // same tie-break as `dor_port`: positive on equal distance
+                (plus_dist <= minus_dist, plus_dist.min(minus_dist))
+            } else if cd[d] > cs[d] {
+                (true, cd[d] - cs[d])
+            } else {
+                (false, cs[d] - cd[d])
+            };
+            let step = rng.below(dist + 1); // 0..=dist keeps us in the box
+            mid[d] = if go_plus { (cs[d] + step) % k } else { (cs[d] + k - step % k) % k };
+        }
+        topo.node_at(&mid)
+    }
+}
+
+impl RoutingAlgorithm for Romm {
+    fn name(&self) -> &'static str {
+        "ROMM"
+    }
+
+    fn num_phases(&self) -> usize {
+        2
+    }
+
+    fn is_adaptive(&self) -> bool {
+        false
+    }
+
+    fn init(&self, topo: &dyn Topology, src: usize, dst: usize, rng: &mut SimRng) -> RouteState {
+        let mid = Self::sample_mid(topo, src, dst, rng);
+        if mid == src {
+            RouteState::direct()
+        } else {
+            RouteState::via(mid)
+        }
+    }
+
+    fn candidates(
+        &self,
+        topo: &dyn Topology,
+        cur: usize,
+        dst: usize,
+        state: &RouteState,
+    ) -> PortSet {
+        let mut set = PortSet::new();
+        if let Some(p) = dor_port(topo, cur, state.effective_target(cur, dst)) {
+            set.push(p);
+        }
+        set
+    }
+
+    fn advance(
+        &self,
+        topo: &dyn Topology,
+        cur: usize,
+        port: usize,
+        dst: usize,
+        state: &RouteState,
+    ) -> RouteState {
+        advance_common(topo, cur, port, dst, state)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::KAryNCube;
+
+    fn walk(
+        topo: &dyn Topology,
+        src: usize,
+        dst: usize,
+        rng: &mut SimRng,
+    ) -> Vec<usize> {
+        let algo = Romm;
+        let mut state = algo.init(topo, src, dst, rng);
+        let mut cur = src;
+        let mut path = vec![cur];
+        for _ in 0..10_000 {
+            let cands = algo.candidates(topo, cur, dst, &state);
+            if cands.is_empty() {
+                break;
+            }
+            let port = cands.get(0);
+            state = algo.advance(topo, cur, port, dst, &state);
+            cur = topo.neighbor(cur, port).unwrap().0;
+            path.push(cur);
+        }
+        path
+    }
+
+    #[test]
+    fn romm_is_minimal_on_mesh() {
+        let t = KAryNCube::mesh(&[8, 8]);
+        let mut rng = SimRng::new(23);
+        for _ in 0..500 {
+            let src = rng.below(64);
+            let dst = rng.below(64);
+            let path = walk(&t, src, dst, &mut rng);
+            assert_eq!(*path.last().unwrap(), dst);
+            assert_eq!(path.len() - 1, t.min_hops(src, dst), "ROMM must stay minimal");
+        }
+    }
+
+    #[test]
+    fn romm_is_minimal_on_torus() {
+        let t = KAryNCube::torus(&[6, 6]);
+        let mut rng = SimRng::new(29);
+        for _ in 0..500 {
+            let src = rng.below(36);
+            let dst = rng.below(36);
+            let path = walk(&t, src, dst, &mut rng);
+            assert_eq!(*path.last().unwrap(), dst);
+            assert_eq!(path.len() - 1, t.min_hops(src, dst));
+        }
+    }
+
+    #[test]
+    fn romm_mid_stays_in_box() {
+        let t = KAryNCube::mesh(&[8, 8]);
+        let mut rng = SimRng::new(31);
+        let src = t.node_at(&[1, 2, 0, 0]);
+        let dst = t.node_at(&[5, 6, 0, 0]);
+        for _ in 0..200 {
+            let mid = Romm::sample_mid(&t, src, dst, &mut rng);
+            let c = t.coords_of(mid);
+            assert!((1..=5).contains(&c[0]) && (2..=6).contains(&c[1]), "mid {c:?} outside box");
+        }
+    }
+
+    #[test]
+    fn romm_spreads_paths() {
+        // Unlike DOR, ROMM should use more than one distinct path between
+        // a corner pair over many trials.
+        let t = KAryNCube::mesh(&[4, 4]);
+        let mut rng = SimRng::new(37);
+        let mut distinct = std::collections::HashSet::new();
+        for _ in 0..100 {
+            distinct.insert(walk(&t, 0, 15, &mut rng));
+        }
+        assert!(distinct.len() > 3, "only {} distinct paths", distinct.len());
+    }
+
+    #[test]
+    fn romm_same_node() {
+        let t = KAryNCube::mesh(&[4, 4]);
+        let mut rng = SimRng::new(41);
+        let path = walk(&t, 5, 5, &mut rng);
+        assert_eq!(path, vec![5]);
+    }
+}

@@ -1,0 +1,168 @@
+//! Valiant's randomized routing (VAL).
+
+use super::{advance_common, dor_port, PortSet, RouteState, RoutingAlgorithm};
+use crate::rng::SimRng;
+use crate::topology::Topology;
+
+/// Valiant routing: every packet is first routed (DOR) to a uniformly
+/// random intermediate node, then (DOR) to its destination. Trades
+/// locality for load balance: doubles average hop count on uniform
+/// traffic but converts any permutation into two uniform-random phases.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Valiant;
+
+impl RoutingAlgorithm for Valiant {
+    fn name(&self) -> &'static str {
+        "VAL"
+    }
+
+    fn num_phases(&self) -> usize {
+        2
+    }
+
+    fn is_adaptive(&self) -> bool {
+        false
+    }
+
+    fn init(&self, topo: &dyn Topology, src: usize, _dst: usize, rng: &mut SimRng) -> RouteState {
+        let mid = rng.below(topo.num_nodes());
+        if mid == src {
+            // degenerate phase 1: go straight to the destination
+            RouteState::direct()
+        } else {
+            RouteState::via(mid)
+        }
+    }
+
+    fn candidates(
+        &self,
+        topo: &dyn Topology,
+        cur: usize,
+        dst: usize,
+        state: &RouteState,
+    ) -> PortSet {
+        let mut set = PortSet::new();
+        if let Some(p) = dor_port(topo, cur, state.effective_target(cur, dst)) {
+            set.push(p);
+        }
+        set
+    }
+
+    fn advance(
+        &self,
+        topo: &dyn Topology,
+        cur: usize,
+        port: usize,
+        dst: usize,
+        state: &RouteState,
+    ) -> RouteState {
+        advance_common(topo, cur, port, dst, state)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::KAryNCube;
+
+    fn walk(
+        topo: &dyn Topology,
+        algo: &dyn RoutingAlgorithm,
+        src: usize,
+        dst: usize,
+        rng: &mut SimRng,
+    ) -> (Vec<usize>, usize) {
+        let mut state = algo.init(topo, src, dst, rng);
+        let mid = state.intermediate;
+        let mut cur = src;
+        let mut path = vec![cur];
+        for _ in 0..10_000 {
+            let cands = algo.candidates(topo, cur, dst, &state);
+            if cands.is_empty() {
+                break;
+            }
+            let port = cands.get(0);
+            state = algo.advance(topo, cur, port, dst, &state);
+            cur = topo.neighbor(cur, port).unwrap().0;
+            path.push(cur);
+        }
+        (path, mid)
+    }
+
+    #[test]
+    fn valiant_always_terminates_at_dst() {
+        let t = KAryNCube::mesh(&[4, 4]);
+        let mut rng = SimRng::new(11);
+        for s in 0..16 {
+            for d in 0..16 {
+                for _ in 0..4 {
+                    let (path, _) = walk(&t, &Valiant, s, d, &mut rng);
+                    assert_eq!(*path.last().unwrap(), d);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn valiant_passes_through_intermediate() {
+        let t = KAryNCube::mesh(&[8, 8]);
+        let mut rng = SimRng::new(3);
+        for _ in 0..100 {
+            let (path, mid) = walk(&t, &Valiant, 0, 63, &mut rng);
+            if mid != usize::MAX {
+                assert!(path.contains(&mid), "path {path:?} must visit {mid}");
+            }
+            assert_eq!(*path.last().unwrap(), 63);
+        }
+    }
+
+    #[test]
+    fn valiant_path_length_is_two_phase_minimal() {
+        let t = KAryNCube::mesh(&[8, 8]);
+        let mut rng = SimRng::new(5);
+        for _ in 0..100 {
+            let src = rng.below(64);
+            let dst = rng.below(64);
+            let (path, mid) = walk(&t, &Valiant, src, dst, &mut rng);
+            let expect = if mid == usize::MAX {
+                t.min_hops(src, dst)
+            } else {
+                t.min_hops(src, mid) + t.min_hops(mid, dst)
+            };
+            assert_eq!(path.len() - 1, expect);
+        }
+    }
+
+    #[test]
+    fn valiant_average_hops_exceed_minimal() {
+        let t = KAryNCube::mesh(&[8, 8]);
+        let mut rng = SimRng::new(7);
+        let mut val_hops = 0usize;
+        let mut min_hops = 0usize;
+        let trials = 2000;
+        for _ in 0..trials {
+            let src = rng.below(64);
+            let mut dst = rng.below(64);
+            while dst == src {
+                dst = rng.below(64);
+            }
+            let (path, _) = walk(&t, &Valiant, src, dst, &mut rng);
+            val_hops += path.len() - 1;
+            min_hops += t.min_hops(src, dst);
+        }
+        let ratio = val_hops as f64 / min_hops as f64;
+        assert!(ratio > 1.5 && ratio < 2.5, "VAL should roughly double hops, got {ratio}");
+    }
+
+    #[test]
+    fn valiant_on_torus_terminates() {
+        let t = KAryNCube::torus(&[4, 4]);
+        let mut rng = SimRng::new(13);
+        for s in 0..16 {
+            for d in 0..16 {
+                let (path, _) = walk(&t, &Valiant, s, d, &mut rng);
+                assert_eq!(*path.last().unwrap(), d);
+            }
+        }
+    }
+}

@@ -1,0 +1,130 @@
+//! Network topologies.
+//!
+//! All of the paper's topologies — k-ary 2-mesh, folded torus, ring — are
+//! instances of a [`KAryNCube`] with per-configuration wraparound and link
+//! delay. The [`Topology`] trait is object-safe so harnesses can hold
+//! `Arc<dyn Topology>` and stay generic.
+//!
+//! # Port convention
+//!
+//! Every router has `1 + 2 * n_dims` ports:
+//! * port `0` — the local injection/ejection port (to the NI),
+//! * port `1 + 2*d` — dimension `d`, **positive** direction,
+//! * port `2 + 2*d` — dimension `d`, **negative** direction.
+
+mod cube;
+
+pub use cube::KAryNCube;
+
+/// Maximum dimensions supported (a fixed bound keeps coordinates inline).
+pub const MAX_DIMS: usize = 4;
+
+/// Inline coordinate vector.
+pub type Coords = [usize; MAX_DIMS];
+
+/// The local (injection/ejection) port index.
+pub const LOCAL_PORT: usize = 0;
+
+/// Port for dimension `d`, positive direction.
+pub fn port_plus(d: usize) -> usize {
+    1 + 2 * d
+}
+
+/// Port for dimension `d`, negative direction.
+pub fn port_minus(d: usize) -> usize {
+    2 + 2 * d
+}
+
+/// Dimension of a non-local port.
+pub fn port_dim(port: usize) -> usize {
+    debug_assert!(port >= 1);
+    (port - 1) / 2
+}
+
+/// True if `port` is the positive direction of its dimension.
+pub fn port_is_plus(port: usize) -> bool {
+    debug_assert!(port >= 1);
+    (port - 1).is_multiple_of(2)
+}
+
+/// A direct network topology: one router per node, point-to-point links.
+pub trait Topology: Send + Sync {
+    /// Number of nodes (== routers; concentration is 1 as in the paper).
+    fn num_nodes(&self) -> usize;
+
+    /// Ports per router, including the local port 0.
+    fn num_ports(&self) -> usize;
+
+    /// Number of dimensions.
+    fn dims(&self) -> usize;
+
+    /// Radix (nodes per dimension) of dimension `d`.
+    fn radix(&self, d: usize) -> usize;
+
+    /// Whether dimension `d` has wraparound links (needs dateline VCs).
+    fn wraps(&self, d: usize) -> bool;
+
+    /// The router and input port reached from `node` via output `port`,
+    /// or `None` if the port is unconnected (mesh edge) or local.
+    fn neighbor(&self, node: usize, port: usize) -> Option<(usize, usize)>;
+
+    /// Propagation delay in cycles of the link at (`node`, `port`).
+    fn link_delay(&self, node: usize, port: usize) -> u32;
+
+    /// Coordinates of `node` (entries beyond [`Topology::dims`] are 0).
+    fn coords_of(&self, node: usize) -> Coords;
+
+    /// Node at the given coordinates.
+    fn node_at(&self, coords: &Coords) -> usize;
+
+    /// Minimal hop count between two nodes.
+    fn min_hops(&self, a: usize, b: usize) -> usize;
+
+    /// Human-readable name, e.g. `"8-ary 2-mesh"`.
+    fn name(&self) -> String;
+
+    /// True if any dimension wraps.
+    fn has_wrap(&self) -> bool {
+        (0..self.dims()).any(|d| self.wraps(d))
+    }
+
+    /// Average minimal hop count under uniform traffic (excluding
+    /// self-traffic), used for zero-load latency bounds in tests.
+    fn avg_min_hops(&self) -> f64 {
+        let n = self.num_nodes();
+        let mut total = 0usize;
+        let mut pairs = 0usize;
+        for a in 0..n {
+            for b in 0..n {
+                if a != b {
+                    total += self.min_hops(a, b);
+                    pairs += 1;
+                }
+            }
+        }
+        total as f64 / pairs as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn port_helpers_roundtrip() {
+        for d in 0..MAX_DIMS {
+            assert_eq!(port_dim(port_plus(d)), d);
+            assert_eq!(port_dim(port_minus(d)), d);
+            assert!(port_is_plus(port_plus(d)));
+            assert!(!port_is_plus(port_minus(d)));
+        }
+    }
+
+    #[test]
+    fn port_indices_are_dense() {
+        assert_eq!(port_plus(0), 1);
+        assert_eq!(port_minus(0), 2);
+        assert_eq!(port_plus(1), 3);
+        assert_eq!(port_minus(1), 4);
+    }
+}

@@ -1,0 +1,265 @@
+//! Network-level stress tests: request/reply protocols, adversarial
+//! permutations near saturation, wormhole interleaving with bimodal
+//! sizes, escape-VC pressure for adaptive routing, and arbitration
+//! policy effects — the situations where VC partitioning bugs would
+//! surface as deadlock or packet loss.
+
+use std::collections::VecDeque;
+
+use noc_sim::config::{Arbitration, NetConfig, RoutingKind, TopologyKind};
+use noc_sim::flit::{Cycle, Delivered, PacketSpec};
+use noc_sim::network::{Network, NodeBehavior};
+use noc_sim::rng::SimRng;
+
+/// A miniature request/reply protocol directly over the network: every
+/// node fires `reqs` requests as fast as possible; each request's
+/// destination issues a reply; completion = all replies back.
+struct ReqReply {
+    remaining: Vec<u64>,
+    outstanding: u64,
+    replies_pending: Vec<VecDeque<usize>>,
+    polled: Vec<Cycle>,
+    rng: SimRng,
+    nodes: usize,
+    completed: u64,
+}
+
+impl ReqReply {
+    fn new(nodes: usize, reqs: u64, seed: u64) -> Self {
+        Self {
+            remaining: vec![reqs; nodes],
+            outstanding: 0,
+            replies_pending: vec![VecDeque::new(); nodes],
+            polled: vec![Cycle::MAX; nodes],
+            rng: SimRng::new(seed),
+            nodes,
+            completed: 0,
+        }
+    }
+}
+
+impl NodeBehavior for ReqReply {
+    fn pull(&mut self, node: usize, cycle: Cycle) -> Option<PacketSpec> {
+        if let Some(dst) = self.replies_pending[node].pop_front() {
+            return Some(PacketSpec { dst, size: 3, class: 1, payload: 0 });
+        }
+        if self.polled[node] == cycle || self.remaining[node] == 0 {
+            return None;
+        }
+        self.polled[node] = cycle;
+        self.remaining[node] -= 1;
+        self.outstanding += 1;
+        let dst = self.rng.below(self.nodes);
+        Some(PacketSpec { dst, size: 1, class: 0, payload: 0 })
+    }
+
+    fn deliver(&mut self, node: usize, d: &Delivered, _cycle: Cycle) {
+        if d.class == 0 {
+            self.replies_pending[node].push_back(d.src);
+        } else {
+            self.outstanding -= 1;
+            self.completed += 1;
+        }
+    }
+
+    fn quiescent(&self) -> bool {
+        self.remaining.iter().all(|&r| r == 0)
+            && self.outstanding == 0
+            && self.replies_pending.iter().all(|q| q.is_empty())
+    }
+}
+
+#[test]
+fn request_reply_protocol_never_deadlocks_at_full_pressure() {
+    // every node streams requests with NO outstanding limit: maximum
+    // protocol pressure. Class partitioning must keep replies draining.
+    for topo in [TopologyKind::Mesh2D { k: 4 }, TopologyKind::Torus2D { k: 4 }] {
+        let cfg = NetConfig::baseline().with_topology(topo).with_vcs(4).with_classes(2);
+        let mut net = Network::new(cfg).unwrap();
+        let mut b = ReqReply::new(16, 150, 9);
+        assert!(net.drain(&mut b, 2_000_000), "deadlock under {topo:?}");
+        assert_eq!(b.completed, 16 * 150);
+    }
+}
+
+/// A simple scripted source used by the remaining tests.
+struct Storm {
+    sends: Vec<(Cycle, usize, usize, u16)>,
+    delivered: u64,
+    flits: u64,
+}
+
+impl Storm {
+    fn random(
+        nodes: usize,
+        packets: usize,
+        window: u64,
+        sizes: &[u16],
+        seed: u64,
+        pattern: impl Fn(usize, &mut SimRng) -> usize,
+    ) -> Self {
+        let mut rng = SimRng::new(seed);
+        let sends = (0..packets)
+            .map(|i| {
+                let src = rng.below(nodes);
+                let dst = pattern(src, &mut rng);
+                let size = sizes[rng.below(sizes.len())];
+                (i as u64 % window, src, dst, size)
+            })
+            .collect();
+        Self { sends, delivered: 0, flits: 0 }
+    }
+}
+
+impl NodeBehavior for Storm {
+    fn pull(&mut self, node: usize, cycle: Cycle) -> Option<PacketSpec> {
+        let idx = self.sends.iter().position(|&(c, s, ..)| s == node && c <= cycle)?;
+        let (_, _, dst, size) = self.sends.remove(idx);
+        Some(PacketSpec { dst, size, class: 0, payload: 0 })
+    }
+
+    fn deliver(&mut self, _node: usize, d: &Delivered, _cycle: Cycle) {
+        self.delivered += 1;
+        self.flits += d.size as u64;
+    }
+
+    fn quiescent(&self) -> bool {
+        self.sends.is_empty()
+    }
+}
+
+#[test]
+fn tornado_on_torus_drains_with_dateline_vcs() {
+    // tornado is the adversarial pattern for wrap topologies: everyone
+    // travels almost half-way around in the same rotational direction,
+    // maximizing dateline crossings
+    let k = 8;
+    let cfg = NetConfig::baseline()
+        .with_topology(TopologyKind::Torus2D { k })
+        .with_vcs(2)
+        .with_seed(3);
+    let mut net = Network::new(cfg).unwrap();
+    let shift = k / 2 - 1;
+    let mut b = Storm::random(64, 2_000, 400, &[1], 4, move |src, _| {
+        let (x, y) = (src % k, src / k);
+        ((y + shift) % k) * k + (x + shift) % k
+    });
+    assert!(net.drain(&mut b, 2_000_000), "tornado deadlocked the torus");
+    assert_eq!(b.delivered, 2_000);
+}
+
+#[test]
+fn bimodal_wormhole_storm_conserves_flits() {
+    let cfg = NetConfig::baseline().with_topology(TopologyKind::Mesh2D { k: 8 }).with_vc_buf(2);
+    let mut net = Network::new(cfg).unwrap();
+    // exclude self-traffic so delivered flits equal fabric flits exactly
+    let mut b = Storm::random(64, 3_000, 1_500, &[1, 4], 11, |src, rng| loop {
+        let d = rng.below(64);
+        if d != src {
+            break d;
+        }
+    });
+    assert!(net.drain(&mut b, 2_000_000));
+    assert_eq!(b.delivered, 3_000);
+    assert_eq!(net.stats().flits_injected, net.stats().flits_ejected);
+    assert_eq!(b.flits, net.stats().flits_ejected, "every flit accounted");
+}
+
+#[test]
+fn adaptive_routing_under_transpose_uses_escape_safely() {
+    // transpose + MA: heavy diagonal pressure forces escape-VC usage
+    let cfg = NetConfig::baseline()
+        .with_routing(RoutingKind::MinAdaptive)
+        .with_vcs(4)
+        .with_vc_buf(2)
+        .with_seed(5);
+    let k = 8;
+    let mut net = Network::new(cfg).unwrap();
+    let mut b = Storm::random(64, 4_000, 1_000, &[1], 6, move |src, _| {
+        let (x, y) = (src % k, src / k);
+        x * k + y
+    });
+    assert!(net.drain(&mut b, 2_000_000), "MA deadlocked under transpose");
+    assert_eq!(b.delivered, 4_000);
+}
+
+#[test]
+fn valiant_mesh_storm_survives_min_buffers() {
+    // 1-flit buffers + multi-flit packets + two-phase routing is the
+    // tightest wormhole configuration (the exact regime where the
+    // phase-transition VC bug would deadlock)
+    let cfg = NetConfig::baseline()
+        .with_routing(RoutingKind::Valiant)
+        .with_vcs(4)
+        .with_vc_buf(1)
+        .with_seed(7);
+    let mut net = Network::new(cfg).unwrap();
+    let mut b = Storm::random(64, 1_500, 800, &[1, 4], 8, |_, rng| rng.below(64));
+    assert!(net.drain(&mut b, 3_000_000), "VAL deadlocked at vc_buf=1");
+    assert_eq!(b.delivered, 1_500);
+}
+
+#[test]
+fn age_based_arbitration_bounds_worst_case_latency() {
+    // under sustained load, age-based arbitration should not let any
+    // packet starve; its worst-case latency should not exceed round-robin's
+    // by much, and typically improves it
+    let run = |arb: Arbitration| -> (u64, Cycle) {
+        struct Tracker {
+            inner: Storm,
+            worst: Cycle,
+        }
+        impl NodeBehavior for Tracker {
+            fn pull(&mut self, node: usize, cycle: Cycle) -> Option<PacketSpec> {
+                self.inner.pull(node, cycle)
+            }
+            fn deliver(&mut self, node: usize, d: &Delivered, cycle: Cycle) {
+                self.worst = self.worst.max(cycle - d.birth);
+                self.inner.deliver(node, d, cycle);
+            }
+            fn quiescent(&self) -> bool {
+                self.inner.quiescent()
+            }
+        }
+        let cfg = NetConfig::baseline()
+            .with_topology(TopologyKind::Mesh2D { k: 4 })
+            .with_arbitration(arb)
+            .with_seed(13);
+        let mut net = Network::new(cfg).unwrap();
+        let mut b = Tracker {
+            inner: Storm::random(16, 2_000, 4_000, &[1], 14, |_, rng| rng.below(16)),
+            worst: 0,
+        };
+        assert!(net.drain(&mut b, 1_000_000));
+        (b.inner.delivered, b.worst)
+    };
+    let (d_rr, worst_rr) = run(Arbitration::RoundRobin);
+    let (d_age, worst_age) = run(Arbitration::AgeBased);
+    assert_eq!(d_rr, 2_000);
+    assert_eq!(d_age, 2_000);
+    assert!(
+        (worst_age as f64) < 1.5 * worst_rr as f64,
+        "age-based worst {worst_age} vs rr {worst_rr}"
+    );
+}
+
+#[test]
+fn hotspot_pressure_drains() {
+    // everyone hammers node 0; ejection bandwidth (1 flit/cycle) is the
+    // bottleneck, but nothing may deadlock or get lost
+    let cfg = NetConfig::baseline().with_topology(TopologyKind::Mesh2D { k: 4 });
+    let mut net = Network::new(cfg).unwrap();
+    let mut b = Storm::random(16, 2_000, 500, &[1], 21, |src, rng| {
+        if src == 0 || rng.below(10) > 7 {
+            rng.below(16)
+        } else {
+            0
+        }
+    });
+    assert!(net.drain(&mut b, 1_000_000));
+    assert_eq!(b.delivered, 2_000);
+    // node 0 received the bulk of traffic
+    let got0 = net.stats().node_delivered[0];
+    let rest_max = net.stats().node_delivered[1..].iter().max().copied().unwrap_or(0);
+    assert!(got0 > 3 * rest_max, "hotspot {got0} vs max other {rest_max}");
+}

@@ -1,0 +1,191 @@
+//! Property tests on topologies, routing algorithms, and the VC
+//! partition — the deadlock-freedom preconditions.
+
+use proptest::prelude::*;
+
+use noc_sim::routing::{
+    dor_port, minimal_ports, Dor, MinAdaptive, Romm, RouteState, RoutingAlgorithm, Valiant,
+    VcBook,
+};
+use noc_sim::rng::SimRng;
+use noc_sim::topology::{KAryNCube, Topology};
+
+fn topo_strategy() -> impl Strategy<Value = KAryNCube> {
+    (2usize..7, 2usize..7, prop::bool::ANY).prop_map(|(kx, ky, wrap)| {
+        if wrap {
+            KAryNCube::torus(&[kx, ky])
+        } else {
+            KAryNCube::mesh(&[kx, ky])
+        }
+    })
+}
+
+/// Walk a route taking candidate index `pick % len` at each hop.
+fn walk(
+    topo: &dyn Topology,
+    algo: &dyn RoutingAlgorithm,
+    src: usize,
+    dst: usize,
+    seed: u64,
+    adversarial_pick: bool,
+) -> Vec<usize> {
+    let mut rng = SimRng::new(seed);
+    let mut state = algo.init(topo, src, dst, &mut rng);
+    let mut cur = src;
+    let mut path = vec![cur];
+    for step in 0..4 * topo.num_nodes() {
+        let cands = algo.candidates(topo, cur, dst, &state);
+        if cands.is_empty() {
+            break;
+        }
+        let idx = if adversarial_pick { step % cands.len() } else { 0 };
+        let port = cands.get(idx);
+        state = algo.advance(topo, cur, port, dst, &state);
+        cur = topo.neighbor(cur, port).expect("candidate port connected").0;
+        path.push(cur);
+    }
+    path
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn dor_is_minimal_everywhere(topo in topo_strategy(), seed in 0u64..100) {
+        let n = topo.num_nodes();
+        let mut rng = SimRng::new(seed);
+        let src = rng.below(n);
+        let dst = rng.below(n);
+        let path = walk(&topo, &Dor, src, dst, seed, false);
+        prop_assert_eq!(*path.last().unwrap(), dst);
+        prop_assert_eq!(path.len() - 1, topo.min_hops(src, dst));
+    }
+
+    #[test]
+    fn two_phase_routes_terminate_and_visit_mid(
+        topo in topo_strategy(),
+        seed in 0u64..100,
+    ) {
+        let n = topo.num_nodes();
+        let mut rng = SimRng::new(seed ^ 1);
+        let src = rng.below(n);
+        let dst = rng.below(n);
+        for algo in [&Valiant as &dyn RoutingAlgorithm, &Romm] {
+            let mut init_rng = SimRng::new(seed);
+            let state = algo.init(&topo, src, dst, &mut init_rng);
+            let path = walk(&topo, algo, src, dst, seed, false);
+            prop_assert_eq!(*path.last().unwrap(), dst, "{} must reach dst", algo.name());
+            if state.intermediate != usize::MAX {
+                prop_assert!(path.contains(&state.intermediate),
+                    "{} must pass its intermediate", algo.name());
+            }
+        }
+    }
+
+    #[test]
+    fn adaptive_any_choice_stays_minimal(
+        topo in topo_strategy(),
+        seed in 0u64..100,
+    ) {
+        let n = topo.num_nodes();
+        let mut rng = SimRng::new(seed ^ 2);
+        let src = rng.below(n);
+        let dst = rng.below(n);
+        // even when an adversary picks among candidates, MA stays minimal
+        let path = walk(&topo, &MinAdaptive, src, dst, seed, true);
+        prop_assert_eq!(*path.last().unwrap(), dst);
+        prop_assert_eq!(path.len() - 1, topo.min_hops(src, dst));
+    }
+
+    #[test]
+    fn minimal_ports_all_reduce_distance(topo in topo_strategy(), seed in 0u64..200) {
+        let n = topo.num_nodes();
+        let mut rng = SimRng::new(seed ^ 3);
+        let src = rng.below(n);
+        let dst = rng.below(n);
+        prop_assume!(src != dst);
+        let ports = minimal_ports(&topo, src, dst);
+        prop_assert!(!ports.is_empty());
+        let d0 = topo.min_hops(src, dst);
+        for p in ports.iter() {
+            let next = topo.neighbor(src, p).expect("connected").0;
+            prop_assert_eq!(topo.min_hops(next, dst), d0 - 1);
+        }
+        // the DOR port is always the first candidate
+        prop_assert_eq!(ports.get(0), dor_port(&topo, src, dst).unwrap());
+    }
+
+    #[test]
+    fn links_reciprocal_on_random_cubes(topo in topo_strategy()) {
+        for node in 0..topo.num_nodes() {
+            for port in 1..topo.num_ports() {
+                if let Some((m, q)) = topo.neighbor(node, port) {
+                    prop_assert_eq!(topo.neighbor(m, q), Some((node, port)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn vcbook_masks_are_disjoint_by_class(
+        topo in topo_strategy(),
+        vcs_per_block in 1usize..4,
+        classes in 1usize..3,
+    ) {
+        // choose a VC count the partition accepts for DOR
+        let need = if topo.has_wrap() { 2 } else { 1 };
+        let block = vcs_per_block.max(need);
+        let vcs = classes * block;
+        let book = match VcBook::new(vcs, classes, &Dor, &topo) {
+            Ok(b) => b,
+            Err(_) => return Ok(()), // undersized combos are rejected, fine
+        };
+        let mut union = 0u64;
+        for c in 0..classes {
+            let m = book.class_mask(c);
+            prop_assert!(m != 0);
+            prop_assert_eq!(union & m, 0, "class masks must be disjoint");
+            union |= m;
+            // allowed masks stay within the class mask
+            for dateline in [false, true] {
+                let a = book.allowed(c, 0, dateline, false);
+                prop_assert!(a != 0);
+                prop_assert_eq!(a & !m, 0);
+            }
+            prop_assert_eq!(book.injection(c) & !m, 0);
+        }
+        // the union covers exactly vcs bits
+        prop_assert_eq!(union.count_ones() as usize, vcs);
+    }
+
+    #[test]
+    fn dateline_masks_disjoint_on_wrapped_topologies(
+        k in 3usize..7,
+        classes in 1usize..3,
+    ) {
+        let topo = KAryNCube::torus(&[k, k]);
+        let vcs = classes * 2;
+        let book = VcBook::new(vcs, classes, &Dor, &topo).unwrap();
+        for c in 0..classes {
+            let lo = book.allowed(c, 0, false, false);
+            let hi = book.allowed(c, 0, true, false);
+            prop_assert!(lo != 0 && hi != 0);
+            prop_assert_eq!(lo & hi, 0, "dateline halves must not overlap");
+        }
+    }
+
+    #[test]
+    fn route_state_effective_target_flips_exactly_at_mid(
+        mid in 0usize..16,
+        dst in 0usize..16,
+        cur in 0usize..16,
+    ) {
+        let s = RouteState::via(mid);
+        let t = s.effective_target(cur, dst);
+        if cur == mid {
+            prop_assert_eq!(t, dst);
+        } else {
+            prop_assert_eq!(t, mid);
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! # noc-trace — trace-driven NoC simulation
+//!
+//! The third evaluation methodology in the paper's taxonomy (Section
+//! II): capture the packet stream of an execution- or model-driven run
+//! once, then replay it on network variants much faster. The crate also
+//! makes the methodology's *limitation* reproducible: "since the traces
+//! are captured in advance, feedback from the network does not affect
+//! the workload and ignores the causality of messages" — a replayed
+//! trace injects packets at their recorded times no matter how slow the
+//! network under test is, so it underestimates the runtime impact of
+//! network degradation that a closed-loop model captures
+//! (see the `ext_trace` experiment in `noc-eval`).
+//!
+//! ```
+//! use noc_sim::config::{NetConfig, TopologyKind};
+//! use noc_closedloop::BatchConfig;
+//! use noc_trace::{record_batch, replay};
+//!
+//! let cfg = BatchConfig {
+//!     net: NetConfig::baseline().with_topology(TopologyKind::Mesh2D { k: 4 }),
+//!     batch: 20,
+//!     max_outstanding: 2,
+//!     ..BatchConfig::default()
+//! };
+//! let (trace, closed_runtime) = record_batch(&cfg).unwrap();
+//! assert_eq!(trace.records.len() as u64, 2 * 16 * 20); // requests + replies
+//! let result = replay(&cfg.net, &trace).unwrap();
+//! // replay of the same network tracks the closed-loop runtime closely
+//! let ratio = result.runtime as f64 / closed_runtime as f64;
+//! assert!((0.8..1.2).contains(&ratio), "ratio {ratio}");
+//! ```
+
+#![warn(missing_docs)]
+
+mod record;
+mod replay;
+mod trace;
+
+pub use record::{record_batch, Recorder};
+pub use replay::{replay, ReplayResult, Replayer};
+pub use trace::{Trace, TraceRecord};

@@ -1,0 +1,20 @@
+//! # noc-traffic — synthetic traffic for NoC evaluation
+//!
+//! Spatial [`pattern`]s (uniform random, transpose, bit complement, bit
+//! reversal, shuffle, tornado, neighbor, hotspot, arbitrary
+//! permutations), temporal [`process`]es (Bernoulli, periodic, bursty
+//! on/off), and [`size`] distributions (fixed, bimodal) — the synthetic
+//! workload vocabulary of Table I.
+
+#![warn(missing_docs)]
+
+pub mod pattern;
+pub mod process;
+pub mod size;
+
+pub use pattern::{
+    BitComplement, BitReversal, Hotspot, Neighbor, PatternKind, Permutation, Shuffle, Tornado,
+    TrafficPattern, Transpose, UniformRandom,
+};
+pub use process::{Bernoulli, InjectionProcess, OnOff, Periodic};
+pub use size::{Bimodal, FixedSize, SizeDist, SizeKind};

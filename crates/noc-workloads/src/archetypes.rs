@@ -1,0 +1,95 @@
+//! Synthetic workload archetypes: parameterized profiles beyond the
+//! paper's five measured benchmarks, for framework users who need to
+//! place *their* application in the design space before measuring it.
+//!
+//! Archetypes span the two axes that the validation experiments showed
+//! actually matter: network demand (NAR) and memory-system locality
+//! (L2 miss rate). A user picks the nearest archetype, runs the
+//! enhanced batch model, and gets a calibrated first answer.
+
+use crate::profile::BenchmarkProfile;
+
+/// Build a custom profile from the two dominant axes. Kernel-side
+/// statistics default to mild values (a compute-service workload).
+pub fn custom(name: &'static str, nar: f64, l2_miss: f64) -> BenchmarkProfile {
+    assert!((0.0..=1.0).contains(&nar), "NAR must be a rate");
+    assert!((0.0..=1.0).contains(&l2_miss), "L2 miss must be a rate");
+    BenchmarkProfile {
+        name,
+        ideal_cycles: 100_000_000,
+        total_flits: (100_000_000.0 * 16.0 * nar) as u64,
+        nar,
+        l2_miss,
+        nar_user: nar,
+        nar_os: (nar * 3.0).min(0.5),
+        l2_miss_user: l2_miss,
+        l2_miss_os: 0.02,
+        os_extra_traffic: 0.3,
+        r_timer: 0.003,
+    }
+}
+
+/// Compute-bound: the network is almost idle (think dense linear
+/// algebra with perfect blocking). Network parameters barely matter.
+pub fn compute_bound() -> BenchmarkProfile {
+    custom("compute-bound", 0.005, 0.05)
+}
+
+/// Cache-resident sharing: moderate traffic, almost everything hits the
+/// shared L2 (producer/consumer pipelines) — the most network-latency-
+/// sensitive archetype.
+pub fn cache_resident() -> BenchmarkProfile {
+    custom("cache-resident", 0.06, 0.02)
+}
+
+/// Memory-streaming: high miss traffic that mostly goes to DRAM;
+/// network latency hides behind the 300-cycle accesses.
+pub fn memory_streaming() -> BenchmarkProfile {
+    custom("memory-streaming", 0.05, 0.8)
+}
+
+/// Balanced: mid-range on both axes, the "typical" CMP workload.
+pub fn balanced() -> BenchmarkProfile {
+    custom("balanced", 0.03, 0.25)
+}
+
+/// All archetypes, for sweeps.
+pub fn all_archetypes() -> [BenchmarkProfile; 4] {
+    [compute_bound(), cache_resident(), memory_streaming(), balanced()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn archetypes_are_valid_profiles() {
+        for p in all_archetypes() {
+            assert!((0.0..=1.0).contains(&p.nar), "{}", p.name);
+            assert!((0.0..=1.0).contains(&p.l2_miss), "{}", p.name);
+            assert!(p.nar_os >= p.nar_user, "{}: OS is memory-hungrier", p.name);
+            assert!(p.r_timer > 0.0);
+        }
+    }
+
+    #[test]
+    fn archetypes_span_the_axes() {
+        let cb = compute_bound();
+        let cr = cache_resident();
+        let ms = memory_streaming();
+        assert!(cr.nar > 5.0 * cb.nar, "network demand axis");
+        assert!(ms.l2_miss > 10.0 * cr.l2_miss, "locality axis");
+    }
+
+    #[test]
+    fn custom_clamps_os_nar() {
+        let p = custom("x", 0.4, 0.1);
+        assert!(p.nar_os <= 0.5);
+    }
+
+    #[test]
+    #[should_panic]
+    fn custom_rejects_non_rates() {
+        custom("bad", 1.5, 0.1);
+    }
+}

@@ -1,0 +1,145 @@
+//! Communication matrices (paper Fig 13).
+//!
+//! Fig 13 contrasts (a) the *application-level* communication pattern of
+//! `lu` — structured row/column exchanges of the blocked algorithm —
+//! with (b) the *actual injected traffic*, which the shared,
+//! address-interleaved L2 randomizes into near-uniform traffic. The
+//! app-level matrix here is generated analytically; the actual-traffic
+//! matrix comes from `cmp-sim`'s traffic-matrix recording.
+
+/// Analytic application-level communication matrix for a blocked LU
+/// factorization on `n` processors arranged in a `sqrt(n) x sqrt(n)`
+/// process grid (SPLASH-2 `lu` style, 2D block-cyclic distribution):
+/// the owner of a diagonal block broadcasts down its process column
+/// (pivot panel) and along its process row (update panel), so each rank
+/// communicates predominantly with its grid row and column peers.
+///
+/// Returns an `n x n` matrix of relative traffic weights (`m[src*n+dst]`).
+pub fn lu_app_matrix(n: usize) -> Vec<f64> {
+    let g = (n as f64).sqrt() as usize;
+    assert_eq!(g * g, n, "lu process grid requires a square processor count");
+    let mut m = vec![0.0; n * n];
+    for src in 0..n {
+        let (sr, sc) = (src / g, src % g);
+        for dst in 0..n {
+            if dst == src {
+                continue;
+            }
+            let (dr, dc) = (dst / g, dst % g);
+            // column broadcast of pivot panels + row broadcast of updates
+            if sc == dc {
+                m[src * n + dst] += 2.0;
+            }
+            if sr == dr {
+                m[src * n + dst] += 2.0;
+            }
+            // diagonal-owner hot path: ranks exchange more with the
+            // diagonal block owner of their row/column
+            if dr == dc && (sr == dr || sc == dc) {
+                m[src * n + dst] += 1.0;
+            }
+            // small background term from boundary updates
+            m[src * n + dst] += 0.1;
+        }
+    }
+    m
+}
+
+/// Normalize a matrix so its maximum entry is 1.0 (for rendering).
+pub fn normalize_matrix(m: &[f64]) -> Vec<f64> {
+    let max = m.iter().cloned().fold(0.0, f64::max);
+    if max <= 0.0 {
+        return m.to_vec();
+    }
+    m.iter().map(|v| v / max).collect()
+}
+
+/// Render a (normalized) `n x n` matrix as ASCII shades, darkest = most
+/// traffic: ` .:-=+*#%@`.
+pub fn matrix_to_ascii(m: &[f64], n: usize) -> String {
+    const SHADES: &[u8] = b" .:-=+*#%@";
+    let norm = normalize_matrix(m);
+    let mut out = String::with_capacity(n * (n + 1));
+    for src in 0..n {
+        for dst in 0..n {
+            let v = norm[src * n + dst];
+            let idx = ((v * (SHADES.len() - 1) as f64).round() as usize).min(SHADES.len() - 1);
+            out.push(SHADES[idx] as char);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Coefficient of variation of the matrix's off-diagonal entries — a
+/// scalar "structuredness" measure: near 0 for uniform traffic, large
+/// for structured patterns. Used to verify Fig 13's contrast.
+pub fn structure_score(m: &[f64], n: usize) -> f64 {
+    let mut vals = Vec::with_capacity(n * n - n);
+    for s in 0..n {
+        for d in 0..n {
+            if s != d {
+                vals.push(m[s * n + d]);
+            }
+        }
+    }
+    let mean = vals.iter().sum::<f64>() / vals.len() as f64;
+    if mean == 0.0 {
+        return 0.0;
+    }
+    let var = vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / vals.len() as f64;
+    var.sqrt() / mean
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lu_matrix_is_row_column_structured() {
+        let n = 16;
+        let m = lu_app_matrix(n);
+        // same-row and same-column pairs carry more than unrelated pairs
+        let same_row = m[1]; // 0 -> 1 shares row 0
+        let same_col = m[4]; // 0 -> 4 shares column 0
+        let unrelated = m[5]; // 0 -> 5 shares nothing
+        assert!(same_row > unrelated);
+        assert!(same_col > unrelated);
+        // diagonal is zero (no self traffic)
+        for i in 0..n {
+            assert_eq!(m[i * n + i], 0.0);
+        }
+    }
+
+    #[test]
+    fn lu_matrix_is_structured_uniform_is_not() {
+        let n = 16;
+        let lu = lu_app_matrix(n);
+        assert!(structure_score(&lu, n) > 0.5, "lu must look structured");
+        let uniform = vec![1.0; n * n];
+        assert!(structure_score(&uniform, n) < 1e-9);
+    }
+
+    #[test]
+    fn normalize_caps_at_one() {
+        let m = vec![0.0, 2.0, 4.0, 1.0];
+        let norm = normalize_matrix(&m);
+        assert_eq!(norm, vec![0.0, 0.5, 1.0, 0.25]);
+        assert_eq!(normalize_matrix(&[0.0, 0.0]), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn ascii_render_shape() {
+        let m = lu_app_matrix(16);
+        let art = matrix_to_ascii(&m, 16);
+        let lines: Vec<&str> = art.lines().collect();
+        assert_eq!(lines.len(), 16);
+        assert!(lines.iter().all(|l| l.chars().count() == 16));
+    }
+
+    #[test]
+    #[should_panic]
+    fn non_square_grid_rejected() {
+        lu_app_matrix(12);
+    }
+}

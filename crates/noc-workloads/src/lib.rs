@@ -1,0 +1,23 @@
+//! # noc-workloads — benchmark characterizations
+//!
+//! The paper characterizes its SPLASH-2 / PARSEC benchmarks with a
+//! handful of statistics measured on GEMS (Tables III and IV): network
+//! access rate (NAR) and L2 miss rate, split user/OS, plus the
+//! application-dependent additional kernel traffic and the timer
+//! interrupt rate `R_timer`. This crate records those profiles
+//! ([`profile::BenchmarkProfile`]) and provides the communication-matrix
+//! generators behind Fig 13 ([`comm`]).
+//!
+//! The execution-driven substrate (`cmp-sim`) synthesizes instruction
+//! streams exhibiting exactly these statistics — see DESIGN.md for why
+//! this substitution preserves the behavior the paper measures.
+
+#![warn(missing_docs)]
+
+pub mod archetypes;
+pub mod comm;
+pub mod profile;
+
+pub use archetypes::{all_archetypes, balanced, cache_resident, compute_bound, custom, memory_streaming};
+pub use comm::{lu_app_matrix, matrix_to_ascii, normalize_matrix};
+pub use profile::{all_benchmarks, BenchmarkProfile, ClockFreq};

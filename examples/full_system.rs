@@ -1,0 +1,60 @@
+//! Full-system workflow: run the execution-driven CMP simulator for a
+//! benchmark, then build the paper's enhanced batch model from the same
+//! benchmark's profile and compare how both react to router delay —
+//! the fast methodology standing in for the slow one.
+//!
+//! Run with: `cargo run --release --example full_system [benchmark]`
+
+use cmp_sim::CmpConfig;
+use noc_closedloop::run_batch;
+use noc_eval::{batch_for_profile, BatchExtension};
+use noc_workloads::all_benchmarks;
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "canneal".to_string());
+    let profile = *all_benchmarks()
+        .iter()
+        .find(|p| p.name == which)
+        .unwrap_or_else(|| panic!("unknown benchmark `{which}`"));
+    println!("benchmark: {} (NAR {:.3}, L2 miss {:.3})", profile.name, profile.nar, profile.l2_miss);
+
+    println!(
+        "\n{:<4} {:>16} {:>10} {:>16} {:>10}",
+        "tr", "exec runtime", "exec norm", "batch runtime", "batch norm"
+    );
+    let mut exec_base = None;
+    let mut batch_base = None;
+    for &tr in &[1u32, 2, 4, 8] {
+        // the slow way: execution-driven simulation (minutes at paper scale)
+        let cmp = cmp_sim::run_cmp(
+            &CmpConfig::table2(profile)
+                .with_instructions(40_000)
+                .with_os(false)
+                .with_router_delay(tr),
+        )
+        .expect("valid configuration");
+
+        // the fast way: the enhanced batch model built from the profile
+        let bcfg = batch_for_profile(
+            noc_eval::bridge::table2_net(tr),
+            &profile,
+            BatchExtension::inj_re(),
+            500,
+            4,
+        );
+        let batch = run_batch(&bcfg).expect("valid configuration");
+
+        let eb = *exec_base.get_or_insert(cmp.runtime as f64);
+        let bb = *batch_base.get_or_insert(batch.runtime as f64);
+        println!(
+            "{:<4} {:>16} {:>10.3} {:>16} {:>10.3}",
+            tr,
+            cmp.runtime,
+            cmp.runtime as f64 / eb,
+            batch.runtime,
+            batch.runtime as f64 / bb
+        );
+    }
+    println!("\nthe normalized columns should track each other (Fig 18/19):");
+    println!("that agreement — not absolute cycles — is what the framework delivers.");
+}

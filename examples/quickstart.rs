@@ -1,0 +1,52 @@
+//! Quickstart: measure one open-loop point and one batch-model run on
+//! the paper's baseline 8x8 mesh, and print both views of the network.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use noc_closedloop::BatchConfig;
+use noc_openloop::OpenLoopConfig;
+use noc_sim::config::NetConfig;
+
+fn main() {
+    // ---- open loop: the classic latency measurement -------------------
+    let open = noc_openloop::measure(&OpenLoopConfig {
+        net: NetConfig::baseline(),
+        load: 0.2, // flits/cycle/node offered
+        ..OpenLoopConfig::default()
+    })
+    .expect("valid configuration");
+    println!("open-loop @ 0.2 flits/cycle/node:");
+    println!("  average latency   {:.1} cycles", open.avg_latency);
+    println!("  worst-node latency {:.1} cycles", open.worst_node_latency);
+    println!("  accepted          {:.3} flits/cycle/node", open.throughput);
+
+    // ---- closed loop: the batch model ---------------------------------
+    let batch = noc_closedloop::run_batch(&BatchConfig {
+        net: NetConfig::baseline(),
+        batch: 1000,       // b: operations per node
+        max_outstanding: 4, // m: MSHRs
+        ..BatchConfig::default()
+    })
+    .expect("valid configuration");
+    println!("\nbatch model (b=1000, m=4):");
+    println!("  runtime            {} cycles", batch.runtime);
+    println!("  achieved throughput {:.3} flits/cycle/node", batch.throughput);
+    println!(
+        "  per-node runtime spread {:.2}x (worst/best)",
+        *batch.per_node_runtime.iter().max().unwrap() as f64
+            / *batch.per_node_runtime.iter().min().unwrap() as f64
+    );
+
+    // the headline methodology: feed the batch model's achieved load back
+    // into the open loop and the two measurements line up
+    let feedback = noc_openloop::measure(&OpenLoopConfig {
+        net: NetConfig::baseline(),
+        load: batch.throughput,
+        ..OpenLoopConfig::default()
+    })
+    .expect("valid configuration");
+    println!(
+        "\nopen-loop latency at the batch model's achieved load ({:.3}): {:.1} cycles",
+        batch.throughput, feedback.avg_latency
+    );
+}

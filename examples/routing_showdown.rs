@@ -1,0 +1,64 @@
+//! Routing algorithm showdown under an adversarial permutation:
+//! transpose traffic, where load balancing (VAL/ROMM/MA) beats DOR in
+//! average latency — but, as the paper shows, not in worst-case batch
+//! runtime at low load, because the corner pairs route identically.
+//!
+//! Run with: `cargo run --release --example routing_showdown`
+
+use noc_closedloop::BatchConfig;
+use noc_openloop::OpenLoopConfig;
+use noc_sim::config::{NetConfig, RoutingKind};
+use noc_traffic::PatternKind;
+
+fn main() {
+    let routings = [
+        ("DOR", RoutingKind::Dor),
+        ("MA", RoutingKind::MinAdaptive),
+        ("ROMM", RoutingKind::Romm),
+        ("VAL", RoutingKind::Valiant),
+    ];
+    println!("transpose traffic on the 8x8 mesh, 4 VCs\n");
+    println!(
+        "{:<6} {:>14} {:>14} {:>14} {:>14}",
+        "algo", "avg lat @0.05", "avg lat @0.25", "batch T (m=1)", "batch T (m=32)"
+    );
+    for (name, routing) in routings {
+        let net = NetConfig::baseline().with_routing(routing).with_vcs(4);
+        let lat = |load: f64| {
+            noc_openloop::measure(&OpenLoopConfig {
+                net: net.clone(),
+                pattern: PatternKind::Transpose,
+                load,
+                warmup: 2_000,
+                measure: 5_000,
+                drain_max: 50_000,
+                ..OpenLoopConfig::default()
+            })
+            .expect("valid configuration")
+            .avg_latency
+        };
+        let batch = |m: usize| {
+            noc_closedloop::run_batch(&BatchConfig {
+                net: net.clone(),
+                pattern: PatternKind::Transpose,
+                batch: 500,
+                max_outstanding: m,
+                ..BatchConfig::default()
+            })
+            .expect("valid configuration")
+            .runtime
+        };
+        println!(
+            "{:<6} {:>14.1} {:>14.1} {:>14} {:>14}",
+            name,
+            lat(0.05),
+            lat(0.25),
+            batch(1),
+            batch(32)
+        );
+    }
+    println!("\nexpected shape: VAL's avg latency is worst at low load (doubled hops)");
+    println!("yet its m=1 batch runtime ~matches DOR — worst-case corner traffic");
+    println!("routes minimally either way. At high m (throughput-bound), the");
+    println!("load-balanced algorithms win on transpose.");
+}

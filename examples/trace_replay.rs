@@ -1,0 +1,43 @@
+//! Trace-driven workflow: capture a packet trace from a closed-loop
+//! batch run, save/restore it, and replay it on network variants —
+//! demonstrating both the speed appeal and the causality blindness of
+//! trace-driven evaluation (paper Section II).
+//!
+//! Run with: `cargo run --release --example trace_replay`
+
+use noc_closedloop::BatchConfig;
+use noc_sim::config::NetConfig;
+use noc_trace::{record_batch, replay, Trace};
+
+fn main() {
+    let base = BatchConfig {
+        net: NetConfig::baseline(),
+        batch: 300,
+        max_outstanding: 1,
+        ..BatchConfig::default()
+    };
+    println!("capturing a batch-model trace on the baseline 8x8 mesh (tr=1)...");
+    let (trace, rt1) = record_batch(&base).expect("valid configuration");
+    println!(
+        "  {} packets over {} cycles (closed-loop runtime {rt1})",
+        trace.len(),
+        trace.duration()
+    );
+
+    // traces serialize to a simple text format
+    let text = trace.to_text();
+    let restored = Trace::from_text(&text).expect("roundtrip");
+    println!("  serialized to {} bytes, restored {} records\n", text.len(), restored.len());
+
+    println!("{:<4} {:>16} {:>16}", "tr", "closed-loop T", "trace-replay T");
+    for tr in [1u32, 2, 4, 8] {
+        let net = base.net.clone().with_router_delay(tr);
+        let closed = noc_closedloop::run_batch(&BatchConfig { net: net.clone(), ..base.clone() })
+            .expect("valid configuration")
+            .runtime;
+        let replayed = replay(&net, &restored).expect("valid configuration").runtime;
+        println!("{tr:<4} {closed:>16} {replayed:>16}");
+    }
+    println!("\nthe replay column barely moves: recorded timestamps keep injecting");
+    println!("on the tr=1 schedule, masking the degradation the closed loop shows.");
+}

@@ -1,0 +1,14 @@
+//! Umbrella crate for the *On-Chip Network Evaluation Framework*
+//! reproduction: re-exports every workspace crate and hosts the
+//! runnable examples (`examples/`) and cross-crate integration tests
+//! (`tests/`).
+
+pub use cmp_sim;
+pub use noc_closedloop;
+pub use noc_eval;
+pub use noc_openloop;
+pub use noc_sim;
+pub use noc_stats;
+pub use noc_trace;
+pub use noc_traffic;
+pub use noc_workloads;

@@ -1,0 +1,184 @@
+//! Property-based invariants over the whole stack (proptest): packet
+//! conservation, deterministic replay, latency lower bounds, and batch
+//! accounting, across randomized configurations.
+
+use proptest::prelude::*;
+
+use noc_closedloop::BatchConfig;
+use noc_sim::config::{Arbitration, NetConfig, RoutingKind, TopologyKind};
+use noc_sim::flit::{Cycle, Delivered, PacketSpec};
+use noc_sim::network::{Network, NodeBehavior};
+use noc_traffic::PatternKind;
+
+/// A scripted behavior for conservation tests.
+struct Script {
+    sends: Vec<(u64, usize, usize, u16)>,
+    delivered: Vec<(u64, u64)>, // (uid, latency)
+    min_hops_violations: usize,
+    net_info: Vec<(usize, usize)>, // (src, dst) by uid order (unused growth ok)
+}
+
+impl NodeBehavior for Script {
+    fn pull(&mut self, node: usize, cycle: Cycle) -> Option<PacketSpec> {
+        let idx = self.sends.iter().position(|&(c, s, ..)| s == node && c <= cycle)?;
+        let (_, src, dst, size) = self.sends.remove(idx);
+        self.net_info.push((src, dst));
+        Some(PacketSpec { dst, size, class: 0, payload: 0 })
+    }
+
+    fn deliver(&mut self, _node: usize, d: &Delivered, cycle: Cycle) {
+        self.delivered.push((d.uid, cycle - d.birth));
+    }
+
+    fn quiescent(&self) -> bool {
+        self.sends.is_empty()
+    }
+}
+
+fn topo_strategy() -> impl Strategy<Value = TopologyKind> {
+    prop_oneof![
+        Just(TopologyKind::Mesh2D { k: 4 }),
+        Just(TopologyKind::Torus2D { k: 4 }),
+        Just(TopologyKind::Ring { n: 8 }),
+    ]
+}
+
+fn routing_strategy() -> impl Strategy<Value = RoutingKind> {
+    prop_oneof![
+        Just(RoutingKind::Dor),
+        Just(RoutingKind::Valiant),
+        Just(RoutingKind::Romm),
+        Just(RoutingKind::MinAdaptive),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Every injected packet is delivered exactly once, on any topology,
+    /// routing, buffering, and arbitration the config system accepts.
+    #[test]
+    fn packets_are_conserved(
+        topo in topo_strategy(),
+        routing in routing_strategy(),
+        vc_buf in 1usize..6,
+        tr in 1u32..5,
+        arb in prop_oneof![Just(Arbitration::RoundRobin), Just(Arbitration::AgeBased)],
+        seed in 0u64..1000,
+        n_packets in 1usize..120,
+    ) {
+        let cfg = NetConfig::baseline()
+            .with_topology(topo)
+            .with_routing(routing)
+            .with_vcs(4)
+            .with_vc_buf(vc_buf)
+            .with_router_delay(tr)
+            .with_arbitration(arb)
+            .with_seed(seed);
+        prop_assume!(cfg.validate().is_ok());
+        let nodes = topo.num_nodes();
+        let mut rng = noc_sim::rng::SimRng::new(seed ^ 0xfeed);
+        let sends: Vec<(u64, usize, usize, u16)> = (0..n_packets)
+            .map(|i| ((i % 17) as u64, rng.below(nodes), rng.below(nodes), 1 + rng.below(4) as u16))
+            .collect();
+        let mut net = Network::new(cfg).unwrap();
+        let mut b = Script { sends, delivered: Vec::new(), min_hops_violations: 0, net_info: Vec::new() };
+        prop_assert!(net.drain(&mut b, 500_000), "network failed to drain");
+        prop_assert_eq!(b.delivered.len(), n_packets);
+        // no duplicate deliveries
+        let mut uids: Vec<u64> = b.delivered.iter().map(|&(u, _)| u).collect();
+        uids.sort_unstable();
+        uids.dedup();
+        prop_assert_eq!(uids.len(), n_packets);
+        let _ = b.min_hops_violations;
+    }
+
+    /// Latency never beats the analytic zero-load lower bound:
+    /// `H_min * (t_r + t_link) + t_r` for the head plus serialization.
+    #[test]
+    fn latency_respects_physics(
+        seed in 0u64..500,
+        tr in 1u32..5,
+        n_packets in 1usize..40,
+    ) {
+        let topo = TopologyKind::Mesh2D { k: 4 };
+        let cfg = NetConfig::baseline().with_topology(topo).with_router_delay(tr).with_seed(seed);
+        let nodes = 16;
+        let mut rng = noc_sim::rng::SimRng::new(seed);
+        let sends: Vec<(u64, usize, usize, u16)> = (0..n_packets)
+            .map(|i| (i as u64, rng.below(nodes), rng.below(nodes), 1u16))
+            .collect();
+        // remember pairs to check bounds by uid (uids assigned in pull order)
+        let pairs: Vec<(usize, usize)> = Vec::new();
+        let mut net = Network::new(cfg).unwrap();
+        let mut b = Script { sends, delivered: Vec::new(), min_hops_violations: 0, net_info: pairs };
+        prop_assert!(net.drain(&mut b, 200_000));
+        let t = TopologyKind::Mesh2D { k: 4 }.build();
+        // uid order == pull order == net_info order
+        for &(uid, latency) in &b.delivered {
+            let (src, dst) = b.net_info[uid as usize];
+            if src == dst {
+                // local delivery bypasses the fabric at exactly tr + 1
+                prop_assert_eq!(latency, tr as u64 + 1);
+            } else {
+                let h = t.min_hops(src, dst) as u64;
+                let bound = h * (tr as u64 + 1) + tr as u64;
+                prop_assert!(latency >= bound,
+                    "latency {} beats physics bound {} for {}->{}", latency, bound, src, dst);
+            }
+        }
+    }
+
+    /// Identical (config, seed) pairs replay cycle-exactly, for any
+    /// routing algorithm.
+    #[test]
+    fn deterministic_replay(
+        routing in routing_strategy(),
+        seed in 0u64..200,
+    ) {
+        let run = || {
+            let cfg = NetConfig::baseline()
+                .with_topology(TopologyKind::Mesh2D { k: 4 })
+                .with_routing(routing)
+                .with_vcs(4)
+                .with_seed(seed);
+            let mut rng = noc_sim::rng::SimRng::new(seed);
+            let sends: Vec<(u64, usize, usize, u16)> =
+                (0..60).map(|i| (i as u64 % 11, rng.below(16), rng.below(16), 1u16)).collect();
+            let mut net = Network::new(cfg).unwrap();
+            let mut b = Script { sends, delivered: Vec::new(), min_hops_violations: 0, net_info: Vec::new() };
+            net.drain(&mut b, 200_000);
+            let mut log = b.delivered;
+            log.sort_unstable();
+            log
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    /// Batch accounting: exactly `N x b` operations complete; runtime
+    /// bounds follow from injection bandwidth and round-trip latency.
+    #[test]
+    fn batch_accounting_holds(
+        m in 1usize..16,
+        b in 20u64..200,
+        seed in 0u64..100,
+    ) {
+        let cfg = BatchConfig {
+            net: NetConfig::baseline().with_topology(TopologyKind::Mesh2D { k: 4 }).with_seed(seed),
+            pattern: PatternKind::Uniform,
+            batch: b,
+            max_outstanding: m,
+            ..BatchConfig::default()
+        };
+        let r = noc_closedloop::run_batch(&cfg).unwrap();
+        prop_assert!(r.drained);
+        prop_assert_eq!(r.completed, 16 * b);
+        // each node injects b requests at <= 1 flit/cycle
+        prop_assert!(r.runtime >= b, "runtime {} below injection bound {b}", r.runtime);
+        // and per-node runtimes are within the global runtime
+        prop_assert!(r.per_node_runtime.iter().all(|&t| t <= r.runtime));
+        // throughput identity: theta = 2b/T
+        let theta = 2.0 * b as f64 / r.runtime as f64;
+        prop_assert!((r.throughput - theta).abs() < 1e-9);
+    }
+}
