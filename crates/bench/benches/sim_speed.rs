@@ -62,9 +62,7 @@ fn bench_cmp_run(c: &mut Criterion) {
     let profile = noc_workloads::all_benchmarks()[0];
     g.bench_function("blackscholes-10k", |b| {
         b.iter(|| {
-            let cfg = cmp_sim::CmpConfig::table2(profile)
-                .with_instructions(10_000)
-                .with_os(false);
+            let cfg = cmp_sim::CmpConfig::table2(profile).with_instructions(10_000).with_os(false);
             cmp_sim::run_cmp(&cfg).unwrap()
         })
     });

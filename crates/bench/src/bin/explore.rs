@@ -76,9 +76,7 @@ fn parse_args() -> Result<(NetConfig, PatternKind, SizeKind, f64, u64, usize), S
                 size = match val.as_str() {
                     "1" => SizeKind::Fixed(1),
                     "bimodal" => SizeKind::Bimodal { short: 1, long: 4, p_long: 0.5 },
-                    other => SizeKind::Fixed(
-                        other.parse().map_err(|e| format!("--size: {e}"))?,
-                    ),
+                    other => SizeKind::Fixed(other.parse().map_err(|e| format!("--size: {e}"))?),
                 }
             }
             "--load" => load = val.parse().map_err(|e| format!("--load: {e}"))?,
@@ -108,8 +106,12 @@ fn main() {
 
     if let Err(e) = net.validate() {
         eprintln!("invalid network configuration: {e}");
+        // The full report explains *why* — including a concrete CDG
+        // cycle witness when the configuration can deadlock.
+        eprintln!("{}", noc_verify::verify(&net));
         std::process::exit(2);
     }
+    println!("{}", noc_verify::verify(&net).one_line());
     let topo = net.topology.build();
     println!(
         "network: {} | {:?} routing | {} VCs x {} flits | tr={} | {:?}",

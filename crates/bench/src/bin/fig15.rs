@@ -5,6 +5,9 @@ fn main() {
     println!("== Fig 15: exec-driven vs plain batch ==");
     println!("r = {:.4} (paper: 0.829)", o.r.unwrap_or(f64::NAN));
     for p in &o.points {
-        println!("{:<14} tr={} exec={:.3} batch={:.3}", p.benchmark, p.tr, p.cmp_norm, p.batch_norm);
+        println!(
+            "{:<14} tr={} exec={:.3} batch={:.3}",
+            p.benchmark, p.tr, p.cmp_norm, p.batch_norm
+        );
     }
 }

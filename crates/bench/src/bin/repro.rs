@@ -16,6 +16,21 @@ fn main() {
     let e = noc_bench::effort_from_args();
     let total = Instant::now();
 
+    // Prove the sweep's network configurations deadlock-free before
+    // spending hours simulating them.
+    timed("verify", || {
+        use noc_sim::config::{NetConfig, RoutingKind, TopologyKind};
+        let configs = [
+            NetConfig::baseline(),
+            NetConfig::baseline().with_topology(TopologyKind::FoldedTorus2D { k: 8 }),
+            NetConfig::baseline().with_topology(TopologyKind::Ring { n: 64 }),
+            NetConfig::baseline().with_routing(RoutingKind::Valiant).with_vcs(2),
+            NetConfig::baseline().with_routing(RoutingKind::Romm).with_vcs(2),
+            NetConfig::baseline().with_routing(RoutingKind::MinAdaptive).with_vcs(2),
+        ];
+        configs.iter().map(|c| noc_verify::verify(c).one_line()).collect::<Vec<_>>().join("\n")
+    });
+
     timed("table1", noc_eval::figures::table1);
     timed("table2", noc_eval::figures::table2);
     timed("fig01", || noc_eval::figures::fig01(&e).render());

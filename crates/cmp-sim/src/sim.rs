@@ -293,8 +293,7 @@ pub fn run_ideal(cfg: &CmpConfig) -> CmpResult {
             let total = (b.cfg.req_flits + reply) as u64;
             flits += total;
             b.count(total, os, cycle);
-            let svc = b.cfg.l2_latency
-                + if l2_miss { b.cfg.mem_latency } else { 0 };
+            let svc = b.cfg.l2_latency + if l2_miss { b.cfg.mem_latency } else { 0 };
             // 1 cycle to the bank, service, 1 cycle back
             events.push(Reverse((cycle + 2 + svc, node, store)));
         }

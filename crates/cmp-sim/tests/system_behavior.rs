@@ -33,12 +33,7 @@ fn l2_miss_rate_stretches_runtime() {
     let bs = run_cmp(&quick("blackscholes").with_os(false)).unwrap();
     let fft = run_cmp(&quick("fft").with_os(false)).unwrap();
     let cpi = |r: &cmp_sim::CmpResult| r.runtime as f64 / (r.instructions as f64 / 16.0);
-    assert!(
-        cpi(&fft) > 1.5 * cpi(&bs),
-        "fft CPI {} vs blackscholes {}",
-        cpi(&fft),
-        cpi(&bs)
-    );
+    assert!(cpi(&fft) > 1.5 * cpi(&bs), "fft CPI {} vs blackscholes {}", cpi(&fft), cpi(&bs));
 }
 
 #[test]

@@ -82,12 +82,7 @@ pub fn batch_for_profile(
     batch: u64,
     m: usize,
 ) -> BatchConfig {
-    let mut cfg = BatchConfig {
-        net,
-        batch,
-        max_outstanding: m,
-        ..BatchConfig::default()
-    };
+    let mut cfg = BatchConfig { net, batch, max_outstanding: m, ..BatchConfig::default() };
     if ext.injection {
         cfg.nar = profile.nar;
     }
@@ -144,13 +139,8 @@ mod tests {
     #[test]
     fn extensions_pull_profile_numbers() {
         let p = *all_benchmarks().iter().find(|p| p.name == "fft").unwrap();
-        let cfg = batch_for_profile(
-            table2_net(2),
-            &p,
-            BatchExtension::full(ClockFreq::MHz75),
-            100,
-            4,
-        );
+        let cfg =
+            batch_for_profile(table2_net(2), &p, BatchExtension::full(ClockFreq::MHz75), 100, 4);
         assert_eq!(cfg.nar, 0.033);
         assert_eq!(
             cfg.reply_model,

@@ -128,10 +128,8 @@ pub fn correlate_open_batch(
         let mut prev_theta: Option<f64> = None;
         let mut saturated = false;
         for &m in ms {
-            let idx = points
-                .iter()
-                .position(|p| &p.variant == label && p.m == m)
-                .expect("point exists");
+            let idx =
+                points.iter().position(|p| &p.variant == label && p.m == m).expect("point exists");
             if let Some(prev) = prev_theta {
                 if points[idx].theta < 1.05 * prev {
                     saturated = true;
@@ -150,10 +148,8 @@ pub fn correlate_open_batch(
         pearson(&x, &y)
     };
     let all: Vec<&OpenBatchPoint> = points.iter().collect();
-    let filtered: Vec<&OpenBatchPoint> = points
-        .iter()
-        .filter(|p| !excluded_ms.contains(&p.m) && p.stable)
-        .collect();
+    let filtered: Vec<&OpenBatchPoint> =
+        points.iter().filter(|p| !excluded_ms.contains(&p.m) && p.stable).collect();
     Ok(OpenBatchOutcome {
         r_all: xy(&all),
         r_filtered: xy(&filtered),
@@ -291,15 +287,9 @@ mod tests {
             ("tr=4".to_string(), net.with_router_delay(4)),
         ];
         let effort = Effort { batch: 150, ..Effort::quick() };
-        let out = correlate_open_batch(
-            &variants,
-            &[1, 4],
-            PatternKind::Uniform,
-            &effort,
-            false,
-            &[],
-        )
-        .unwrap();
+        let out =
+            correlate_open_batch(&variants, &[1, 4], PatternKind::Uniform, &effort, false, &[])
+                .unwrap();
         assert_eq!(out.points.len(), 4);
         // per-m baselines are 1.0
         assert_eq!(out.points[0].norm_runtime, 1.0);

@@ -57,9 +57,7 @@ impl Effort {
 
     /// Evenly spaced offered loads up to `max` (exclusive of zero).
     pub fn loads(&self, max: f64) -> Vec<f64> {
-        (1..=self.sweep_points)
-            .map(|i| max * i as f64 / self.sweep_points as f64)
-            .collect()
+        (1..=self.sweep_points).map(|i| max * i as f64 / self.sweep_points as f64).collect()
     }
 }
 

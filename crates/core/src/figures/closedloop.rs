@@ -40,13 +40,9 @@ pub fn fig02(effort: &Effort) -> Fig02 {
             points: bs
                 .iter()
                 .map(|&b| {
-                    let r = run_batch(&batch_cfg(
-                        NetConfig::baseline(),
-                        PatternKind::Uniform,
-                        b,
-                        m,
-                    ))
-                    .expect("valid config");
+                    let r =
+                        run_batch(&batch_cfg(NetConfig::baseline(), PatternKind::Uniform, b, m))
+                            .expect("valid config");
                     (b as f64, r.normalized_runtime)
                 })
                 .collect(),

@@ -10,7 +10,9 @@ use noc_workloads::{all_benchmarks, BenchmarkProfile, ClockFreq};
 use serde::{Deserialize, Serialize};
 
 use crate::bridge::{batch_for_profile, table2_net, BatchExtension};
-use crate::correlate::{correlate_cmp_batch, correlate_open_batch, CmpBatchOutcome, OpenBatchOutcome};
+use crate::correlate::{
+    correlate_cmp_batch, correlate_open_batch, CmpBatchOutcome, OpenBatchOutcome,
+};
 use crate::effort::Effort;
 
 /// The router-delay sweep of the validation experiments.
@@ -52,15 +54,9 @@ pub fn fig05(effort: &Effort) -> Fig05 {
         .map(|&q| (format!("q={q}"), NetConfig::baseline().with_vc_buf(q)))
         .collect();
     let excluded = [16usize, 32];
-    let buffer_size = correlate_open_batch(
-        &q_variants,
-        &ms,
-        PatternKind::Uniform,
-        effort,
-        false,
-        &excluded,
-    )
-    .expect("valid configs");
+    let buffer_size =
+        correlate_open_batch(&q_variants, &ms, PatternKind::Uniform, effort, false, &excluded)
+            .expect("valid configs");
 
     // throughput agreement: batch theta at the largest m vs open-loop
     // saturation, per buffer variant
@@ -115,9 +111,7 @@ impl Fig05 {
         for (title, o) in
             [("(a) router delay", &self.router_delay), ("(b) buffer size", &self.buffer_size)]
         {
-            out.push_str(&format!(
-                "-- {title} --\nm      variant   T_norm     L_norm     theta\n"
-            ));
+            out.push_str(&format!("-- {title} --\nm      variant   T_norm     L_norm     theta\n"));
             for p in &o.points {
                 out.push_str(&format!(
                     "{:<6} {:<9} {:<10.3} {:<10.3} {:.4}\n",
@@ -135,10 +129,7 @@ impl Fig05 {
         for (label, bt, os) in &self.buffer_theta {
             out.push_str(&format!("{label:<9} {bt:<18.4} {os:.4}\n"));
         }
-        out.push_str(&format!(
-            "r (theta) = {:.4}\n",
-            self.r_theta.unwrap_or(f64::NAN)
-        ));
+        out.push_str(&format!("r (theta) = {:.4}\n", self.r_theta.unwrap_or(f64::NAN)));
         out
     }
 }
@@ -325,10 +316,7 @@ impl Fig19 {
 
     /// The correlation of each variant, labeled.
     pub fn correlations(&self) -> Vec<(String, f64)> {
-        self.outcomes
-            .iter()
-            .map(|o| (o.label.clone(), o.r.unwrap_or(f64::NAN)))
-            .collect()
+        self.outcomes.iter().map(|o| (o.label.clone(), o.r.unwrap_or(f64::NAN))).collect()
     }
 }
 
@@ -349,8 +337,7 @@ pub fn fig22(effort: &Effort) -> Fig22 {
     for clock in [ClockFreq::MHz75, ClockFreq::GHz3] {
         // execution-driven reference *includes* OS activity at `clock`;
         // run it once and correlate both batch variants against it
-        let make_cmp =
-            |p: &BenchmarkProfile| validation_cmp(p, effort, true).with_clock(clock);
+        let make_cmp = |p: &BenchmarkProfile| validation_cmp(p, effort, true).with_clock(clock);
         let sweep = crate::correlate::run_cmp_sweep(&all_benchmarks(), make_cmp, &TRS)
             .expect("valid configs");
         let without = crate::correlate::correlate_sweep_batch(

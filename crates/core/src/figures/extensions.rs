@@ -164,7 +164,8 @@ pub struct ExtArbitration {
 /// Run the arbitration ablation.
 pub fn ext_arbitration(effort: &Effort) -> ExtArbitration {
     let mut rows = Vec::new();
-    for (label, arb) in [("round-robin", Arbitration::RoundRobin), ("age-based", Arbitration::AgeBased)]
+    for (label, arb) in
+        [("round-robin", Arbitration::RoundRobin), ("age-based", Arbitration::AgeBased)]
     {
         for &m in &[4usize, 32] {
             let r = run_batch(&BatchConfig {

@@ -63,10 +63,8 @@ pub fn render_curves(title: &str, curves: &[Curve]) -> String {
 
 /// ASCII plot of several curves (terminal visualization).
 pub fn plot_curves(title: &str, curves: &[Curve]) -> String {
-    let series: Vec<crate::plot::Series<'_>> = curves
-        .iter()
-        .map(|c| crate::plot::Series { label: &c.label, points: &c.points })
-        .collect();
+    let series: Vec<crate::plot::Series<'_>> =
+        curves.iter().map(|c| crate::plot::Series { label: &c.label, points: &c.points }).collect();
     crate::plot::ascii_plot(title, &series, 64, 16)
 }
 

@@ -64,7 +64,8 @@ pub struct Fig01 {
 /// Run Fig 1.
 pub fn fig01(effort: &Effort) -> Fig01 {
     let net = NetConfig::baseline();
-    let curve = latency_curve("uniform/DOR", net.clone(), PatternKind::Uniform, effort, 0.44, false);
+    let curve =
+        latency_curve("uniform/DOR", net.clone(), PatternKind::Uniform, effort, 0.44, false);
     let sat = noc_openloop::saturation_throughput(
         &base_openloop(net, PatternKind::Uniform, effort),
         300.0,
@@ -144,10 +145,7 @@ impl Fig03 {
 
     /// Highest stable load per buffer-size curve (throughput proxy).
     pub fn buffer_saturation_proxy(&self) -> Vec<(String, f64)> {
-        self.buffer_size
-            .iter()
-            .map(|c| (c.label.clone(), c.last_x().unwrap_or(0.0)))
-            .collect()
+        self.buffer_size.iter().map(|c| (c.label.clone(), c.last_x().unwrap_or(0.0))).collect()
     }
 }
 

@@ -78,12 +78,8 @@ pub fn fig13(effort: &Effort) -> Fig13 {
     let lu = *all_benchmarks().iter().find(|p| p.name == "lu").expect("lu profile");
     let cfg = validation_cmp(&lu, effort, false);
     let r = run_cmp(&cfg).expect("valid config");
-    let actual: Vec<f64> = r
-        .traffic_matrix
-        .expect("matrix recording enabled")
-        .iter()
-        .map(|&v| v as f64)
-        .collect();
+    let actual: Vec<f64> =
+        r.traffic_matrix.expect("matrix recording enabled").iter().map(|&v| v as f64).collect();
     let app = lu_app_matrix(16);
     let structure = (
         noc_workloads::comm::structure_score(&app, 16),
@@ -300,7 +296,12 @@ pub fn table4() -> String {
     for p in all_benchmarks() {
         out.push_str(&format!(
             "{:<14} {:<7.3} {:<7.3} {:<7.3} {:<7.3} {:<7.2} {:.5}\n",
-            p.name, p.nar_user, p.nar_os, p.l2_miss_user, p.l2_miss_os, p.os_extra_traffic,
+            p.name,
+            p.nar_user,
+            p.nar_os,
+            p.l2_miss_user,
+            p.l2_miss_os,
+            p.os_extra_traffic,
             p.r_timer
         ));
     }

@@ -33,8 +33,10 @@ pub fn ascii_plot(title: &str, series: &[Series<'_>], width: usize, height: usiz
         let y_min = all.iter().map(|p| p.1).fold(f64::INFINITY, f64::min);
         let y_max = all.iter().map(|p| p.1).fold(f64::NEG_INFINITY, f64::max);
         // avoid a degenerate range
-        let (x_min, x_max) = if x_min == x_max { (x_min - 0.5, x_max + 0.5) } else { (x_min, x_max) };
-        let (y_min, y_max) = if y_min == y_max { (y_min - 0.5, y_max + 0.5) } else { (y_min, y_max) };
+        let (x_min, x_max) =
+            if x_min == x_max { (x_min - 0.5, x_max + 0.5) } else { (x_min, x_max) };
+        let (y_min, y_max) =
+            if y_min == y_max { (y_min - 0.5, y_max + 0.5) } else { (y_min, y_max) };
         (x_min, x_max, y_min, y_max)
     };
 

@@ -124,7 +124,7 @@ mod tests {
     fn float_formats() {
         assert_eq!(f(0.0), "0");
         assert_eq!(f(0.12345), "0.1235");
-        assert_eq!(f(3.14159), "3.14");
+        assert_eq!(f(3.17159), "3.17");
         assert_eq!(f(12345.6), "12346");
     }
 }

@@ -228,12 +228,7 @@ impl NodeBehavior for BatchBehavior {
         if let Some(&Reverse((ready, dst))) = self.replies[node].peek() {
             if ready <= cycle {
                 self.replies[node].pop();
-                return Some(PacketSpec {
-                    dst,
-                    size: self.reply_size,
-                    class: REPLY,
-                    payload: 0,
-                });
+                return Some(PacketSpec { dst, size: self.reply_size, class: REPLY, payload: 0 });
             }
         }
         // 2) at most one request attempt per node per cycle
@@ -251,12 +246,7 @@ impl NodeBehavior for BatchBehavior {
             st.issued += 1;
             st.outstanding += 1;
             let dst = self.pattern.dest(node, &mut self.rng);
-            return Some(PacketSpec {
-                dst,
-                size: self.request_size,
-                class: REQUEST,
-                payload: 0,
-            });
+            return Some(PacketSpec { dst, size: self.request_size, class: REQUEST, payload: 0 });
         }
         None
     }
@@ -380,10 +370,11 @@ mod tests {
     #[test]
     fn kernel_static_inflation_increases_work() {
         let plain = run_batch(&quick(100, 4)).unwrap();
-        let inflated = run_batch(
-            &quick(100, 4)
-                .with_kernel(KernelModel { static_frac: 0.5, timer_rate: 0.0, timer_packets: 0 }),
-        )
+        let inflated = run_batch(&quick(100, 4).with_kernel(KernelModel {
+            static_frac: 0.5,
+            timer_rate: 0.0,
+            timer_packets: 0,
+        }))
         .unwrap();
         assert_eq!(inflated.completed, 16 * 150);
         assert!(inflated.runtime > plain.runtime);

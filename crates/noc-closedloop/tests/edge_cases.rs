@@ -191,8 +191,7 @@ fn barrier_and_batch_agree_on_topology_ranking_at_high_m() {
         .unwrap()
         .runtime
     };
-    let topos =
-        [(TopologyKind::Mesh2D { k: 8 }, 4), (TopologyKind::FoldedTorus2D { k: 8 }, 4)];
+    let topos = [(TopologyKind::Mesh2D { k: 8 }, 4), (TopologyKind::FoldedTorus2D { k: 8 }, 4)];
     let batch: Vec<u64> = topos.iter().map(|&(t, v)| batch_rt(t, v)).collect();
     let barrier: Vec<u64> = topos.iter().map(|&(t, v)| barrier_rt(t, v)).collect();
     // both should rank the torus (higher bisection) faster than the mesh

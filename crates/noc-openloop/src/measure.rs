@@ -164,12 +164,7 @@ pub fn measure(cfg: &OpenLoopConfig) -> Result<OpenLoopResult, ConfigError> {
             b.samples.percentile(99.0).unwrap_or(0.0),
         )
     });
-    let loads: Vec<u64> = net
-        .link_loads()
-        .iter()
-        .map(|&(_, c)| c)
-        .filter(|&c| c > 0)
-        .collect();
+    let loads: Vec<u64> = net.link_loads().iter().map(|&(_, c)| c).filter(|&c| c > 0).collect();
     let channel_imbalance = if loads.is_empty() {
         0.0
     } else {

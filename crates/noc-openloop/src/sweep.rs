@@ -33,11 +33,7 @@ pub fn sweep(base: &OpenLoopConfig, loads: &[f64]) -> Vec<SweepPoint> {
 ///
 /// Returns the bracketing `(stable_load, unstable_load)` pair once the
 /// bracket is narrower than `tol`.
-pub fn saturation_throughput(
-    base: &OpenLoopConfig,
-    latency_cap: f64,
-    tol: f64,
-) -> (f64, f64) {
+pub fn saturation_throughput(base: &OpenLoopConfig, latency_cap: f64, tol: f64) -> (f64, f64) {
     let stable_at = |load: f64| -> bool {
         let cfg = base.clone().with_load(load);
         match measure(&cfg) {

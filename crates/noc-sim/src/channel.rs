@@ -53,7 +53,7 @@ impl Link {
     /// Pop the next flit if it has arrived by `now`.
     pub fn pop_flit(&mut self, now: Cycle) -> Option<Flit> {
         match self.flits.front() {
-            Some(&(ready, _)) if ready <= now => Some(self.flits.pop_front().expect("front").1),
+            Some(&(ready, _)) if ready <= now => self.flits.pop_front().map(|(_, f)| f),
             _ => None,
         }
     }
@@ -61,9 +61,7 @@ impl Link {
     /// Pop the next credit if it has arrived by `now`.
     pub fn pop_credit(&mut self, now: Cycle) -> Option<u8> {
         match self.credits.front() {
-            Some(&(ready, _)) if ready <= now => {
-                Some(self.credits.pop_front().expect("front").1)
-            }
+            Some(&(ready, _)) if ready <= now => self.credits.pop_front().map(|(_, v)| v),
             _ => None,
         }
     }
@@ -71,6 +69,17 @@ impl Link {
     /// Flits currently in flight on the wire.
     pub fn in_flight(&self) -> usize {
         self.flits.len()
+    }
+
+    /// Iterate over in-flight flits with their arrival times (oldest
+    /// first). Used by the runtime sanitizer for conservation checks.
+    pub fn iter_flits(&self) -> impl Iterator<Item = &(Cycle, Flit)> {
+        self.flits.iter()
+    }
+
+    /// Iterate over in-flight credits `(ready, vc)` (oldest first).
+    pub fn iter_credits(&self) -> impl Iterator<Item = &(Cycle, u8)> {
+        self.credits.iter()
     }
 }
 

@@ -56,7 +56,9 @@ impl TopologyKind {
     /// Number of nodes.
     pub fn num_nodes(&self) -> usize {
         match *self {
-            TopologyKind::Mesh2D { k } | TopologyKind::FoldedTorus2D { k } | TopologyKind::Torus2D { k } => k * k,
+            TopologyKind::Mesh2D { k }
+            | TopologyKind::FoldedTorus2D { k }
+            | TopologyKind::Torus2D { k } => k * k,
             TopologyKind::Ring { n } => n,
         }
     }

@@ -1,4 +1,4 @@
-//! Configuration validation errors.
+//! Configuration validation and simulation-integrity errors.
 
 use std::fmt;
 
@@ -43,13 +43,147 @@ impl fmt::Display for ConfigError {
                 "{vcs} virtual channels cannot be partitioned into {classes} message \
                  class(es) x {phases} routing phase(s)"
             ),
-            ConfigError::VcBlockTooSmall { available, needed, why } => write!(
-                f,
-                "each VC block has {available} VC(s) but {needed} are required: {why}"
-            ),
+            ConfigError::VcBlockTooSmall { available, needed, why } => {
+                write!(f, "each VC block has {available} VC(s) but {needed} are required: {why}")
+            }
             ConfigError::Parameter { name, why } => write!(f, "invalid parameter `{name}`: {why}"),
         }
     }
 }
 
 impl std::error::Error for ConfigError {}
+
+/// Structural fault detected while stepping the simulation.
+///
+/// Every variant is an *engine-integrity* failure, not a workload
+/// property: a correct simulator never produces one regardless of
+/// traffic. They replace the bare `unwrap()`/`expect()` calls that used
+/// to guard the hot paths, so a violated invariant reports exactly
+/// which channel or buffer broke instead of a context-free panic.
+/// [`crate::Network::step`] still fails fast (it panics with the
+/// rendered error); [`crate::Network::try_step`] surfaces the value for
+/// harnesses — the `sanitize` feature's checkers in particular — that
+/// want to inspect it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The routing function selected an output port with no link behind
+    /// it (fell off a mesh edge).
+    DeadPort {
+        /// Router where the flit was switched.
+        router: usize,
+        /// Output port with no attached link.
+        port: usize,
+    },
+    /// A flit arrived on an input port that has no upstream link to
+    /// return its credit on.
+    NoUpstreamLink {
+        /// Router owning the input port.
+        router: usize,
+        /// Input port with no upstream neighbor.
+        port: usize,
+    },
+    /// A flit was deposited into a full input buffer — the upstream
+    /// router spent a credit it did not have.
+    BufferOverflow {
+        /// Router owning the overflowed buffer.
+        router: usize,
+        /// Input port.
+        port: usize,
+        /// Virtual channel.
+        vc: usize,
+        /// Configured buffer depth.
+        depth: usize,
+    },
+    /// More credits returned to an output VC than its buffer depth —
+    /// the downstream router freed a slot twice.
+    CreditOverflow {
+        /// Router owning the output.
+        router: usize,
+        /// Output port.
+        port: usize,
+        /// Virtual channel.
+        vc: usize,
+        /// Configured buffer depth.
+        depth: usize,
+    },
+    /// An injection stream tried to emit a flit on a VC with zero
+    /// credits.
+    CreditUnderflow {
+        /// Injecting node.
+        node: usize,
+        /// Injection VC.
+        vc: usize,
+    },
+    /// Allocation state said a flit was buffered but the queue was
+    /// empty.
+    MissingFlit {
+        /// Router.
+        router: usize,
+        /// Input port.
+        port: usize,
+        /// Virtual channel.
+        vc: usize,
+        /// Which pipeline stage observed the inconsistency.
+        stage: &'static str,
+    },
+    /// A runtime invariant check (the `sanitize` feature) failed.
+    Invariant {
+        /// Cycle at which the check ran.
+        cycle: u64,
+        /// Which invariant (flit conservation, credit conservation,
+        /// VC framing, ...).
+        check: &'static str,
+        /// Full description, including the offending channel and a
+        /// state snapshot where useful.
+        detail: String,
+    },
+    /// The sanitizer's watchdog saw no flit movement for its threshold
+    /// while packets were live — a deadlock or livelock in practice.
+    Stuck {
+        /// Cycle at which the watchdog fired.
+        cycle: u64,
+        /// Cycles since the last observed flit movement.
+        idle_cycles: u64,
+        /// Wait-for chain and buffer snapshot, pretty-printed.
+        detail: String,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::DeadPort { router, port } => {
+                write!(f, "router {router}: routing selected dead output port {port}")
+            }
+            SimError::NoUpstreamLink { router, port } => {
+                write!(f, "router {router}: input port {port} has no upstream link")
+            }
+            SimError::BufferOverflow { router, port, vc, depth } => write!(
+                f,
+                "router {router}: input buffer [{port}][{vc}] overflowed its depth \
+                 {depth} (upstream credit leak)"
+            ),
+            SimError::CreditOverflow { router, port, vc, depth } => write!(
+                f,
+                "router {router}: output [{port}][{vc}] exceeded {depth} credits \
+                 (downstream returned a credit twice)"
+            ),
+            SimError::CreditUnderflow { node, vc } => {
+                write!(f, "node {node}: injection stream emitted on VC {vc} with no credit")
+            }
+            SimError::MissingFlit { router, port, vc, stage } => {
+                write!(f, "router {router}: {stage} expected a buffered flit in [{port}][{vc}]")
+            }
+            SimError::Invariant { cycle, check, detail } => {
+                write!(f, "cycle {cycle}: {check} invariant violated: {detail}")
+            }
+            SimError::Stuck { cycle, idle_cycles, detail } => write!(
+                f,
+                "cycle {cycle}: no flit moved for {idle_cycles} cycles with live \
+                 packets (deadlock?)\n{detail}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}

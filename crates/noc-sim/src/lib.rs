@@ -46,9 +46,9 @@ pub mod error;
 pub mod flit;
 pub mod interface;
 pub mod network;
+pub mod rng;
 pub mod router;
 pub mod routing;
-pub mod rng;
 pub mod topology;
 pub mod trace;
 

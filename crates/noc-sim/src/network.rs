@@ -7,16 +7,19 @@
 //! deliveries back, making both open-loop and closed-loop measurement
 //! drivers thin layers over the same engine.
 
+#[cfg(feature = "sanitize")]
+pub mod sanitize;
+
 use std::sync::Arc;
 
 use crate::channel::Link;
 use crate::config::NetConfig;
-use crate::error::ConfigError;
+use crate::error::{ConfigError, SimError};
 use crate::flit::{Cycle, Delivered, Flit, Packet, PacketSlab, PacketSpec};
 use crate::interface::{InjStream, Ni};
+use crate::rng::SimRng;
 use crate::router::{Router, RouterCtx, SaWin};
 use crate::routing::{RoutingAlgorithm, VcBook};
-use crate::rng::SimRng;
 use crate::topology::{Topology, LOCAL_PORT};
 
 /// A workload driving the network.
@@ -95,6 +98,8 @@ pub struct Network {
     stats: NetStats,
     traffic_matrix: Option<Vec<u64>>,
     win_buf: Vec<SaWin>,
+    #[cfg(feature = "sanitize")]
+    san: sanitize::Sanitizer,
 }
 
 impl Network {
@@ -111,20 +116,18 @@ impl Network {
         for r in 0..n {
             for p in 1..ports {
                 links.push(
-                    topo.neighbor(r, p)
-                        .map(|(d, dp)| Link::new(d, dp, topo.link_delay(r, p))),
+                    topo.neighbor(r, p).map(|(d, dp)| Link::new(d, dp, topo.link_delay(r, p))),
                 );
             }
         }
         let nis = (0..n).map(|_| Ni::new(cfg.classes, cfg.vcs, cfg.vc_buf)).collect();
         let rng = SimRng::new(cfg.seed);
-        let stats =
-            NetStats {
-                node_injected: vec![0; n],
-                node_delivered: vec![0; n],
-                delivery_digest: DIGEST_SEED,
-                ..Default::default()
-            };
+        let stats = NetStats {
+            node_injected: vec![0; n],
+            node_delivered: vec![0; n],
+            delivery_digest: DIGEST_SEED,
+            ..Default::default()
+        };
         Ok(Self {
             cfg,
             topo,
@@ -139,6 +142,8 @@ impl Network {
             stats,
             traffic_matrix: None,
             win_buf: Vec::new(),
+            #[cfg(feature = "sanitize")]
+            san: sanitize::Sanitizer::new(),
         })
     }
 
@@ -255,7 +260,12 @@ impl Network {
                         let _ = write!(
                             out,
                             " | front: pkt {} seq {} {}->{} class {} phase {} dl {}",
-                            f.pkt, f.seq, pkt.src, pkt.dst, pkt.class, pkt.route.phase,
+                            f.pkt,
+                            f.seq,
+                            pkt.src,
+                            pkt.dst,
+                            pkt.class,
+                            pkt.route.phase,
                             pkt.route.dateline
                         );
                     }
@@ -282,13 +292,33 @@ impl Network {
     }
 
     /// Advance one cycle.
+    ///
+    /// # Panics
+    /// On a [`SimError`] — an engine-integrity fault that a correct
+    /// simulator never produces. Use [`Network::try_step`] to observe
+    /// the typed error instead.
     pub fn step(&mut self, behavior: &mut dyn NodeBehavior) {
+        if let Err(e) = self.try_step(behavior) {
+            panic!("simulation integrity failure: {e}");
+        }
+    }
+
+    /// Advance one cycle, surfacing integrity faults as values.
+    ///
+    /// # Errors
+    /// Any [`SimError`]: structural faults (buffer/credit accounting,
+    /// dead ports) always; invariant violations and watchdog timeouts
+    /// additionally when the `sanitize` feature is enabled.
+    pub fn try_step(&mut self, behavior: &mut dyn NodeBehavior) -> Result<(), SimError> {
         let t = self.cycle;
-        self.arrivals(t);
+        self.arrivals(t)?;
         self.ejections(t, behavior);
-        self.injections(t, behavior);
-        self.route_and_switch(t);
+        self.injections(t, behavior)?;
+        self.route_and_switch(t)?;
         self.cycle = t + 1;
+        #[cfg(feature = "sanitize")]
+        self.sanitize_check()?;
+        Ok(())
     }
 
     /// Advance `cycles` cycles.
@@ -311,28 +341,25 @@ impl Network {
     }
 
     /// Deliver link flits and credits that have arrived by `t`.
-    fn arrivals(&mut self, t: Cycle) {
+    fn arrivals(&mut self, t: Cycle) -> Result<(), SimError> {
         // flit deliveries mutate the destination router, credit
-        // deliveries the source router; collect credits first to avoid
-        // double borrows of `self.routers`
+        // deliveries the source router; split the borrows by popping
+        // from the link first and depositing afterwards
         let n_links = self.links.len();
         for i in 0..n_links {
             // credits: link i belongs to source router i / (ports-1)
             let src_router = i / (self.topo.num_ports() - 1);
             let src_port = i % (self.topo.num_ports() - 1) + 1;
-            if let Some(link) = self.links[i].as_mut() {
-                while let Some(vc) = link.pop_credit(t) {
-                    self.routers[src_router].credit(src_port, vc as usize);
-                }
+            let Some(link) = self.links[i].as_mut() else { continue };
+            let (dr, dp) = (link.dst_router, link.dst_port);
+            while let Some(vc) = link.pop_credit(t) {
+                self.routers[src_router].credit(src_port, vc as usize)?;
             }
-            while let Some(flit) =
-                self.links[i].as_mut().and_then(|link| link.pop_flit(t))
-            {
-                let link = self.links[i].as_ref().expect("link exists");
-                let (dr, dp) = (link.dst_router, link.dst_port);
-                self.routers[dr].deposit(dp, flit);
+            while let Some(flit) = self.links[i].as_mut().and_then(|link| link.pop_flit(t)) {
+                self.routers[dr].deposit(dp, flit)?;
             }
         }
+        Ok(())
     }
 
     /// Deliver ejected and self-addressed packets whose time has come.
@@ -364,8 +391,7 @@ impl Network {
                 self.stats.packets_delivered += 1;
                 self.stats.self_delivered += 1;
                 let d = delivered_of(&pkt);
-                self.stats.delivery_digest =
-                    fold_digest(self.stats.delivery_digest, &d, node, t);
+                self.stats.delivery_digest = fold_digest(self.stats.delivery_digest, &d, node, t);
                 behavior.deliver(node, &d, t);
             }
         }
@@ -373,7 +399,7 @@ impl Network {
 
     /// Pull new packets from the behavior and inject up to one flit per
     /// node into the router fabric.
-    fn injections(&mut self, t: Cycle, behavior: &mut dyn NodeBehavior) {
+    fn injections(&mut self, t: Cycle, behavior: &mut dyn NodeBehavior) -> Result<(), SimError> {
         let n = self.num_nodes();
         let classes = self.cfg.classes;
         for node in 0..n {
@@ -407,7 +433,8 @@ impl Network {
                     let ready = t + self.cfg.router_delay as Cycle + 1;
                     self.nis[node].local_q.push_back((ready, pid));
                 } else {
-                    let route = self.routing.init(self.topo.as_ref(), node, spec.dst, &mut self.rng);
+                    let route =
+                        self.routing.init(self.topo.as_ref(), node, spec.dst, &mut self.rng);
                     let pid = self.packets.insert(Packet {
                         uid: 0,
                         src: node,
@@ -423,14 +450,15 @@ impl Network {
                 }
             }
 
-            self.inject_one_flit(node, t);
+            self.inject_one_flit(node, t)?;
         }
+        Ok(())
     }
 
     /// Inject at most one flit at `node` (1 flit/cycle/node injection
     /// bandwidth), round-robin across message classes so no class can
     /// head-of-line-block another.
-    fn inject_one_flit(&mut self, node: usize, t: Cycle) {
+    fn inject_one_flit(&mut self, node: usize, t: Cycle) -> Result<(), SimError> {
         let classes = self.cfg.classes;
         for k in 0..classes {
             let c = (self.nis[node].class_rr + k) % classes;
@@ -440,9 +468,9 @@ impl Network {
                 if self.nis[node].inj_credits[s.vc as usize] == 0 {
                     continue; // this class is blocked; try another
                 }
-                self.emit_flit(node, c, s, t);
+                self.emit_flit(node, c, s, t)?;
                 self.nis[node].class_rr = (c + 1) % classes;
-                return;
+                return Ok(());
             }
 
             // start a new packet
@@ -458,17 +486,27 @@ impl Network {
                 self.nis[node].inj_busy[vc as usize] = true;
                 self.nis[node].stream[c] = Some(s);
             }
-            self.emit_flit(node, c, s, t);
+            self.emit_flit(node, c, s, t)?;
             self.nis[node].class_rr = (c + 1) % classes;
-            return;
+            return Ok(());
         }
+        Ok(())
     }
 
     /// Push one flit of stream `s` into the router's injection buffer.
-    fn emit_flit(&mut self, node: usize, class: usize, s: InjStream, _t: Cycle) {
+    fn emit_flit(
+        &mut self,
+        node: usize,
+        class: usize,
+        s: InjStream,
+        _t: Cycle,
+    ) -> Result<(), SimError> {
         let size = self.packets.get(s.pkt).size;
         let flit = Flit { pkt: s.pkt, seq: s.next_seq, vc: s.vc };
-        self.routers[node].deposit(LOCAL_PORT, flit);
+        if self.nis[node].inj_credits[s.vc as usize] == 0 {
+            return Err(SimError::CreditUnderflow { node, vc: s.vc as usize });
+        }
+        self.routers[node].deposit(LOCAL_PORT, flit)?;
         self.nis[node].inj_credits[s.vc as usize] -= 1;
         self.stats.flits_injected += 1;
         self.stats.node_injected[node] += 1;
@@ -482,11 +520,12 @@ impl Network {
             self.nis[node].stream[class] =
                 Some(InjStream { pkt: s.pkt, vc: s.vc, next_seq: s.next_seq + 1 });
         }
+        Ok(())
     }
 
     /// Run VC allocation and switch allocation on every router, then move
     /// winning flits onto links (or into ejection) and return credits.
-    fn route_and_switch(&mut self, t: Cycle) {
+    fn route_and_switch(&mut self, t: Cycle) -> Result<(), SimError> {
         let tr = self.cfg.router_delay as Cycle;
         let n = self.num_nodes();
         for r in 0..n {
@@ -499,17 +538,25 @@ impl Network {
                 book: &self.book,
                 arb: self.cfg.arbitration,
             };
-            self.routers[r].vc_allocate(&ctx, &mut self.packets);
+            self.routers[r].vc_allocate(&ctx, &mut self.packets)?;
             let mut wins = std::mem::take(&mut self.win_buf);
             wins.clear();
-            self.routers[r].switch_allocate(&ctx, &self.packets, &mut wins);
-            for w in &wins {
+            let sa = self.routers[r].switch_allocate(&ctx, &self.packets, &mut wins);
+            if let Err(e) = sa {
+                self.win_buf = wins;
+                return Err(e);
+            }
+            for wi in 0..wins.len() {
+                let w = wins[wi];
                 // forward the flit
                 if w.out_port as usize == LOCAL_PORT {
                     self.nis[r].eject_q.push_back((t + tr, w.flit));
                 } else {
                     let li = self.link_idx(r, w.out_port as usize);
-                    let link = self.links[li].as_mut().expect("routing used a dead port");
+                    let Some(link) = self.links[li].as_mut() else {
+                        self.win_buf = wins;
+                        return Err(SimError::DeadPort { router: r, port: w.out_port as usize });
+                    };
                     let ready = t + tr + link.delay as Cycle;
                     link.push_flit(ready, w.flit);
                 }
@@ -517,18 +564,26 @@ impl Network {
                 if w.in_port as usize == LOCAL_PORT {
                     self.nis[r].credit_q.push_back((t + 1, w.in_vc));
                 } else {
-                    let (u, up) = self
-                        .topo
-                        .neighbor(r, w.in_port as usize)
-                        .expect("input port has an upstream link");
+                    let up = self.topo.neighbor(r, w.in_port as usize);
+                    let Some((u, up)) = up else {
+                        self.win_buf = wins;
+                        return Err(SimError::NoUpstreamLink {
+                            router: r,
+                            port: w.in_port as usize,
+                        });
+                    };
                     let li = self.link_idx(u, up);
-                    let link = self.links[li].as_mut().expect("upstream link exists");
+                    let Some(link) = self.links[li].as_mut() else {
+                        self.win_buf = wins;
+                        return Err(SimError::NoUpstreamLink { router: u, port: up });
+                    };
                     let ready = t + link.delay as Cycle;
                     link.push_credit(ready, w.in_vc);
                 }
             }
             self.win_buf = wins;
         }
+        Ok(())
     }
 }
 
@@ -575,10 +630,7 @@ mod tests {
 
     impl NodeBehavior for Script {
         fn pull(&mut self, node: usize, cycle: Cycle) -> Option<PacketSpec> {
-            let idx = self
-                .sends
-                .iter()
-                .position(|&(c, s, ..)| s == node && c <= cycle)?;
+            let idx = self.sends.iter().position(|&(c, s, ..)| s == node && c <= cycle)?;
             let (_, _, dst, size) = self.sends.remove(idx);
             Some(PacketSpec { dst, size, class: 0, payload: 0 })
         }
@@ -671,9 +723,12 @@ mod tests {
             TopologyKind::FoldedTorus2D { k: 4 },
             TopologyKind::Ring { n: 8 },
         ] {
-            for routing in
-                [RoutingKind::Dor, RoutingKind::Valiant, RoutingKind::Romm, RoutingKind::MinAdaptive]
-            {
+            for routing in [
+                RoutingKind::Dor,
+                RoutingKind::Valiant,
+                RoutingKind::Romm,
+                RoutingKind::MinAdaptive,
+            ] {
                 let nodes = topo.num_nodes();
                 let cfg = NetConfig::baseline()
                     .with_topology(topo)
@@ -691,10 +746,7 @@ mod tests {
                 let total = sends.len();
                 let mut net = Network::new(cfg).unwrap();
                 let mut b = Script::new(sends);
-                assert!(
-                    net.drain(&mut b, 200_000),
-                    "drain failed for {topo:?} {routing:?}"
-                );
+                assert!(net.drain(&mut b, 200_000), "drain failed for {topo:?} {routing:?}");
                 assert_eq!(b.delivered.len(), total, "{topo:?} {routing:?}");
             }
         }

@@ -25,6 +25,7 @@ pub use arbiter::arbitrate;
 pub use buffer::{InputVc, OutputPort, OutputVc, VcState};
 
 use crate::config::Arbitration;
+use crate::error::SimError;
 use crate::flit::{Flit, PacketSlab, NO_PACKET};
 use crate::routing::{RoutingAlgorithm, VcBook};
 use crate::topology::{Topology, LOCAL_PORT};
@@ -103,9 +104,7 @@ impl Router {
     /// input buffers, and matching initial output credits. The ejection
     /// port (output 0) is an infinite sink.
     pub fn new(id: usize, ports: usize, vcs: usize, vc_buf: usize) -> Self {
-        let inputs = (0..ports)
-            .map(|_| (0..vcs).map(|_| InputVc::new(vc_buf)).collect())
-            .collect();
+        let inputs = (0..ports).map(|_| (0..vcs).map(|_| InputVc::new(vc_buf)).collect()).collect();
         let outputs = (0..ports)
             .map(|p| {
                 let credits = if p == LOCAL_PORT { u32::MAX } else { vc_buf as u32 };
@@ -144,22 +143,43 @@ impl Router {
 
     /// Deposit an arriving flit into its input buffer.
     ///
-    /// # Panics (debug)
-    /// If the buffer overflows — that would mean a credit accounting bug.
-    pub fn deposit(&mut self, port: usize, flit: Flit) {
+    /// # Errors
+    /// [`SimError::BufferOverflow`] if the buffer is already full —
+    /// the upstream router spent a credit it did not have.
+    pub fn deposit(&mut self, port: usize, flit: Flit) -> Result<(), SimError> {
         let vc = &mut self.inputs[port][flit.vc as usize];
-        debug_assert!(vc.q.len() < self.vc_buf, "buffer overflow: credit leak");
+        if vc.q.len() >= self.vc_buf {
+            return Err(SimError::BufferOverflow {
+                router: self.id,
+                port,
+                vc: flit.vc as usize,
+                depth: self.vc_buf,
+            });
+        }
         vc.q.push_back(flit);
         self.occupancy += 1;
+        Ok(())
     }
 
     /// Return a credit to output (`port`, `vc`).
-    pub fn credit(&mut self, port: usize, vc: usize) {
+    ///
+    /// # Errors
+    /// [`SimError::CreditOverflow`] if the credit count would exceed the
+    /// downstream buffer depth.
+    pub fn credit(&mut self, port: usize, vc: usize) -> Result<(), SimError> {
         let out = &mut self.outputs[port].vcs[vc];
         if port != LOCAL_PORT {
+            if out.credits >= self.vc_buf as u32 {
+                return Err(SimError::CreditOverflow {
+                    router: self.id,
+                    port,
+                    vc,
+                    depth: self.vc_buf,
+                });
+            }
             out.credits += 1;
-            debug_assert!(out.credits <= self.vc_buf as u32, "credit overflow");
         }
+        Ok(())
     }
 
     /// Total flits buffered across all input VCs.
@@ -168,7 +188,15 @@ impl Router {
     }
 
     /// Stage 1: VC allocation (includes route computation).
-    pub fn vc_allocate(&mut self, ctx: &RouterCtx<'_>, packets: &mut PacketSlab) {
+    ///
+    /// # Errors
+    /// [`SimError::MissingFlit`] if allocation state disagrees with
+    /// buffer contents.
+    pub fn vc_allocate(
+        &mut self,
+        ctx: &RouterCtx<'_>,
+        packets: &mut PacketSlab,
+    ) -> Result<(), SimError> {
         let ports = self.ports();
         let vcs = self.vcs();
         let space = ports * vcs;
@@ -180,15 +208,23 @@ impl Router {
             for v in 0..vcs {
                 let ivc = &self.inputs[p][v];
                 if ivc.wants_allocation() {
-                    let pid = ivc.q.front().expect("checked nonempty").pkt;
-                    eligible.push((p * vcs + v, packets.get(pid).birth));
+                    let Some(head) = ivc.q.front() else {
+                        self.scratch_eligible = eligible;
+                        return Err(SimError::MissingFlit {
+                            router: self.id,
+                            port: p,
+                            vc: v,
+                            stage: "VC allocation",
+                        });
+                    };
+                    eligible.push((p * vcs + v, packets.get(head.pkt).birth));
                 }
             }
         }
         if eligible.is_empty() {
             self.scratch_eligible = eligible;
             self.va_ptr = (self.va_ptr + 1) % space.max(1);
-            return;
+            return Ok(());
         }
         // order by priority, then grant greedily (later grants see
         // earlier claims, so no output VC is double-allocated)
@@ -201,12 +237,17 @@ impl Router {
                 eligible.sort_by_key(|&(idx, age)| (age, idx));
             }
         }
-        for &(flat, _) in &eligible {
+        for i in 0..eligible.len() {
+            let (flat, _) = eligible[i];
             let (p, v) = (flat / vcs, flat % vcs);
-            self.try_allocate_one(ctx, packets, p, v);
+            if let Err(e) = self.try_allocate_one(ctx, packets, p, v) {
+                self.scratch_eligible = eligible;
+                return Err(e);
+            }
         }
         self.scratch_eligible = eligible;
         self.va_ptr = (self.va_ptr + 1) % space;
+        Ok(())
     }
 
     /// Attempt VC allocation for one input VC; claims output state on
@@ -217,8 +258,17 @@ impl Router {
         packets: &mut PacketSlab,
         p: usize,
         v: usize,
-    ) {
-        let pid = self.inputs[p][v].q.front().expect("head flit present").pkt;
+    ) -> Result<(), SimError> {
+        let pid = self.inputs[p][v]
+            .q
+            .front()
+            .ok_or(SimError::MissingFlit {
+                router: self.id,
+                port: p,
+                vc: v,
+                stage: "VC allocation",
+            })?
+            .pkt;
         let pkt = packets.get(pid);
         let (class, dst, route) = (pkt.class as usize, pkt.dst, pkt.route);
         let cands = ctx.routing.candidates(ctx.topo, self.id, dst, &route);
@@ -226,9 +276,7 @@ impl Router {
         let claim = if cands.is_empty() {
             // eject here: any VC of the packet's class partition
             let mask = ctx.book.class_mask(class);
-            self.outputs[LOCAL_PORT]
-                .pick_free_vc(mask)
-                .map(|vc| (LOCAL_PORT, vc, route))
+            self.outputs[LOCAL_PORT].pick_free_vc(mask).map(|vc| (LOCAL_PORT, vc, route))
         } else if ctx.routing.is_adaptive() {
             // adaptive: best candidate port by free downstream credits
             let mut best: Option<(usize, u64, crate::routing::RouteState, u64)> = None;
@@ -274,16 +322,21 @@ impl Router {
         } else {
             self.pipeline.va_blocked += 1;
         }
+        Ok(())
     }
 
     /// Stage 2: separable input-first switch allocation. Winning flits
     /// are appended to `wins`; buffer/credit/ownership state is updated.
+    ///
+    /// # Errors
+    /// [`SimError::MissingFlit`] if a granted input VC's buffer is
+    /// empty or its request vanished between the two stages.
     pub fn switch_allocate(
         &mut self,
         ctx: &RouterCtx<'_>,
         packets: &PacketSlab,
         wins: &mut Vec<SaWin>,
-    ) {
+    ) -> Result<(), SimError> {
         let ports = self.ports();
         let vcs = self.vcs();
 
@@ -299,8 +352,8 @@ impl Router {
                     continue;
                 }
                 let op = ivc.out_port as usize;
-                let has_credit = op == LOCAL_PORT
-                    || self.outputs[op].vcs[ivc.out_vc as usize].credits > 0;
+                let has_credit =
+                    op == LOCAL_PORT || self.outputs[op].vcs[ivc.out_vc as usize].credits > 0;
                 if has_credit {
                     cands.push((v, packets.get(ivc.pkt).birth));
                 } else {
@@ -326,14 +379,29 @@ impl Router {
                 continue;
             };
             let in_port = cands[pos].0;
-            let (_, in_vc, _) = *requests
-                .iter()
-                .find(|&&(p, _, _)| p == in_port)
-                .expect("request exists");
+            let Some(&(_, in_vc, _)) = requests.iter().find(|&&(p, _, _)| p == in_port) else {
+                self.scratch_requests = requests;
+                self.scratch_cands = cands;
+                return Err(SimError::MissingFlit {
+                    router: self.id,
+                    port: in_port,
+                    vc: 0,
+                    stage: "switch allocation (granted port never requested)",
+                });
+            };
 
             // commit
             let out_vc = self.inputs[in_port][in_vc].out_vc as usize;
-            let mut flit = self.inputs[in_port][in_vc].q.pop_front().expect("flit present");
+            let Some(mut flit) = self.inputs[in_port][in_vc].q.pop_front() else {
+                self.scratch_requests = requests;
+                self.scratch_cands = cands;
+                return Err(SimError::MissingFlit {
+                    router: self.id,
+                    port: in_port,
+                    vc: in_vc,
+                    stage: "switch traversal",
+                });
+            };
             self.occupancy -= 1;
             flit.vc = out_vc as u8;
             let pkt = packets.get(flit.pkt);
@@ -359,6 +427,7 @@ impl Router {
         }
         self.scratch_requests = requests;
         self.scratch_cands = cands;
+        Ok(())
     }
 }
 
@@ -420,16 +489,16 @@ mod tests {
         // router 0, packet heading to node 3 (straight +x)
         let pid = fx.packets.insert(mk_packet(0, 3, 1, 0));
         let mut r = Router::new(0, 5, 2, 4);
-        r.deposit(0, Flit { pkt: pid, seq: 0, vc: 0 });
+        r.deposit(0, Flit { pkt: pid, seq: 0, vc: 0 }).unwrap();
 
         let ctx = ctx_of(&fx.topo, &fx.book, Arbitration::RoundRobin);
-        r.vc_allocate(&ctx, &mut fx.packets);
+        r.vc_allocate(&ctx, &mut fx.packets).unwrap();
         let ivc = &r.inputs[0][0];
         assert_eq!(ivc.state, VcState::Active);
         assert_eq!(ivc.out_port as usize, port_plus(0));
 
         let mut wins = Vec::new();
-        r.switch_allocate(&ctx, &fx.packets, &mut wins);
+        r.switch_allocate(&ctx, &fx.packets, &mut wins).unwrap();
         assert_eq!(wins.len(), 1);
         let w = wins[0];
         assert_eq!(w.out_port as usize, port_plus(0));
@@ -446,12 +515,12 @@ mod tests {
         let mut fx = Fixture::new();
         let pid = fx.packets.insert(mk_packet(3, 0, 1, 0));
         let mut r = Router::new(0, 5, 2, 4);
-        r.deposit(port_plus(0), Flit { pkt: pid, seq: 0, vc: 0 });
+        r.deposit(port_plus(0), Flit { pkt: pid, seq: 0, vc: 0 }).unwrap();
         let ctx = ctx_of(&fx.topo, &fx.book, Arbitration::RoundRobin);
-        r.vc_allocate(&ctx, &mut fx.packets);
+        r.vc_allocate(&ctx, &mut fx.packets).unwrap();
         assert_eq!(r.inputs[port_plus(0)][0].out_port as usize, LOCAL_PORT);
         let mut wins = Vec::new();
-        r.switch_allocate(&ctx, &fx.packets, &mut wins);
+        r.switch_allocate(&ctx, &fx.packets, &mut wins).unwrap();
         assert_eq!(wins.len(), 1);
         assert_eq!(wins[0].out_port as usize, LOCAL_PORT);
     }
@@ -461,19 +530,19 @@ mod tests {
         let mut fx = Fixture::new();
         let pid = fx.packets.insert(mk_packet(0, 3, 1, 0));
         let mut r = Router::new(0, 5, 2, 1);
-        r.deposit(0, Flit { pkt: pid, seq: 0, vc: 0 });
+        r.deposit(0, Flit { pkt: pid, seq: 0, vc: 0 }).unwrap();
         let ctx = ctx_of(&fx.topo, &fx.book, Arbitration::RoundRobin);
-        r.vc_allocate(&ctx, &mut fx.packets);
+        r.vc_allocate(&ctx, &mut fx.packets).unwrap();
         // exhaust the credit of the allocated output VC
         let op = r.inputs[0][0].out_port as usize;
         let ov = r.inputs[0][0].out_vc as usize;
         r.outputs[op].vcs[ov].credits = 0;
         let mut wins = Vec::new();
-        r.switch_allocate(&ctx, &fx.packets, &mut wins);
+        r.switch_allocate(&ctx, &fx.packets, &mut wins).unwrap();
         assert!(wins.is_empty(), "no credit, no traversal");
         // credit returns, traversal proceeds
-        r.credit(op, ov);
-        r.switch_allocate(&ctx, &fx.packets, &mut wins);
+        r.credit(op, ov).unwrap();
+        r.switch_allocate(&ctx, &fx.packets, &mut wins).unwrap();
         assert_eq!(wins.len(), 1);
     }
 
@@ -484,15 +553,15 @@ mod tests {
         let a = fx.packets.insert(mk_packet(0, 3, 1, 0));
         let b = fx.packets.insert(mk_packet(0, 3, 1, 1));
         let mut r = Router::new(0, 5, 2, 4);
-        r.deposit(0, Flit { pkt: a, seq: 0, vc: 0 });
-        r.deposit(port_plus(1), Flit { pkt: b, seq: 0, vc: 0 });
+        r.deposit(0, Flit { pkt: a, seq: 0, vc: 0 }).unwrap();
+        r.deposit(port_plus(1), Flit { pkt: b, seq: 0, vc: 0 }).unwrap();
         let ctx = ctx_of(&fx.topo, &fx.book, Arbitration::RoundRobin);
-        r.vc_allocate(&ctx, &mut fx.packets);
+        r.vc_allocate(&ctx, &mut fx.packets).unwrap();
         // both got different output VCs of the same port (2 VCs available)
         let mut wins = Vec::new();
-        r.switch_allocate(&ctx, &fx.packets, &mut wins);
+        r.switch_allocate(&ctx, &fx.packets, &mut wins).unwrap();
         assert_eq!(wins.len(), 1, "one grant per output port per cycle");
-        r.switch_allocate(&ctx, &fx.packets, &mut wins);
+        r.switch_allocate(&ctx, &fx.packets, &mut wins).unwrap();
         assert_eq!(wins.len(), 2, "second flit follows next cycle");
     }
 
@@ -503,20 +572,19 @@ mod tests {
         let a = fx.packets.insert(mk_packet(0, 3, 2, 0));
         let b = fx.packets.insert(mk_packet(0, 3, 1, 1));
         let mut r = Router::new(0, 5, 2, 4);
-        r.deposit(0, Flit { pkt: a, seq: 0, vc: 0 });
-        r.deposit(0, Flit { pkt: b, seq: 0, vc: 1 });
+        r.deposit(0, Flit { pkt: a, seq: 0, vc: 0 }).unwrap();
+        r.deposit(0, Flit { pkt: b, seq: 0, vc: 1 }).unwrap();
         let ctx = ctx_of(&fx.topo, &fx.book, Arbitration::RoundRobin);
-        r.vc_allocate(&ctx, &mut fx.packets);
+        r.vc_allocate(&ctx, &mut fx.packets).unwrap();
         // both allocate (2 output VCs exist); they share the output port
-        let mut owners: Vec<_> =
-            r.outputs[port_plus(0)].vcs.iter().map(|vc| vc.owner).collect();
+        let mut owners: Vec<_> = r.outputs[port_plus(0)].vcs.iter().map(|vc| vc.owner).collect();
         owners.sort_unstable();
         assert_eq!(owners, vec![a.min(b), a.max(b)]);
         // deposit a's body flit; drain everything
-        r.deposit(0, Flit { pkt: a, seq: 1, vc: 0 });
+        r.deposit(0, Flit { pkt: a, seq: 1, vc: 0 }).unwrap();
         let mut wins = Vec::new();
         for _ in 0..4 {
-            r.switch_allocate(&ctx, &fx.packets, &mut wins);
+            r.switch_allocate(&ctx, &fx.packets, &mut wins).unwrap();
         }
         assert_eq!(wins.len(), 3);
         assert!(r.outputs[port_plus(0)].vcs.iter().all(|vc| vc.is_free()));
@@ -531,10 +599,10 @@ mod tests {
         let mut r = Router::new(0, 5, 2, 4);
         // leave just one free output VC on port +x
         r.outputs[port_plus(0)].vcs[1].owner = 999;
-        r.deposit(0, Flit { pkt: young, seq: 0, vc: 0 });
-        r.deposit(port_plus(1), Flit { pkt: old, seq: 0, vc: 0 });
+        r.deposit(0, Flit { pkt: young, seq: 0, vc: 0 }).unwrap();
+        r.deposit(port_plus(1), Flit { pkt: old, seq: 0, vc: 0 }).unwrap();
         let ctx = ctx_of(&fx.topo, &fx.book, Arbitration::AgeBased);
-        r.vc_allocate(&ctx, &mut fx.packets);
+        r.vc_allocate(&ctx, &mut fx.packets).unwrap();
         assert_eq!(r.outputs[port_plus(0)].vcs[0].owner, old, "oldest packet wins VA");
         assert_eq!(r.inputs[0][0].state, VcState::Idle, "young packet must retry");
     }

@@ -26,7 +26,13 @@ impl RoutingAlgorithm for MinAdaptive {
         true
     }
 
-    fn init(&self, _topo: &dyn Topology, _src: usize, _dst: usize, _rng: &mut SimRng) -> RouteState {
+    fn init(
+        &self,
+        _topo: &dyn Topology,
+        _src: usize,
+        _dst: usize,
+        _rng: &mut SimRng,
+    ) -> RouteState {
         RouteState::direct()
     }
 

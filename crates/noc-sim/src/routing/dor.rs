@@ -23,7 +23,13 @@ impl RoutingAlgorithm for Dor {
         false
     }
 
-    fn init(&self, _topo: &dyn Topology, _src: usize, _dst: usize, _rng: &mut SimRng) -> RouteState {
+    fn init(
+        &self,
+        _topo: &dyn Topology,
+        _src: usize,
+        _dst: usize,
+        _rng: &mut SimRng,
+    ) -> RouteState {
         RouteState::direct()
     }
 
@@ -59,7 +65,12 @@ mod tests {
     use crate::topology::{port_plus, KAryNCube};
 
     /// Walk a packet from src to dst taking the first candidate each hop.
-    fn walk(topo: &dyn Topology, algo: &dyn RoutingAlgorithm, src: usize, dst: usize) -> Vec<usize> {
+    fn walk(
+        topo: &dyn Topology,
+        algo: &dyn RoutingAlgorithm,
+        src: usize,
+        dst: usize,
+    ) -> Vec<usize> {
         let mut rng = SimRng::new(1);
         let mut state = algo.init(topo, src, dst, &mut rng);
         let mut cur = src;

@@ -193,11 +193,7 @@ pub fn dor_port(topo: &dyn Topology, cur: usize, target: usize) -> Option<usize>
         let k = topo.radix(d);
         let plus_dist = (ct[d] + k - cc[d]) % k;
         let minus_dist = (cc[d] + k - ct[d]) % k;
-        let go_plus = if topo.wraps(d) {
-            plus_dist <= minus_dist
-        } else {
-            ct[d] > cc[d]
-        };
+        let go_plus = if topo.wraps(d) { plus_dist <= minus_dist } else { ct[d] > cc[d] };
         return Some(if go_plus { port_plus(d) } else { port_minus(d) });
     }
     None

@@ -94,12 +94,7 @@ mod tests {
     use super::*;
     use crate::topology::KAryNCube;
 
-    fn walk(
-        topo: &dyn Topology,
-        src: usize,
-        dst: usize,
-        rng: &mut SimRng,
-    ) -> Vec<usize> {
+    fn walk(topo: &dyn Topology, src: usize, dst: usize, rng: &mut SimRng) -> Vec<usize> {
         let algo = Romm;
         let mut state = algo.init(topo, src, dst, rng);
         let mut cur = src;

@@ -1,8 +1,8 @@
 //! Route tracing on an idle network (paper Fig 12: example DOR vs VAL
 //! paths between a source/destination pair).
 
-use crate::routing::RoutingAlgorithm;
 use crate::rng::SimRng;
+use crate::routing::RoutingAlgorithm;
 use crate::topology::Topology;
 
 /// The nodes a packet would visit from `src` to `dst` under `routing`

@@ -134,10 +134,8 @@ fn tornado_on_torus_drains_with_dateline_vcs() {
     // travels almost half-way around in the same rotational direction,
     // maximizing dateline crossings
     let k = 8;
-    let cfg = NetConfig::baseline()
-        .with_topology(TopologyKind::Torus2D { k })
-        .with_vcs(2)
-        .with_seed(3);
+    let cfg =
+        NetConfig::baseline().with_topology(TopologyKind::Torus2D { k }).with_vcs(2).with_seed(3);
     let mut net = Network::new(cfg).unwrap();
     let shift = k / 2 - 1;
     let mut b = Storm::random(64, 2_000, 400, &[1], 4, move |src, _| {

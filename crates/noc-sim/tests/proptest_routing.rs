@@ -3,11 +3,10 @@
 
 use proptest::prelude::*;
 
-use noc_sim::routing::{
-    dor_port, minimal_ports, Dor, MinAdaptive, Romm, RouteState, RoutingAlgorithm, Valiant,
-    VcBook,
-};
 use noc_sim::rng::SimRng;
+use noc_sim::routing::{
+    dor_port, minimal_ports, Dor, MinAdaptive, Romm, RouteState, RoutingAlgorithm, Valiant, VcBook,
+};
 use noc_sim::topology::{KAryNCube, Topology};
 
 fn topo_strategy() -> impl Strategy<Value = KAryNCube> {

@@ -129,12 +129,8 @@ mod tests {
 
     #[test]
     fn replay_of_batch_trace_matches_closed_loop_on_same_network() {
-        let cfg = BatchConfig {
-            net: net4(),
-            batch: 60,
-            max_outstanding: 2,
-            ..BatchConfig::default()
-        };
+        let cfg =
+            BatchConfig { net: net4(), batch: 60, max_outstanding: 2, ..BatchConfig::default() };
         let (trace, closed_rt) = record_batch(&cfg).unwrap();
         let r = replay(&cfg.net, &trace).unwrap();
         assert!(r.drained);
@@ -149,12 +145,8 @@ mod tests {
         // at tr=1, replay at tr=8 — the trace keeps injecting on the
         // tr=1 schedule, so the measured runtime barely grows, while the
         // closed-loop model slows dramatically.
-        let base = BatchConfig {
-            net: net4(),
-            batch: 80,
-            max_outstanding: 1,
-            ..BatchConfig::default()
-        };
+        let base =
+            BatchConfig { net: net4(), batch: 80, max_outstanding: 1, ..BatchConfig::default() };
         let (trace, closed_rt1) = record_batch(&base).unwrap();
 
         let slow_cfg = BatchConfig { net: base.net.clone().with_router_delay(8), ..base.clone() };

@@ -261,9 +261,7 @@ impl PatternKind {
             PatternKind::Shuffle => Box::new(Shuffle { nodes }),
             PatternKind::Tornado => Box::new(Tornado { k }),
             PatternKind::Neighbor => Box::new(Neighbor { k }),
-            PatternKind::Hotspot { node, frac } => {
-                Box::new(Hotspot { nodes, hotspot: node, frac })
-            }
+            PatternKind::Hotspot { node, frac } => Box::new(Hotspot { nodes, hotspot: node, frac }),
         }
     }
 

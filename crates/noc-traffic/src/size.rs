@@ -80,9 +80,7 @@ impl SizeKind {
     pub fn build(&self) -> Box<dyn SizeDist> {
         match *self {
             SizeKind::Fixed(n) => Box::new(FixedSize(n)),
-            SizeKind::Bimodal { short, long, p_long } => {
-                Box::new(Bimodal { short, long, p_long })
-            }
+            SizeKind::Bimodal { short, long, p_long } => Box::new(Bimodal { short, long, p_long }),
         }
     }
 

@@ -1,0 +1,195 @@
+//! Channel dependency graph: nodes are (link, VC) pairs, a directed
+//! edge `a -> b` means a packet occupying channel `a` can wait for
+//! channel `b`. Deadlock freedom follows from acyclicity (Dally &
+//! Towles); a cycle is returned as a concrete witness.
+
+use std::collections::HashSet;
+
+/// Dependency graph over dense channel ids (`link_index * vcs + vc`).
+#[derive(Debug, Clone)]
+pub struct Cdg {
+    adj: Vec<Vec<u32>>,
+    edge_set: HashSet<u64>,
+    touched: Vec<bool>,
+}
+
+impl Cdg {
+    /// Graph over `n` possible channel ids.
+    pub fn new(n: usize) -> Self {
+        Self { adj: vec![Vec::new(); n], edge_set: HashSet::new(), touched: vec![false; n] }
+    }
+
+    /// Insert edge `a -> b` (deduplicated).
+    pub fn add_edge(&mut self, a: u32, b: u32) {
+        if self.edge_set.insert(u64::from(a) << 32 | u64::from(b)) {
+            self.adj[a as usize].push(b);
+            self.touched[a as usize] = true;
+            self.touched[b as usize] = true;
+        }
+    }
+
+    /// Channels participating in at least one dependency.
+    pub fn num_channels(&self) -> usize {
+        self.touched.iter().filter(|&&t| t).count()
+    }
+
+    /// Distinct edges.
+    pub fn num_edges(&self) -> usize {
+        self.edge_set.len()
+    }
+
+    /// Find a directed cycle, if any, as a channel-id sequence where
+    /// each id has an edge to the next and the last back to the first.
+    ///
+    /// Runs an iterative Tarjan SCC pass; any SCC with more than one
+    /// node (or a self-loop) contains a cycle, which is then extracted
+    /// by a path-tracking DFS restricted to that SCC.
+    pub fn find_cycle(&self) -> Option<Vec<u32>> {
+        let scc = self.nontrivial_scc()?;
+        Some(self.cycle_within(&scc))
+    }
+
+    /// Iterative Tarjan; returns the first SCC that can hold a cycle.
+    fn nontrivial_scc(&self) -> Option<Vec<u32>> {
+        const UNSEEN: u32 = u32::MAX;
+        let n = self.adj.len();
+        let mut index = vec![UNSEEN; n];
+        let mut low = vec![0u32; n];
+        let mut on_stack = vec![false; n];
+        let mut stack: Vec<u32> = Vec::new();
+        let mut next_index = 0u32;
+        // call frames: (node, next child position)
+        let mut frames: Vec<(u32, usize)> = Vec::new();
+
+        for root in 0..n {
+            if index[root] != UNSEEN || !self.touched[root] {
+                continue;
+            }
+            frames.push((root as u32, 0));
+            while let Some(&(v, child)) = frames.last() {
+                let v = v as usize;
+                if child == 0 {
+                    index[v] = next_index;
+                    low[v] = next_index;
+                    next_index += 1;
+                    stack.push(v as u32);
+                    on_stack[v] = true;
+                }
+                if let Some(&w) = self.adj[v].get(child) {
+                    frames.last_mut().expect("frame present").1 = child + 1;
+                    let w = w as usize;
+                    if index[w] == UNSEEN {
+                        frames.push((w as u32, 0));
+                    } else if on_stack[w] {
+                        low[v] = low[v].min(index[w]);
+                    }
+                } else {
+                    // v is finished
+                    if low[v] == index[v] {
+                        let mut scc = Vec::new();
+                        loop {
+                            let w = stack.pop().expect("tarjan stack underflow");
+                            on_stack[w as usize] = false;
+                            scc.push(w);
+                            if w as usize == v {
+                                break;
+                            }
+                        }
+                        let cyclic = scc.len() > 1 || self.adj[v].contains(&(v as u32));
+                        if cyclic {
+                            return Some(scc);
+                        }
+                    }
+                    frames.pop();
+                    if let Some(&(p, _)) = frames.last() {
+                        let p = p as usize;
+                        low[p] = low[p].min(low[v]);
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// Extract one simple cycle inside a strongly connected component.
+    fn cycle_within(&self, scc: &[u32]) -> Vec<u32> {
+        let members: HashSet<u32> = scc.iter().copied().collect();
+        let start = scc[0];
+        // DFS tracking the current path; the first back-edge to a node
+        // on the path closes a simple cycle.
+        let mut path: Vec<u32> = vec![start];
+        let mut on_path: HashSet<u32> = HashSet::from([start]);
+        let mut visited: HashSet<u32> = HashSet::from([start]);
+        let mut child_pos: Vec<usize> = vec![0];
+        while let Some(&v) = path.last() {
+            let pos = child_pos.last_mut().expect("child stack in sync");
+            if let Some(&w) = self.adj[v as usize].get(*pos) {
+                *pos += 1;
+                if !members.contains(&w) {
+                    continue;
+                }
+                if on_path.contains(&w) {
+                    let at = path.iter().position(|&x| x == w).expect("node on path");
+                    return path[at..].to_vec();
+                }
+                if visited.insert(w) {
+                    path.push(w);
+                    on_path.insert(w);
+                    child_pos.push(0);
+                }
+            } else {
+                path.pop();
+                on_path.remove(&v);
+                child_pos.pop();
+            }
+        }
+        unreachable!("a nontrivial SCC always contains a cycle")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acyclic_graph_has_no_cycle() {
+        let mut g = Cdg::new(4);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(0, 2);
+        g.add_edge(2, 3);
+        assert_eq!(g.find_cycle(), None);
+        assert_eq!(g.num_channels(), 4);
+        assert_eq!(g.num_edges(), 4);
+    }
+
+    #[test]
+    fn simple_cycle_is_found_in_order() {
+        let mut g = Cdg::new(5);
+        g.add_edge(3, 1);
+        g.add_edge(1, 4);
+        g.add_edge(4, 3);
+        g.add_edge(0, 3); // lead-in, not part of the cycle
+        let cycle = g.find_cycle().expect("cycle exists");
+        assert_eq!(cycle.len(), 3);
+        for (i, &v) in cycle.iter().enumerate() {
+            let next = cycle[(i + 1) % cycle.len()];
+            assert!(g.adj[v as usize].contains(&next), "edge {v}->{next} must exist");
+        }
+    }
+
+    #[test]
+    fn self_loop_counts_as_cycle() {
+        let mut g = Cdg::new(2);
+        g.add_edge(1, 1);
+        assert_eq!(g.find_cycle(), Some(vec![1]));
+    }
+
+    #[test]
+    fn duplicate_edges_are_deduplicated() {
+        let mut g = Cdg::new(2);
+        g.add_edge(0, 1);
+        g.add_edge(0, 1);
+        assert_eq!(g.num_edges(), 1);
+    }
+}

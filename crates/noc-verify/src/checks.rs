@@ -1,0 +1,127 @@
+//! Static configuration checks, independent of the dependency-graph
+//! analysis: VC partition sanity, routing/topology compatibility, and
+//! buffer sizing against the credit round-trip.
+
+use noc_sim::config::{NetConfig, RoutingKind, TopologyKind};
+use noc_sim::topology::{Topology, LOCAL_PORT};
+
+use crate::partition::Partition;
+use crate::report::{Finding, Severity};
+
+/// Run every static check and collect findings.
+pub fn static_checks(cfg: &NetConfig, topo: &dyn Topology, part: &Partition) -> Vec<Finding> {
+    let mut findings = Vec::new();
+
+    // The simulator's own validation is the ground truth for whether
+    // the config can run at all.
+    if let Err(e) = cfg.validate() {
+        findings.push(Finding {
+            severity: Severity::Error,
+            check: "config",
+            message: format!("rejected by the simulator: {e}"),
+        });
+    }
+    for why in &part.degraded {
+        findings.push(Finding {
+            severity: Severity::Warning,
+            check: "vc-partition",
+            message: why.clone(),
+        });
+    }
+
+    partition_checks(cfg, part, &mut findings);
+    topology_checks(cfg, topo, &mut findings);
+    buffer_checks(cfg, topo, &mut findings);
+    findings
+}
+
+/// Message classes must own disjoint, non-empty VC sets; otherwise a
+/// reply can starve behind the requests it is supposed to drain
+/// (protocol deadlock, invisible to the per-class CDG analysis).
+fn partition_checks(cfg: &NetConfig, part: &Partition, findings: &mut Vec<Finding>) {
+    let mut union = 0u64;
+    for class in 0..cfg.classes {
+        let mask = part.class_mask(class);
+        if part.injection(class) == 0 {
+            findings.push(Finding {
+                severity: Severity::Error,
+                check: "vc-partition",
+                message: format!("class {class} has no injectable VC"),
+            });
+        }
+        if union & mask != 0 {
+            findings.push(Finding {
+                severity: Severity::Error,
+                check: "vc-partition",
+                message: format!("class {class} shares VCs with a lower class"),
+            });
+        }
+        union |= mask;
+    }
+    if cfg.vcs > 64 {
+        findings.push(Finding {
+            severity: Severity::Error,
+            check: "vc-partition",
+            message: format!("{} VCs exceed the 64-bit mask the router uses", cfg.vcs),
+        });
+    }
+}
+
+/// Routing/topology pairings that are legal but degenerate.
+fn topology_checks(cfg: &NetConfig, topo: &dyn Topology, findings: &mut Vec<Finding>) {
+    if cfg.routing == RoutingKind::MinAdaptive && topo.dims() == 1 {
+        findings.push(Finding {
+            severity: Severity::Info,
+            check: "routing-topology",
+            message: "minimal adaptive routing on a 1-D topology degenerates to DOR \
+                      (a single minimal port per hop)"
+                .into(),
+        });
+    }
+    if matches!(cfg.topology, TopologyKind::Ring { n } if n <= 2) {
+        findings.push(Finding {
+            severity: Severity::Info,
+            check: "routing-topology",
+            message: "ring with <= 2 nodes has no wraparound distinct from direct links".into(),
+        });
+    }
+    if cfg.routing == RoutingKind::Valiant && !topo.has_wrap() {
+        findings.push(Finding {
+            severity: Severity::Info,
+            check: "routing-topology",
+            message: "Valiant on a mesh doubles average hop count without the load-balance \
+                      benefit wraparound symmetry provides"
+                .into(),
+        });
+    }
+}
+
+/// Full per-VC throughput needs the buffer to cover the credit
+/// round-trip: forward flit traversal (router pipeline + link) plus the
+/// credit's return trip (one cycle of credit generation + link).
+fn buffer_checks(cfg: &NetConfig, topo: &dyn Topology, findings: &mut Vec<Finding>) {
+    let mut max_delay = 0u32;
+    for node in 0..topo.num_nodes() {
+        for port in 0..topo.num_ports() {
+            if port == LOCAL_PORT {
+                continue;
+            }
+            if topo.neighbor(node, port).is_some() {
+                max_delay = max_delay.max(topo.link_delay(node, port));
+            }
+        }
+    }
+    let rtt = cfg.router_delay as usize + 2 * max_delay as usize + 1;
+    if cfg.vc_buf < rtt {
+        findings.push(Finding {
+            severity: Severity::Warning,
+            check: "buffer-credit-rtt",
+            message: format!(
+                "vc_buf = {} is below the worst-case credit round-trip of {rtt} cycles \
+                 (router {} + 2 x link {} + 1); a single VC cannot sustain full link \
+                 throughput",
+                cfg.vc_buf, cfg.router_delay, max_delay
+            ),
+        });
+    }
+}

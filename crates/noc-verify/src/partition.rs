@@ -1,0 +1,147 @@
+//! Relaxed mirror of the simulator's VC partition.
+//!
+//! [`noc_sim::routing::VcBook`] *rejects* configurations that violate
+//! its block-size minima (e.g. a torus with a single VC, which has no
+//! dateline VC to break wraparound cycles). The analyzer must still be
+//! able to reason about those configurations — that is exactly how it
+//! produces a concrete cycle witness for them — so [`Partition`]
+//! reproduces the `VcBook` mask semantics bit-for-bit on valid
+//! configurations and degrades gracefully (recording why) on invalid
+//! ones instead of refusing.
+
+use noc_sim::routing::RoutingAlgorithm;
+use noc_sim::topology::Topology;
+
+/// VC partition used by the static analysis.
+///
+/// On configurations accepted by `VcBook::new`, every mask returned
+/// here is identical to the corresponding `VcBook` mask (checked by
+/// unit tests). On rejected configurations the partition keeps the same
+/// block layout but drops the guarantees the minima would have bought,
+/// listing each dropped guarantee in [`Partition::degraded`].
+#[derive(Debug, Clone)]
+pub struct Partition {
+    vcs: usize,
+    classes: usize,
+    phases: usize,
+    block: usize,
+    escape: usize,
+    adaptive: bool,
+    wrap: bool,
+    /// Guarantees the strict partition would enforce that this
+    /// configuration cannot provide, one message per deficiency.
+    pub degraded: Vec<String>,
+}
+
+impl Partition {
+    /// Build the relaxed partition. Fails only when no VC at all can be
+    /// assigned to some (class, phase) block.
+    pub fn new(
+        vcs: usize,
+        classes: usize,
+        routing: &dyn RoutingAlgorithm,
+        topo: &dyn Topology,
+    ) -> Result<Self, String> {
+        let phases = routing.num_phases();
+        if vcs == 0 || classes == 0 || phases == 0 {
+            return Err("vcs, classes, and phases must all be positive".into());
+        }
+        if vcs < classes * phases {
+            return Err(format!(
+                "{vcs} VC(s) cannot cover {classes} class(es) x {phases} phase(s)"
+            ));
+        }
+        let block = vcs / (classes * phases);
+        let wrap = topo.has_wrap();
+        let adaptive = routing.is_adaptive();
+        let mut degraded = Vec::new();
+        if !vcs.is_multiple_of(classes * phases) {
+            degraded.push(format!(
+                "{vcs} VCs do not divide evenly into {classes} class(es) x {phases} phase(s); \
+                 the top {} VC(s) are unreachable",
+                vcs - block * classes * phases
+            ));
+        }
+        let escape = if adaptive {
+            let want = if wrap { 2 } else { 1 };
+            if block < want + 1 {
+                degraded.push(format!(
+                    "adaptive routing wants {want} escape VC(s) plus an adaptive VC per block, \
+                     but blocks have only {block}"
+                ));
+            }
+            want.min(block)
+        } else {
+            if wrap && block < 2 {
+                degraded.push(
+                    "wraparound links need a dateline VC per block, but blocks have only 1 VC; \
+                     ring dependency cycles cannot be broken"
+                        .into(),
+                );
+            }
+            0
+        };
+        Ok(Self { vcs, classes, phases, block, escape, adaptive, wrap, degraded })
+    }
+
+    /// Total VCs.
+    pub fn vcs(&self) -> usize {
+        self.vcs
+    }
+
+    /// VCs per (class, phase) block.
+    pub fn block(&self) -> usize {
+        self.block
+    }
+
+    /// Mirror of `VcBook::allowed`: mask of legal downstream VCs for a
+    /// packet of `class` in `phase` whose post-hop dateline flag is
+    /// `dateline`; `escape_only` selects the escape sub-function.
+    pub fn allowed(&self, class: usize, phase: usize, dateline: bool, escape_only: bool) -> u64 {
+        debug_assert!(class < self.classes);
+        let phase = phase.min(self.phases - 1);
+        let base = (class * self.phases + phase) * self.block;
+        if self.adaptive {
+            if escape_only {
+                // With fewer than two escape VCs on a wrap topology the
+                // dateline switch is impossible; everything rides VC 0
+                // of the block (the degradation the analysis will see).
+                let idx = if self.wrap && dateline && self.escape >= 2 { 1 } else { 0 };
+                1u64 << (base + idx)
+            } else {
+                mask_range(base + self.escape, base + self.block)
+            }
+        } else if self.wrap && self.block >= 2 {
+            let half = self.block / 2;
+            let (lo, hi) = if dateline { (half, self.block) } else { (0, half) };
+            mask_range(base + lo, base + hi)
+        } else {
+            // Mesh, or a wrap block too small to split: the whole block.
+            mask_range(base, base + self.block)
+        }
+    }
+
+    /// Mirror of `VcBook::injection`.
+    pub fn injection(&self, class: usize) -> u64 {
+        if self.adaptive {
+            self.allowed(class, 0, false, false) | self.allowed(class, 0, false, true)
+        } else {
+            self.allowed(class, 0, false, false)
+        }
+    }
+
+    /// Mirror of `VcBook::class_mask`.
+    pub fn class_mask(&self, class: usize) -> u64 {
+        debug_assert!(class < self.classes);
+        let per_class = self.phases * self.block;
+        mask_range(class * per_class, class * per_class + per_class)
+    }
+}
+
+fn mask_range(lo: usize, hi: usize) -> u64 {
+    let mut mask = 0u64;
+    for v in lo..hi {
+        mask |= 1 << v;
+    }
+    mask
+}

@@ -1,0 +1,172 @@
+//! Verification verdicts, findings, and the pretty-printed report.
+
+use std::fmt;
+
+use noc_sim::topology::{port_dim, port_is_plus};
+
+/// One directed network channel: the (link, VC) pair a packet occupies
+/// while buffered at the downstream end of `router --port--> dst_router`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChannelRef {
+    /// Upstream router driving the link.
+    pub router: usize,
+    /// Output port at `router` (1-based; port 0 is the local port and
+    /// never appears in the dependency graph).
+    pub port: usize,
+    /// Downstream router at the other end of the link.
+    pub dst_router: usize,
+    /// Virtual channel index within the downstream input buffer.
+    pub vc: usize,
+}
+
+impl fmt::Display for ChannelRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let dim = port_dim(self.port);
+        let sign = if port_is_plus(self.port) { '+' } else { '-' };
+        let axis = [b'x', b'y', b'z', b'w'].get(dim).copied().unwrap_or(b'?') as char;
+        write!(
+            f,
+            "router {:>3} --({sign}{axis})--> router {:>3}  [vc {}]",
+            self.router, self.dst_router, self.vc
+        )
+    }
+}
+
+/// A concrete cycle in the channel dependency graph: each channel waits
+/// on the next, and the last waits on the first.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CycleWitness {
+    /// Channels in dependency order; `channels[i]` can hold a packet
+    /// whose head requests `channels[(i + 1) % len]`.
+    pub channels: Vec<ChannelRef>,
+}
+
+impl fmt::Display for CycleWitness {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "CDG cycle ({} channels):", self.channels.len())?;
+        for c in &self.channels {
+            writeln!(f, "    {c}")?;
+        }
+        if let Some(first) = self.channels.first() {
+            write!(f, "    ... which waits on the first channel (router {}) again", first.router)?;
+        }
+        Ok(())
+    }
+}
+
+/// Outcome of the deadlock-freedom analysis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Verdict {
+    /// The channel dependency graph is acyclic: every packet can always
+    /// drain, so routing-induced deadlock is impossible.
+    Certified,
+    /// The exact dependency graph contains a cycle; the witness lists a
+    /// concrete chain of channels that can enter a circular wait.
+    Refuted(CycleWitness),
+    /// Analysis could not certify the configuration (conservative
+    /// over-approximation found a cycle, or the config is invalid).
+    Unknown(String),
+}
+
+/// Severity of a static configuration finding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Informational note; no action needed.
+    Info,
+    /// Legal configuration with a likely performance or robustness issue.
+    Warning,
+    /// The simulator would reject this configuration outright.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Info => write!(f, "info"),
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// One static check result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// How serious the finding is.
+    pub severity: Severity,
+    /// Short stable identifier of the check that fired.
+    pub check: &'static str,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+/// Size of the analysis, for reporting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CdgStats {
+    /// Channels (link, VC pairs) that appear in at least one route.
+    pub channels: usize,
+    /// Distinct dependency edges.
+    pub edges: usize,
+    /// Route walks enumerated (one per source, destination, and
+    /// intermediate/state choice).
+    pub routes: u64,
+}
+
+/// Full result of [`crate::verify`].
+#[derive(Debug, Clone)]
+pub struct VerifyReport {
+    /// One-line description of the analyzed configuration.
+    pub config_desc: String,
+    /// Deadlock-freedom verdict.
+    pub verdict: Verdict,
+    /// Static configuration findings, independent of the verdict.
+    pub findings: Vec<Finding>,
+    /// Analysis size counters.
+    pub stats: CdgStats,
+}
+
+impl VerifyReport {
+    /// True iff the configuration is proven deadlock-free.
+    pub fn is_certified(&self) -> bool {
+        matches!(self.verdict, Verdict::Certified)
+    }
+
+    /// Number of findings at `severity` or worse.
+    pub fn count_at_least(&self, severity: Severity) -> usize {
+        self.findings.iter().filter(|f| f.severity >= severity).count()
+    }
+
+    /// Compact single-line summary, suitable for benchmark headers.
+    pub fn one_line(&self) -> String {
+        let verdict = match &self.verdict {
+            Verdict::Certified => "deadlock-free (CDG acyclic)".to_string(),
+            Verdict::Refuted(w) => {
+                format!("DEADLOCK POSSIBLE ({}-channel CDG cycle)", w.channels.len())
+            }
+            Verdict::Unknown(why) => format!("not certified ({why})"),
+        };
+        let warn = self.count_at_least(Severity::Warning);
+        format!(
+            "noc-verify: {} — {verdict}; {} channels, {} edges, {} routes; {} warning{}",
+            self.config_desc,
+            self.stats.channels,
+            self.stats.edges,
+            self.stats.routes,
+            warn,
+            if warn == 1 { "" } else { "s" },
+        )
+    }
+}
+
+impl fmt::Display for VerifyReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}", self.one_line())?;
+        for finding in &self.findings {
+            writeln!(f, "  [{}] {}: {}", finding.severity, finding.check, finding.message)?;
+        }
+        if let Verdict::Refuted(w) = &self.verdict {
+            writeln!(f, "  {w}")?;
+        }
+        Ok(())
+    }
+}

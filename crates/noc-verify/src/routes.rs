@@ -1,0 +1,333 @@
+//! Route enumeration: build the channel dependency graph by walking
+//! every route the routing function can produce.
+//!
+//! Analysis covers message class 0 only. Classes partition the VC space
+//! into disjoint, identically-shaped blocks (a static check verifies
+//! the disjointness), so a dependency cycle exists in some class iff it
+//! exists in class 0.
+//!
+//! * **Deterministic and oblivious two-phase routing** (DOR, Valiant,
+//!   ROMM): every `(src, dst, intermediate)` choice yields one exact
+//!   path; consecutive hops contribute the cross-product of their legal
+//!   VC masks as dependency edges. A cycle in this graph is a concrete
+//!   circular-wait witness.
+//! * **Minimal adaptive with DOR escape**: certified via Duato's
+//!   criterion — the *extended* dependency graph of the escape
+//!   sub-network (direct escape-to-escape dependencies plus indirect
+//!   ones bridged by adaptive hops) must be acyclic. Packet state
+//!   (dateline flag, last dimension) is threaded exactly through every
+//!   reachable adaptive path, so escape VC selection is precise; only
+//!   the waiting relation is over-approximated, hence a cycle here
+//!   yields `Unknown`, not `Refuted`.
+
+use std::collections::HashMap;
+
+use noc_sim::config::{NetConfig, RoutingKind};
+use noc_sim::routing::{RouteState, RoutingAlgorithm};
+use noc_sim::topology::Topology;
+
+use crate::cdg::Cdg;
+use crate::partition::Partition;
+
+/// CDG plus enumeration metadata.
+pub struct CdgBuild {
+    /// The dependency graph.
+    pub cdg: Cdg,
+    /// Route walks enumerated.
+    pub routes: u64,
+    /// True when every edge is realizable by a real packet, so a cycle
+    /// refutes deadlock freedom outright.
+    pub exact: bool,
+}
+
+/// Dense id of the channel `(cur --port--> neighbor, vc)`.
+fn channel_id(topo: &dyn Topology, cur: usize, port: usize, vc: usize, vcs: usize) -> u32 {
+    debug_assert!(port >= 1);
+    let link = cur * (topo.num_ports() - 1) + (port - 1);
+    (link * vcs + vc) as u32
+}
+
+/// Decode a channel id back to `(router, port, vc)`.
+pub fn decode_channel(topo: &dyn Topology, id: u32, vcs: usize) -> (usize, usize, usize) {
+    let id = id as usize;
+    let vc = id % vcs;
+    let link = id / vcs;
+    let ports = topo.num_ports() - 1;
+    (link / ports, link % ports + 1, vc)
+}
+
+/// Enumerate all routes of `cfg.routing` and build the CDG.
+pub fn build_cdg(cfg: &NetConfig, topo: &dyn Topology, part: &Partition) -> CdgBuild {
+    let routing = cfg.routing.build();
+    let vcs = part.vcs();
+    let mut cdg = Cdg::new(topo.num_nodes() * (topo.num_ports() - 1) * vcs);
+    let mut routes = 0u64;
+    let n = topo.num_nodes();
+    let exact = !routing.is_adaptive();
+    for src in 0..n {
+        for dst in 0..n {
+            if src == dst {
+                continue;
+            }
+            match cfg.routing {
+                RoutingKind::Dor => {
+                    walk_route(topo, &*routing, part, &mut cdg, src, dst, RouteState::direct());
+                    routes += 1;
+                }
+                RoutingKind::Valiant => {
+                    // init() maps mid == src to a direct route; all
+                    // other intermediates are reachable.
+                    walk_route(topo, &*routing, part, &mut cdg, src, dst, RouteState::direct());
+                    routes += 1;
+                    for mid in 0..n {
+                        if mid != src {
+                            walk_route(
+                                topo,
+                                &*routing,
+                                part,
+                                &mut cdg,
+                                src,
+                                dst,
+                                RouteState::via(mid),
+                            );
+                            routes += 1;
+                        }
+                    }
+                }
+                RoutingKind::Romm => {
+                    walk_route(topo, &*routing, part, &mut cdg, src, dst, RouteState::direct());
+                    routes += 1;
+                    for mid in minimal_box(topo, src, dst) {
+                        if mid != src {
+                            walk_route(
+                                topo,
+                                &*routing,
+                                part,
+                                &mut cdg,
+                                src,
+                                dst,
+                                RouteState::via(mid),
+                            );
+                            routes += 1;
+                        }
+                    }
+                }
+                RoutingKind::MinAdaptive => {
+                    escape_dependencies(topo, &*routing, part, &mut cdg, src, dst);
+                    routes += 1;
+                }
+            }
+        }
+    }
+    CdgBuild { cdg, routes, exact }
+}
+
+/// Walk one deterministic route and add consecutive-hop dependencies.
+fn walk_route(
+    topo: &dyn Topology,
+    routing: &dyn RoutingAlgorithm,
+    part: &Partition,
+    cdg: &mut Cdg,
+    src: usize,
+    dst: usize,
+    init: RouteState,
+) {
+    let vcs = part.vcs();
+    let mut cur = src;
+    let mut state = init;
+    let mut prev: Vec<u32> = Vec::new();
+    let mut here: Vec<u32> = Vec::new();
+    loop {
+        let cands = routing.candidates(topo, cur, dst, &state);
+        if cands.is_empty() {
+            return; // ejected
+        }
+        // Deterministic/oblivious routing emits exactly one candidate.
+        let port = cands.get(0);
+        let ns = routing.advance(topo, cur, port, dst, &state);
+        let mask = part.allowed(0, ns.phase as usize, ns.dateline, false);
+        here.clear();
+        let mut bits = mask;
+        while bits != 0 {
+            let vc = bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            here.push(channel_id(topo, cur, port, vc, vcs));
+        }
+        for &a in &prev {
+            for &b in &here {
+                cdg.add_edge(a, b);
+            }
+        }
+        std::mem::swap(&mut prev, &mut here);
+        cur = topo.neighbor(cur, port).expect("routing produced a dead port").0;
+        state = ns;
+    }
+}
+
+/// All nodes inside the minimal quadrant between `src` and `dst`,
+/// following ROMM's per-dimension direction choice (wrap ties break
+/// toward the positive direction, matching `dor_port`).
+fn minimal_box(topo: &dyn Topology, src: usize, dst: usize) -> Vec<usize> {
+    let cs = topo.coords_of(src);
+    let cd = topo.coords_of(dst);
+    let mut per_dim: Vec<Vec<usize>> = Vec::new();
+    for d in 0..topo.dims() {
+        let k = topo.radix(d);
+        let (a, b) = (cs[d], cd[d]);
+        let mut coords = Vec::new();
+        if topo.wraps(d) {
+            let plus = (b + k - a) % k;
+            let minus = (a + k - b) % k;
+            if plus <= minus {
+                for s in 0..=plus {
+                    coords.push((a + s) % k);
+                }
+            } else {
+                for s in 0..=minus {
+                    coords.push((a + k - s) % k);
+                }
+            }
+        } else if b >= a {
+            coords.extend(a..=b);
+        } else {
+            coords.extend((b..=a).rev());
+        }
+        per_dim.push(coords);
+    }
+    let mut nodes = vec![topo.coords_of(src)];
+    for (d, coords) in per_dim.iter().enumerate() {
+        let mut next = Vec::with_capacity(nodes.len() * coords.len());
+        for base in &nodes {
+            for &c in coords {
+                let mut nc = *base;
+                nc[d] = c;
+                next.push(nc);
+            }
+        }
+        nodes = next;
+    }
+    nodes.iter().map(|c| topo.node_at(c)).collect()
+}
+
+/// Packet state relevant to VC selection at a router.
+type StateKey = (usize, bool, u8); // (node, dateline, last_dim)
+
+/// One escape hop observed during journey exploration.
+struct EscapeHop {
+    /// State index the hop departs from.
+    head_state: usize,
+    /// Channel ids (escape VCs) the hop occupies.
+    channels: Vec<u32>,
+}
+
+/// Build the extended escape-network dependency graph for one
+/// `(src, dst)` pair of a minimal adaptive routing function.
+///
+/// Explores every reachable `(node, dateline, last_dim)` state along
+/// minimal paths. Each hop strictly decreases the distance to `dst`, so
+/// the state graph is a DAG; a reverse pass then computes, for each
+/// state, the set of escape hops reachable from it, and every escape
+/// hop gains an edge to every escape hop reachable beyond it (the
+/// transitive closure of direct + adaptive-bridged dependencies, which
+/// has the same cycles as Duato's extended dependency graph).
+fn escape_dependencies(
+    topo: &dyn Topology,
+    routing: &dyn RoutingAlgorithm,
+    part: &Partition,
+    cdg: &mut Cdg,
+    src: usize,
+    dst: usize,
+) {
+    let vcs = part.vcs();
+    let mut state_ix: HashMap<StateKey, usize> = HashMap::new();
+    let mut states: Vec<StateKey> = Vec::new();
+    // per state: (successor state, Some(escape hop id) if the hop is
+    // the DOR escape hop)
+    let mut hops: Vec<Vec<(usize, Option<usize>)>> = Vec::new();
+    let mut escapes: Vec<EscapeHop> = Vec::new();
+
+    let init = RouteState::direct();
+    let start: StateKey = (src, init.dateline, init.last_dim);
+    state_ix.insert(start, 0);
+    states.push(start);
+    hops.push(Vec::new());
+
+    let mut frontier = vec![0usize];
+    while let Some(si) = frontier.pop() {
+        let (node, dateline, last_dim) = states[si];
+        if node == dst {
+            continue;
+        }
+        let state = RouteState { dateline, last_dim, ..RouteState::direct() };
+        let cands = routing.candidates(topo, node, dst, &state);
+        for (ci, port) in cands.iter().enumerate() {
+            let ns = routing.advance(topo, node, port, dst, &state);
+            let next_node =
+                topo.neighbor(node, port).expect("adaptive candidate must be a live port").0;
+            let adaptive_mask = part.allowed(0, ns.phase as usize, ns.dateline, false);
+            let is_dor = ci == 0;
+            // A hop is traversable adaptively (any adaptive VC) or, on
+            // the DOR candidate, via the escape sub-network.
+            if adaptive_mask == 0 && !is_dor {
+                continue;
+            }
+            let key: StateKey = (next_node, ns.dateline, ns.last_dim);
+            let ti = *state_ix.entry(key).or_insert_with(|| {
+                states.push(key);
+                hops.push(Vec::new());
+                frontier.push(states.len() - 1);
+                states.len() - 1
+            });
+            let escape_id = if is_dor {
+                let emask = part.allowed(0, ns.phase as usize, ns.dateline, true);
+                let mut channels = Vec::new();
+                let mut bits = emask;
+                while bits != 0 {
+                    let vc = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    channels.push(channel_id(topo, node, port, vc, vcs));
+                }
+                escapes.push(EscapeHop { head_state: ti, channels });
+                Some(escapes.len() - 1)
+            } else {
+                None
+            };
+            hops[si].push((ti, escape_id));
+        }
+    }
+
+    // reach[s] = bitset of escape hops reachable from state s; computed
+    // in order of increasing distance to dst (all successors first).
+    let words = escapes.len().div_ceil(64);
+    let mut reach: Vec<Vec<u64>> = vec![vec![0u64; words]; states.len()];
+    let mut order: Vec<usize> = (0..states.len()).collect();
+    order.sort_by_key(|&s| topo.min_hops(states[s].0, dst));
+    for s in order {
+        let mut acc = vec![0u64; words];
+        for &(t, esc) in &hops[s] {
+            for (a, &r) in acc.iter_mut().zip(&reach[t]) {
+                *a |= r;
+            }
+            if let Some(e) = esc {
+                acc[e / 64] |= 1 << (e % 64);
+            }
+        }
+        reach[s] = acc;
+    }
+
+    for hop in &escapes {
+        let r = &reach[hop.head_state];
+        for (w, &word) in r.iter().enumerate() {
+            let mut bits = word;
+            while bits != 0 {
+                let e2 = w * 64 + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                for &a in &hop.channels {
+                    for &b in &escapes[e2].channels {
+                        cdg.add_edge(a, b);
+                    }
+                }
+            }
+        }
+    }
+}

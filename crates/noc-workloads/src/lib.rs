@@ -18,6 +18,8 @@ pub mod archetypes;
 pub mod comm;
 pub mod profile;
 
-pub use archetypes::{all_archetypes, balanced, cache_resident, compute_bound, custom, memory_streaming};
+pub use archetypes::{
+    all_archetypes, balanced, cache_resident, compute_bound, custom, memory_streaming,
+};
 pub use comm::{lu_app_matrix, matrix_to_ascii, normalize_matrix};
 pub use profile::{all_benchmarks, BenchmarkProfile, ClockFreq};

@@ -16,7 +16,10 @@ fn main() {
         .iter()
         .find(|p| p.name == which)
         .unwrap_or_else(|| panic!("unknown benchmark `{which}`"));
-    println!("benchmark: {} (NAR {:.3}, L2 miss {:.3})", profile.name, profile.nar, profile.l2_miss);
+    println!(
+        "benchmark: {} (NAR {:.3}, L2 miss {:.3})",
+        profile.name, profile.nar, profile.l2_miss
+    );
 
     println!(
         "\n{:<4} {:>16} {:>10} {:>16} {:>10}",

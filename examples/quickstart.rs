@@ -23,7 +23,7 @@ fn main() {
     // ---- closed loop: the batch model ---------------------------------
     let batch = noc_closedloop::run_batch(&BatchConfig {
         net: NetConfig::baseline(),
-        batch: 1000,       // b: operations per node
+        batch: 1000,        // b: operations per node
         max_outstanding: 4, // m: MSHRs
         ..BatchConfig::default()
     })

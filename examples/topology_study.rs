@@ -53,9 +53,8 @@ fn main() {
     let max = *r.per_node_runtime.iter().max().unwrap() as f64;
     println!("\nmesh per-node normalized runtime (rows are Y):");
     for y in 0..8 {
-        let row: Vec<String> = (0..8)
-            .map(|x| format!("{:.2}", r.per_node_runtime[y * 8 + x] as f64 / max))
-            .collect();
+        let row: Vec<String> =
+            (0..8).map(|x| format!("{:.2}", r.per_node_runtime[y * 8 + x] as f64 / max)).collect();
         println!("  {}", row.join(" "));
     }
 }

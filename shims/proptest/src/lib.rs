@@ -1,0 +1,256 @@
+//! Minimal but *functional* in-tree shim for `proptest`.
+//!
+//! Runs real randomized test cases — deterministically seeded per test
+//! function so CI failures reproduce — over the strategy combinators
+//! this workspace uses: numeric ranges, tuples, [`Just`],
+//! `prop_oneof!`, `prop::collection::vec`, `prop::bool::ANY`, and
+//! [`Strategy::prop_map`]. Unlike upstream proptest it does not shrink
+//! failing inputs; the failure message reports the case index and seed
+//! instead.
+
+#![warn(missing_docs)]
+
+pub mod strategy;
+pub mod test_runner;
+
+/// Strategy modules namespaced like upstream `proptest::prelude::prop`.
+pub mod prop {
+    /// Boolean strategies.
+    pub mod bool {
+        /// Uniformly random boolean.
+        pub const ANY: crate::strategy::BoolAny = crate::strategy::BoolAny;
+    }
+
+    /// Collection strategies.
+    pub mod collection {
+        pub use crate::strategy::vec;
+    }
+}
+
+pub use strategy::{Just, Strategy};
+pub use test_runner::{ProptestConfig, TestCaseError};
+
+/// Everything a `use proptest::prelude::*;` consumer expects.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{
+        prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Uniform choice among equally-typed strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($crate::strategy::Strategy::boxed($s)),+])
+    };
+}
+
+/// Reject the current case (it does not count toward `cases`).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}
+
+/// Fail the current case unless `$cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                concat!("assertion failed: ", stringify!($cond)).to_string(),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fail the current case unless the two expressions compare equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "assertion failed: `{}` == `{}`\n  left: {:?}\n right: {:?}",
+                    stringify!($left),
+                    stringify!($right),
+                    l,
+                    r
+                ),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "{}\n  left: {:?}\n right: {:?}",
+                    format!($($fmt)+),
+                    l,
+                    r
+                ),
+            ));
+        }
+    }};
+}
+
+/// Fail the current case unless the two expressions compare unequal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `{}` != `{}`\n  both: {:?}",
+                stringify!($left),
+                stringify!($right),
+                l
+            )));
+        }
+    }};
+}
+
+/// The main entry point: a block of property test functions.
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+///     #[test]
+///     fn it_holds(x in 0u64..100, v in prop::collection::vec(0i32..5, 0..10)) {
+///         prop_assert!(x < 100);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    ( #![proptest_config($cfg:expr)] $($rest:tt)* ) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_impl! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (
+        ($cfg:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident( $($arg:pat in $strat:expr),+ $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cfg: $crate::test_runner::ProptestConfig = $cfg;
+                let test_path = concat!(module_path!(), "::", stringify!($name));
+                let mut rng = $crate::test_runner::TestRng::for_test(test_path);
+                let mut accepted: u32 = 0;
+                let mut rejected: u32 = 0;
+                let mut case: u32 = 0;
+                while accepted < cfg.cases {
+                    case += 1;
+                    $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut rng);)+
+                    let outcome = (|| -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                    match outcome {
+                        ::std::result::Result::Ok(()) => accepted += 1,
+                        ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(_)) => {
+                            rejected += 1;
+                            if rejected > cfg.max_global_rejects {
+                                panic!(
+                                    "{test_path}: gave up after {rejected} prop_assume! \
+                                     rejections ({accepted}/{} cases passed)",
+                                    cfg.cases
+                                );
+                            }
+                        }
+                        ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                            panic!(
+                                "{test_path}: property failed at case {case} \
+                                 (deterministic seed for this test)\n{msg}"
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+        #[test]
+        fn ranges_in_bounds(x in 3u64..17, y in -5i32..5, f in -1.5f64..2.5) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-5..5).contains(&y));
+            prop_assert!((-1.5..2.5).contains(&f));
+        }
+
+        #[test]
+        fn tuples_and_map(pair in (0usize..10, 0usize..10).prop_map(|(a, b)| a + b)) {
+            prop_assert!(pair < 19);
+        }
+
+        #[test]
+        fn vec_sizes(v in prop::collection::vec(0u32..100, 2..8)) {
+            prop_assert!(v.len() >= 2 && v.len() < 8);
+            prop_assert!(v.iter().all(|&x| x < 100));
+        }
+
+        #[test]
+        fn oneof_and_just(k in prop_oneof![Just(1u8), Just(3u8), Just(5u8)]) {
+            prop_assert!(k == 1 || k == 3 || k == 5);
+            prop_assert_ne!(k, 2);
+        }
+
+        #[test]
+        fn assume_rejects(x in 0u32..100) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+
+        #[test]
+        fn bool_any_and_mut_patterns(mut v in prop::collection::vec(0u64..50, 1..5), b in prop::bool::ANY) {
+            v.push(if b { 1 } else { 0 });
+            prop_assert!(!v.is_empty());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "property failed")]
+    fn failures_panic() {
+        proptest! {
+            fn inner(x in 0u32..10) {
+                prop_assert!(x > 100, "x was {}", x);
+            }
+        }
+        inner();
+    }
+}

@@ -88,12 +88,8 @@ fn barrier_model_measures_network_throughput() {
 fn archetypes_order_router_delay_sensitivity() {
     use cmp_sim::CmpConfig;
     let slowdown = |p: noc_workloads::BenchmarkProfile| {
-        let mk = |tr| {
-            CmpConfig::table2(p)
-                .with_instructions(8_000)
-                .with_os(false)
-                .with_router_delay(tr)
-        };
+        let mk =
+            |tr| CmpConfig::table2(p).with_instructions(8_000).with_os(false).with_router_delay(tr);
         let r1 = cmp_sim::run_cmp(&mk(1)).unwrap().runtime as f64;
         let r8 = cmp_sim::run_cmp(&mk(8)).unwrap().runtime as f64;
         r8 / r1

@@ -27,15 +27,9 @@ fn open_and_closed_loop_agree_on_router_delay() {
         .iter()
         .map(|&tr| (format!("tr={tr}"), NetConfig::baseline().with_router_delay(tr)))
         .collect();
-    let out = correlate_open_batch(
-        &variants,
-        &[1, 2, 4, 8],
-        PatternKind::Uniform,
-        &tiny(),
-        false,
-        &[],
-    )
-    .unwrap();
+    let out =
+        correlate_open_batch(&variants, &[1, 2, 4, 8], PatternKind::Uniform, &tiny(), false, &[])
+            .unwrap();
     let r = out.r_all.expect("enough points");
     assert!(r > 0.9, "open/closed correlation too weak: r = {r}");
 }
@@ -104,10 +98,7 @@ fn router_delay_leaves_saturation_untouched() {
     };
     let t1 = theta(1);
     let t4 = theta(4);
-    assert!(
-        (t1 - t4).abs() / t1 < 0.12,
-        "saturation should be ~independent of tr: {t1} vs {t4}"
-    );
+    assert!((t1 - t4).abs() / t1 < 0.12, "saturation should be ~independent of tr: {t1} vs {t4}");
 
     // but the m=1 (latency-bound) runtime must scale with zero-load latency
     let rt = |tr: u32| {

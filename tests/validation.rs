@@ -23,10 +23,7 @@ fn tiny() -> Effort {
 fn profiles() -> Vec<BenchmarkProfile> {
     // a contrast-rich subset keeps CI fast: low-NAR lu, high-NAR barnes,
     // high-L2-miss fft
-    all_benchmarks()
-        .into_iter()
-        .filter(|p| ["lu", "fft", "barnes"].contains(&p.name))
-        .collect()
+    all_benchmarks().into_iter().filter(|p| ["lu", "fft", "barnes"].contains(&p.name)).collect()
 }
 
 fn cmp_cfg(p: &BenchmarkProfile, e: &Effort, os: bool) -> CmpConfig {
@@ -43,29 +40,14 @@ const TRS: [u32; 3] = [1, 4, 8];
 fn enhanced_injection_beats_plain_batch() {
     let e = tiny();
     let ps = profiles();
-    let plain = correlate_cmp_batch(
-        &ps,
-        |p| cmp_cfg(p, &e, false),
-        &TRS,
-        BatchExtension::plain(),
-        &e,
-        4,
-    )
-    .unwrap();
-    let inj = correlate_cmp_batch(
-        &ps,
-        |p| cmp_cfg(p, &e, false),
-        &TRS,
-        BatchExtension::inj(),
-        &e,
-        4,
-    )
-    .unwrap();
+    let plain =
+        correlate_cmp_batch(&ps, |p| cmp_cfg(p, &e, false), &TRS, BatchExtension::plain(), &e, 4)
+            .unwrap();
+    let inj =
+        correlate_cmp_batch(&ps, |p| cmp_cfg(p, &e, false), &TRS, BatchExtension::inj(), &e, 4)
+            .unwrap();
     let (rp, ri) = (plain.r.unwrap(), inj.r.unwrap());
-    assert!(
-        ri >= rp - 0.02,
-        "BA_inj (r={ri:.3}) should not trail plain BA (r={rp:.3})"
-    );
+    assert!(ri >= rp - 0.02, "BA_inj (r={ri:.3}) should not trail plain BA (r={rp:.3})");
     assert!(ri > 0.7, "BA_inj should correlate decently: r = {ri:.3}");
 }
 
@@ -76,18 +58,11 @@ fn enhanced_injection_beats_plain_batch() {
 fn plain_batch_is_benchmark_blind_but_cmp_is_not() {
     let e = tiny();
     let ps = profiles();
-    let out = correlate_cmp_batch(
-        &ps,
-        |p| cmp_cfg(p, &e, false),
-        &TRS,
-        BatchExtension::plain(),
-        &e,
-        4,
-    )
-    .unwrap();
+    let out =
+        correlate_cmp_batch(&ps, |p| cmp_cfg(p, &e, false), &TRS, BatchExtension::plain(), &e, 4)
+            .unwrap();
     // batch_norm at tr=8 identical across benchmarks (same model!)
-    let batch8: Vec<f64> =
-        out.points.iter().filter(|p| p.tr == 8).map(|p| p.batch_norm).collect();
+    let batch8: Vec<f64> = out.points.iter().filter(|p| p.tr == 8).map(|p| p.batch_norm).collect();
     let spread = batch8.iter().cloned().fold(0.0, f64::max)
         - batch8.iter().cloned().fold(f64::INFINITY, f64::min);
     assert!(spread < 1e-9, "plain batch must be benchmark-independent");
@@ -135,10 +110,7 @@ fn low_nar_erases_router_delay_sensitivity() {
     };
     let high_nar_ratio = run(1.0, 4) / run(1.0, 1);
     let low_nar_ratio = run(0.04, 4) / run(0.04, 1);
-    assert!(
-        low_nar_ratio < 1.15,
-        "low NAR should hide router delay: ratio {low_nar_ratio}"
-    );
+    assert!(low_nar_ratio < 1.15, "low NAR should hide router delay: ratio {low_nar_ratio}");
     assert!(
         high_nar_ratio > low_nar_ratio + 0.1,
         "high NAR must feel tr more: {high_nar_ratio} vs {low_nar_ratio}"
