@@ -56,6 +56,27 @@ fn bench_batch_run(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_sweep_grid(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sweep");
+    g.sample_size(10);
+    let base = OpenLoopConfig {
+        net: NetConfig::baseline().with_topology(TopologyKind::Mesh2D { k: 8 }),
+        pattern: PatternKind::Uniform,
+        size: SizeKind::Fixed(1),
+        load: 0.1,
+        warmup: 500,
+        measure: 2_000,
+        drain_max: 20_000,
+        percentiles: false,
+    };
+    let loads = [0.05, 0.1, 0.15, 0.2, 0.25, 0.3];
+    // the parallel grid engine vs its serial twin: on a multi-core host
+    // the ratio shows the fan-out win, on one core the engine overhead
+    g.bench_function("grid-6pt", |b| b.iter(|| noc_openloop::sweep(&base, &loads)));
+    g.bench_function("serial-6pt", |b| b.iter(|| noc_openloop::sweep_serial(&base, &loads)));
+    g.finish();
+}
+
 fn bench_cmp_run(c: &mut Criterion) {
     let mut g = c.benchmark_group("cmp");
     g.sample_size(10);
@@ -69,5 +90,5 @@ fn bench_cmp_run(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_openloop_step, bench_batch_run, bench_cmp_run);
+criterion_group!(benches, bench_openloop_step, bench_batch_run, bench_sweep_grid, bench_cmp_run);
 criterion_main!(benches);

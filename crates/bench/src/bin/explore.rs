@@ -131,14 +131,29 @@ fn main() {
         size
     );
 
-    // open-loop view
-    let open = noc_openloop::measure(&OpenLoopConfig {
-        net: net.clone(),
-        pattern,
-        size,
-        load,
-        ..OpenLoopConfig::default()
-    });
+    // the open-loop and batch views are independent simulations — run
+    // them on both cores
+    let open_net = net.clone();
+    let (open, closed) = noc_exp::join(
+        move || {
+            noc_openloop::measure(&OpenLoopConfig {
+                net: open_net,
+                pattern,
+                size,
+                load,
+                ..OpenLoopConfig::default()
+            })
+        },
+        move || {
+            noc_closedloop::run_batch(&BatchConfig {
+                net,
+                pattern,
+                batch,
+                max_outstanding: m,
+                ..BatchConfig::default()
+            })
+        },
+    );
     match open {
         Ok(r) => {
             println!("open-loop @ {load} flits/cycle/node:");
@@ -151,13 +166,6 @@ fn main() {
     }
 
     // closed-loop view
-    let closed = noc_closedloop::run_batch(&BatchConfig {
-        net,
-        pattern,
-        batch,
-        max_outstanding: m,
-        ..BatchConfig::default()
-    });
     match closed {
         Ok(r) => {
             println!("\nbatch model (b={batch}, m={m}):");

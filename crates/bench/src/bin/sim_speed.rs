@@ -1,5 +1,19 @@
-//! Reports simulator speed (the paper's "minutes vs 88.5 hours" claim).
+//! Reports simulator speed (the paper's "minutes vs 88.5 hours" claim)
+//! and writes the machine-readable `BENCH_sim_speed.json` used by CI
+//! and by the perf-tracking workflow (see README "Performance
+//! tracking").
+//!
+//! Set `BENCH_JSON=path` to redirect the JSON (empty string disables).
 fn main() {
     let e = noc_bench::effort_from_args();
-    print!("{}", noc_eval::figures::sim_speed(&e));
+    let report = noc_eval::figures::sim_speed_report(&e);
+    print!("{}", report.render());
+    let path = std::env::var("BENCH_JSON").unwrap_or_else(|_| "BENCH_sim_speed.json".into());
+    if path.is_empty() {
+        return;
+    }
+    match std::fs::write(&path, report.to_json()) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
 }

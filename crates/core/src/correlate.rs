@@ -77,32 +77,48 @@ pub fn correlate_open_batch(
     worst_case: bool,
     excluded_ms: &[usize],
 ) -> Result<OpenBatchOutcome, ConfigError> {
+    // every (m, variant) cell is an independent batch run plus an
+    // open-loop run chained on its throughput, so the whole grid fans
+    // out; normalization to each m's first variant happens afterwards
+    let grid: Vec<(usize, usize)> = ms
+        .iter()
+        .enumerate()
+        .flat_map(|(mi, _)| (0..variants.len()).map(move |vi| (mi, vi)))
+        .collect();
+    let raw = noc_exp::run_grid(&grid, |_, &(mi, vi)| {
+        let m = ms[mi];
+        let net = &variants[vi].1;
+        let bcfg = noc_closedloop::BatchConfig {
+            net: net.clone(),
+            pattern,
+            batch: effort.batch,
+            max_outstanding: m,
+            ..noc_closedloop::BatchConfig::default()
+        };
+        let batch = run_batch(&bcfg)?;
+        // feed achieved throughput back as open-loop offered load
+        let load = batch.throughput.clamp(1e-4, 1.0);
+        let ocfg = OpenLoopConfig {
+            net: net.clone(),
+            pattern,
+            size: SizeKind::Fixed(1),
+            load,
+            warmup: effort.warmup,
+            measure: effort.measure,
+            drain_max: effort.drain,
+            percentiles: false,
+        };
+        Ok((batch, measure(&ocfg)?))
+    });
+
     let mut points = Vec::new();
+    let mut cells = raw.into_iter();
     for &m in ms {
         let mut base_runtime = None;
         let mut base_latency = None;
-        for (label, net) in variants {
-            let bcfg = noc_closedloop::BatchConfig {
-                net: net.clone(),
-                pattern,
-                batch: effort.batch,
-                max_outstanding: m,
-                ..noc_closedloop::BatchConfig::default()
-            };
-            let batch = run_batch(&bcfg)?;
-            // feed achieved throughput back as open-loop offered load
-            let load = batch.throughput.clamp(1e-4, 1.0);
-            let ocfg = OpenLoopConfig {
-                net: net.clone(),
-                pattern,
-                size: SizeKind::Fixed(1),
-                load,
-                warmup: effort.warmup,
-                measure: effort.measure,
-                drain_max: effort.drain,
-                percentiles: false,
-            };
-            let open = measure(&ocfg)?;
+        for (label, _) in variants {
+            let (batch, open): (noc_closedloop::BatchResult, _) =
+                cells.next().expect("grid covers every (m, variant) cell")?;
             let latency = if worst_case { open.worst_node_latency } else { open.avg_latency };
             let stable = open.stable;
             let runtime = batch.runtime;
@@ -200,16 +216,24 @@ pub struct CmpSweep {
 /// Run the execution-driven side of the validation once.
 pub fn run_cmp_sweep(
     profiles: &[BenchmarkProfile],
-    make_cmp: impl Fn(&BenchmarkProfile) -> CmpConfig,
+    make_cmp: impl Fn(&BenchmarkProfile) -> CmpConfig + Sync,
     trs: &[u32],
 ) -> Result<CmpSweep, ConfigError> {
+    let grid: Vec<(usize, u32)> = profiles
+        .iter()
+        .enumerate()
+        .flat_map(|(pi, _)| trs.iter().map(move |&tr| (pi, tr)))
+        .collect();
+    let raw = noc_exp::run_grid(&grid, |_, &(pi, tr)| {
+        let cfg = make_cmp(&profiles[pi]).with_router_delay(tr);
+        run_cmp(&cfg).map(|r| r.runtime)
+    });
+    let mut cells = raw.into_iter();
     let mut runtimes = Vec::new();
     for profile in profiles {
-        let mut rts = Vec::new();
-        for &tr in trs {
-            let cfg = make_cmp(profile).with_router_delay(tr);
-            rts.push(run_cmp(&cfg)?.runtime);
-        }
+        let rts = (0..trs.len())
+            .map(|_| cells.next().expect("grid covers every (profile, tr) cell"))
+            .collect::<Result<Vec<u64>, ConfigError>>()?;
         runtimes.push((profile.name.to_string(), rts));
     }
     Ok(CmpSweep { trs: trs.to_vec(), runtimes })
@@ -232,12 +256,13 @@ pub fn correlate_sweep_batch(
             .find(|(name, _)| name == profile.name)
             .expect("profile present in sweep")
             .1;
-        let mut batch_rts = Vec::new();
-        for &tr in &sweep.trs {
+        let batch_rts: Vec<u64> = noc_exp::run_grid(&sweep.trs, |_, &tr| {
             let net = crate::bridge::table2_net(tr);
             let bcfg = batch_for_profile(net, profile, ext, effort.batch, m);
-            batch_rts.push(run_batch(&bcfg)?.runtime);
-        }
+            run_batch(&bcfg).map(|r| r.runtime)
+        })
+        .into_iter()
+        .collect::<Result<_, ConfigError>>()?;
         for (i, &tr) in sweep.trs.iter().enumerate() {
             points.push(CmpBatchPoint {
                 benchmark: profile.name.to_string(),
@@ -264,7 +289,7 @@ pub fn correlate_sweep_batch(
 /// re-running the expensive execution-driven side.
 pub fn correlate_cmp_batch(
     profiles: &[BenchmarkProfile],
-    make_cmp: impl Fn(&BenchmarkProfile) -> CmpConfig,
+    make_cmp: impl Fn(&BenchmarkProfile) -> CmpConfig + Sync,
     trs: &[u32],
     ext: BatchExtension,
     effort: &Effort,

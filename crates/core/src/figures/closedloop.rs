@@ -78,17 +78,24 @@ pub fn batch_m_sweep(
     pattern: PatternKind,
     effort: &Effort,
 ) -> Vec<BatchSweep> {
-    let mut baseline: Option<f64> = None;
+    // the (variant, m) grid fans out in parallel; the normalization
+    // baseline (first variant at the first m) is applied afterwards
+    let grid: Vec<(usize, usize)> =
+        variants.iter().enumerate().flat_map(|(vi, _)| MS.iter().map(move |&m| (vi, m))).collect();
+    let raw = noc_exp::run_grid(&grid, |_, &(vi, m)| {
+        run_batch(&batch_cfg(variants[vi].1.clone(), pattern, effort.batch, m))
+            .expect("valid config")
+    });
+    let baseline = raw.first().map(|r| r.runtime as f64).unwrap_or(1.0);
+    let mut cells = raw.into_iter();
     variants
         .iter()
-        .map(|(label, net)| {
+        .map(|(label, _)| {
             let mut runtime = Vec::new();
             let mut theta = Vec::new();
             for &m in &MS {
-                let r = run_batch(&batch_cfg(net.clone(), pattern, effort.batch, m))
-                    .expect("valid config");
-                let base = *baseline.get_or_insert(r.runtime as f64);
-                runtime.push((m, r.runtime as f64 / base));
+                let r = cells.next().expect("grid covers every (variant, m) cell");
+                runtime.push((m, r.runtime as f64 / baseline));
                 theta.push((m, r.throughput));
             }
             BatchSweep { label: label.clone(), runtime, theta }

@@ -308,24 +308,142 @@ pub fn table4() -> String {
     out
 }
 
-/// Simulator speed comparison (the paper's "minutes vs 88.5 hours"
-/// motivation): cycles simulated per wall-clock second for a batch run.
-pub fn sim_speed(effort: &Effort) -> String {
+/// One engine-speed measurement: a named workload, how many cycles it
+/// simulated, and how long that took.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SpeedEntry {
+    /// Workload name (stable key, e.g. `"openloop_mesh8"`).
+    pub name: String,
+    /// Simulated cycles.
+    pub cycles: u64,
+    /// Wall-clock seconds.
+    pub wall_s: f64,
+    /// `cycles / wall_s` — the tracked metric.
+    pub cycles_per_sec: f64,
+}
+
+/// Machine-readable simulator-speed report (`BENCH_sim_speed.json`).
+///
+/// Three single-threaded workloads exercise the per-cycle hot path at
+/// two network scales plus a closed-loop run. `cycles_per_sec` is the
+/// perf trajectory tracked from PR 2 onward; [`SPEED_BASELINE`] pins
+/// the pre-optimization numbers the current engine is compared against.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimSpeedReport {
+    /// Worker threads the experiment engine would use (the entries
+    /// themselves are each a single serial simulation).
+    pub threads: usize,
+    /// Measured workloads.
+    pub entries: Vec<SpeedEntry>,
+}
+
+/// Single-thread cycles/sec of the pre-optimization engine: the PR 1
+/// tree (commit `fc62795`) built and run interleaved with the current
+/// engine on the same machine, `quick` effort, mean of 3 runs. The
+/// build host's clock drifts by tens of percent over minutes, so only
+/// interleaved same-session measurements are comparable — to update,
+/// check out the old commit in a scratch worktree, build its bench
+/// binary, and alternate old/new runs (see README "Performance
+/// tracking").
+pub const SPEED_BASELINE: &[(&str, f64)] =
+    &[("openloop_mesh8", 27_400.0), ("openloop_mesh16", 11_500.0), ("batch_m8", 23_900.0)];
+
+fn timed_entry(name: &str, run: impl FnOnce() -> u64) -> SpeedEntry {
     use std::time::Instant;
-    let cfg = noc_closedloop::BatchConfig {
-        net: NetConfig::baseline(),
-        batch: effort.batch,
-        max_outstanding: 8,
-        ..noc_closedloop::BatchConfig::default()
-    };
     let start = Instant::now();
-    let r = noc_closedloop::run_batch(&cfg).expect("valid config");
-    let wall = start.elapsed().as_secs_f64();
-    format!(
-        "batch model: {} cycles, {} packets in {:.2}s ({:.0} cycles/s, 64-node network)\n",
-        r.runtime,
-        r.completed * 2,
-        wall,
-        r.runtime as f64 / wall
-    )
+    let cycles = run();
+    let wall = start.elapsed().as_secs_f64().max(1e-9);
+    SpeedEntry {
+        name: name.to_string(),
+        cycles,
+        wall_s: wall,
+        cycles_per_sec: cycles as f64 / wall,
+    }
+}
+
+/// Measure simulator speed (the paper's "minutes vs 88.5 hours"
+/// motivation): cycles simulated per wall-clock second for open-loop
+/// mesh k=8 / k=16 runs and a batch run.
+pub fn sim_speed_report(effort: &Effort) -> SimSpeedReport {
+    use noc_sim::config::TopologyKind;
+    let openloop = |k: usize, load: f64| noc_openloop::OpenLoopConfig {
+        net: NetConfig::baseline().with_topology(TopologyKind::Mesh2D { k }),
+        load,
+        warmup: effort.warmup,
+        measure: 2 * effort.measure,
+        drain_max: effort.drain,
+        ..noc_openloop::OpenLoopConfig::default()
+    };
+    let entries = vec![
+        timed_entry("openloop_mesh8", || {
+            noc_openloop::measure(&openloop(8, 0.3)).expect("valid config").cycles
+        }),
+        timed_entry("openloop_mesh16", || {
+            noc_openloop::measure(&openloop(16, 0.1)).expect("valid config").cycles
+        }),
+        timed_entry("batch_m8", || {
+            let cfg = noc_closedloop::BatchConfig {
+                net: NetConfig::baseline(),
+                batch: effort.batch,
+                max_outstanding: 8,
+                ..noc_closedloop::BatchConfig::default()
+            };
+            noc_closedloop::run_batch(&cfg).expect("valid config").runtime
+        }),
+    ];
+    SimSpeedReport { threads: noc_exp::threads(), entries }
+}
+
+impl SimSpeedReport {
+    /// Baseline cycles/sec for `name`, if tracked.
+    pub fn baseline(name: &str) -> Option<f64> {
+        SPEED_BASELINE.iter().find(|(n, _)| *n == name).map(|&(_, v)| v)
+    }
+
+    /// Text report with speedups against [`SPEED_BASELINE`].
+    pub fn render(&self) -> String {
+        let mut out = String::from(
+            "== simulator speed ==\nworkload           cycles       wall     cycles/s    vs baseline\n",
+        );
+        for e in &self.entries {
+            let vs = Self::baseline(&e.name)
+                .map(|b| format!("{:.2}x", e.cycles_per_sec / b))
+                .unwrap_or_else(|| "-".into());
+            out.push_str(&format!(
+                "{:<18} {:<12} {:<8.2} {:<11.0} {}\n",
+                e.name, e.cycles, e.wall_s, e.cycles_per_sec, vs
+            ));
+        }
+        out
+    }
+
+    /// Serialize to the `BENCH_sim_speed.json` schema. Hand-rolled
+    /// (the in-tree serde_json shim does not serialize); every value is
+    /// plain numbers/strings so the format is trivially stable.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"schema\": \"noc-eval/sim-speed/v1\",\n");
+        out.push_str(&format!("  \"threads\": {},\n  \"entries\": [\n", self.threads));
+        for (i, e) in self.entries.iter().enumerate() {
+            let base = Self::baseline(&e.name);
+            out.push_str(&format!(
+                "    {{\"name\": \"{}\", \"cycles\": {}, \"wall_s\": {:.4}, \"cycles_per_sec\": {:.0}, \"baseline_cycles_per_sec\": {}, \"speedup_vs_baseline\": {}}}{}\n",
+                e.name,
+                e.cycles,
+                e.wall_s,
+                e.cycles_per_sec,
+                base.map(|b| format!("{b:.0}")).unwrap_or_else(|| "null".into()),
+                base.map(|b| format!("{:.3}", e.cycles_per_sec / b))
+                    .unwrap_or_else(|| "null".into()),
+                if i + 1 < self.entries.len() { "," } else { "" },
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+/// Simulator speed comparison as a text report (legacy entry point used
+/// by `repro`; see [`sim_speed_report`] for the structured form).
+pub fn sim_speed(effort: &Effort) -> String {
+    sim_speed_report(effort).render()
 }

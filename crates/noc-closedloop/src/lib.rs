@@ -27,8 +27,10 @@ pub mod barrier;
 pub mod batch;
 pub mod kernel;
 pub mod reply;
+pub mod seeds;
 
 pub use barrier::{run_barrier, BarrierConfig, BarrierResult};
 pub use batch::{run_batch, BatchBehavior, BatchConfig, BatchResult};
 pub use kernel::KernelModel;
 pub use reply::ReplyModel;
+pub use seeds::{run_batch_seeds, run_batch_seeds_serial, summarize_batch_seeds, BatchSeedSummary};

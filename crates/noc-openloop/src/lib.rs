@@ -25,4 +25,4 @@ mod sweep;
 
 pub use behavior::OpenLoopBehavior;
 pub use measure::{measure, zero_load_latency_bound, OpenLoopConfig, OpenLoopResult};
-pub use sweep::{saturation_throughput, sweep, SweepPoint};
+pub use sweep::{saturation_throughput, sweep, sweep_serial, SweepPoint};

@@ -1,4 +1,11 @@
 //! Load sweeps and saturation search.
+//!
+//! Sweep points are embarrassingly parallel (each builds a fresh
+//! network), so [`sweep`] fans them out through [`noc_exp::run_grid`].
+//! Parallel output is bit-identical to [`sweep_serial`] by
+//! construction: point `i` always runs with the RNG seed
+//! `derive_seed(base.net.seed, i)`, regardless of which worker
+//! evaluates it or in what order.
 
 use serde::{Deserialize, Serialize};
 
@@ -13,15 +20,36 @@ pub struct SweepPoint {
     pub result: OpenLoopResult,
 }
 
-/// Measure the latency–load curve at the given offered loads. Points are
-/// measured independently (fresh network each), so they can be compared
-/// across configurations.
+/// The configuration of sweep point `index`: `base` at `load`, with the
+/// point's RNG seed derived from `(base.net.seed, index)` so points are
+/// decorrelated and independent of evaluation order.
+fn point_config(base: &OpenLoopConfig, index: usize, load: f64) -> OpenLoopConfig {
+    let mut cfg = base.clone().with_load(load);
+    cfg.net.seed = noc_exp::derive_seed(base.net.seed, index as u64);
+    cfg
+}
+
+/// Measure the latency–load curve at the given offered loads, in
+/// parallel. Points are measured independently (fresh network and
+/// derived seed each), so they can be compared across configurations;
+/// the result is bit-identical to [`sweep_serial`] (regression-tested).
 pub fn sweep(base: &OpenLoopConfig, loads: &[f64]) -> Vec<SweepPoint> {
+    noc_exp::run_grid(loads, |i, &load| {
+        let result =
+            measure(&point_config(base, i, load)).expect("sweep point must be a valid config");
+        SweepPoint { load, result }
+    })
+}
+
+/// Serial reference implementation of [`sweep`]: same configurations,
+/// same seeds, one point at a time on the calling thread.
+pub fn sweep_serial(base: &OpenLoopConfig, loads: &[f64]) -> Vec<SweepPoint> {
     loads
         .iter()
-        .map(|&load| {
-            let cfg = base.clone().with_load(load);
-            let result = measure(&cfg).expect("sweep point must be a valid config");
+        .enumerate()
+        .map(|(i, &load)| {
+            let result =
+                measure(&point_config(base, i, load)).expect("sweep point must be a valid config");
             SweepPoint { load, result }
         })
         .collect()
@@ -31,8 +59,14 @@ pub fn sweep(base: &OpenLoopConfig, loads: &[f64]) -> Vec<SweepPoint> {
 /// remains *stable* (all marked packets drain) with average latency
 /// below `latency_cap` cycles.
 ///
-/// Returns the bracketing `(stable_load, unstable_load)` pair once the
-/// bracket is narrower than `tol`.
+/// A parallel coarse pre-scan (one ladder of probe loads through
+/// [`noc_exp::run_grid`]) first brackets the saturation point, then a
+/// serial bisection narrows the bracket below `tol`. Degenerate
+/// configurations where even a near-zero load is unstable return
+/// `(0.0, first_unstable_load)` instead of bisecting noise; a network
+/// that absorbs full injection bandwidth returns `(1.0, 1.0)`.
+///
+/// Returns the bracketing `(stable_load, unstable_load)` pair.
 pub fn saturation_throughput(base: &OpenLoopConfig, latency_cap: f64, tol: f64) -> (f64, f64) {
     let stable_at = |load: f64| -> bool {
         let cfg = base.clone().with_load(load);
@@ -41,13 +75,25 @@ pub fn saturation_throughput(base: &OpenLoopConfig, latency_cap: f64, tol: f64) 
             Err(_) => false,
         }
     };
-    let mut lo = 0.0;
-    let mut hi = 1.0;
-    // ensure the upper end is actually unstable; if not, the network
-    // absorbs full injection bandwidth
-    if stable_at(hi) {
-        return (hi, hi);
+    // coarse ladder: a near-zero probe (degeneracy check), six interior
+    // loads, and full bandwidth — evaluated concurrently
+    let eps = tol.clamp(1e-3, 0.125);
+    let mut probes = vec![eps];
+    probes.extend((1..=6).map(|i| i as f64 / 7.0));
+    probes.push(1.0);
+    let verdicts = noc_exp::run_grid(&probes, |_, &load| stable_at(load));
+
+    let Some(first_bad) = verdicts.iter().position(|&ok| !ok) else {
+        // stable across the whole ladder including load 1.0: the network
+        // absorbs full injection bandwidth
+        return (1.0, 1.0);
+    };
+    if first_bad == 0 {
+        // even the near-zero probe is unstable: nothing to bisect
+        return (0.0, probes[0]);
     }
+    let mut lo = probes[first_bad - 1];
+    let mut hi = probes[first_bad];
     while hi - lo > tol {
         let mid = 0.5 * (lo + hi);
         if stable_at(mid) {
@@ -81,6 +127,15 @@ mod tests {
     }
 
     #[test]
+    fn sweep_points_use_derived_seeds() {
+        // the same load at different indices must see different seeds
+        let a = point_config(&base(), 0, 0.1);
+        let b = point_config(&base(), 1, 0.1);
+        assert_ne!(a.net.seed, b.net.seed);
+        assert_ne!(a.net.seed, base().net.seed, "index 0 must not reuse the base seed");
+    }
+
+    #[test]
     fn saturation_bracket_is_sane_for_4x4_mesh() {
         // capacity bound for uniform on a 4-ary 2-mesh is 4/k = 1.0? No:
         // 2*bisection/N = 2*(2*4)/16 = 1.0 flit/cycle/node theoretical;
@@ -90,5 +145,17 @@ mod tests {
         assert!(lo <= hi);
         assert!(lo > 0.2, "saturation too low: {lo}");
         assert!(hi < 1.0, "saturation too high: {hi}");
+    }
+
+    #[test]
+    fn degenerate_config_returns_zero_not_noise() {
+        // drain_max = 0 means no marked packet ever drains: every load,
+        // however small, is judged unstable. The search must report
+        // (0.0, first_unstable) instead of bisecting measurement noise.
+        let mut cfg = base();
+        cfg.drain_max = 0;
+        let (lo, hi) = saturation_throughput(&cfg, 200.0, 0.05);
+        assert_eq!(lo, 0.0);
+        assert!(hi > 0.0 && hi <= 0.125, "first unstable load should be the near-zero probe");
     }
 }

@@ -37,6 +37,7 @@ impl Link {
     ///
     /// Ready times must be pushed in non-decreasing order (they are, as
     /// each cycle pushes `now + const`).
+    #[inline]
     pub fn push_flit(&mut self, ready: Cycle, flit: Flit) {
         debug_assert!(self.flits.back().is_none_or(|&(r, _)| r <= ready), "link reordering");
         self.flits.push_back((ready, flit));
@@ -45,12 +46,14 @@ impl Link {
 
     /// Enqueue a credit (for the *source* router's output VC) arriving at
     /// `ready`.
+    #[inline]
     pub fn push_credit(&mut self, ready: Cycle, vc: u8) {
         debug_assert!(self.credits.back().is_none_or(|&(r, _)| r <= ready));
         self.credits.push_back((ready, vc));
     }
 
     /// Pop the next flit if it has arrived by `now`.
+    #[inline]
     pub fn pop_flit(&mut self, now: Cycle) -> Option<Flit> {
         match self.flits.front() {
             Some(&(ready, _)) if ready <= now => self.flits.pop_front().map(|(_, f)| f),
@@ -59,6 +62,7 @@ impl Link {
     }
 
     /// Pop the next credit if it has arrived by `now`.
+    #[inline]
     pub fn pop_credit(&mut self, now: Cycle) -> Option<u8> {
         match self.credits.front() {
             Some(&(ready, _)) if ready <= now => self.credits.pop_front().map(|(_, v)| v),
@@ -67,8 +71,16 @@ impl Link {
     }
 
     /// Flits currently in flight on the wire.
+    #[inline]
     pub fn in_flight(&self) -> usize {
         self.flits.len()
+    }
+
+    /// True when nothing (flit or credit) is in flight on this link, so
+    /// the engine can drop it from the active set until the next push.
+    #[inline]
+    pub fn is_idle(&self) -> bool {
+        self.flits.is_empty() && self.credits.is_empty()
     }
 
     /// Iterate over in-flight flits with their arrival times (oldest
@@ -88,7 +100,7 @@ mod tests {
     use super::*;
 
     fn flit(seq: u16) -> Flit {
-        Flit { pkt: 0, seq, vc: 0 }
+        Flit { pkt: 0, seq, vc: 0, tail: false }
     }
 
     #[test]

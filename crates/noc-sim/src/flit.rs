@@ -31,10 +31,20 @@ pub struct Flit {
     /// The VC this flit targets at the *downstream* buffer it is moving
     /// toward; rewritten at each switch allocation.
     pub vc: u8,
+    /// True when this is the packet's last flit. Carried in the flit so
+    /// the switch-allocation and ejection paths decide tail handling
+    /// without a random packet-slab lookup per flit-hop (the slab stays
+    /// cold on the flit fast path).
+    pub tail: bool,
 }
 
 /// A packet in flight (or queued at a source).
-#[derive(Debug, Clone)]
+///
+/// Deliberately *not* `Copy` and with a counting [`Clone`]: the engine
+/// must never duplicate packet state on its per-cycle path (flits carry
+/// only the slab id). Debug builds count every clone so a regression
+/// test can pin the hot path at zero (see [`packet_clones`]).
+#[derive(Debug)]
 pub struct Packet {
     /// Globally unique sequence number (never reused, unlike the slab id).
     pub uid: u64,
@@ -59,14 +69,51 @@ pub struct Packet {
 
 impl Packet {
     /// True once the head flit has entered the network.
+    #[inline]
     pub fn injected(&self) -> bool {
         self.inject != u64::MAX
     }
 }
 
+#[cfg(debug_assertions)]
+thread_local! {
+    static PACKET_CLONES: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
+/// Number of [`Packet::clone`] calls made on this thread so far.
+///
+/// Debug builds only. The engine's per-cycle path must not clone packet
+/// state; tests snapshot this counter around a run and assert the delta
+/// is zero, turning an accidental `clone()` into a test failure instead
+/// of a silent slowdown. Thread-local so concurrently running tests (or
+/// parallel experiment grids) do not observe each other.
+#[cfg(debug_assertions)]
+pub fn packet_clones() -> u64 {
+    PACKET_CLONES.with(|c| c.get())
+}
+
+impl Clone for Packet {
+    fn clone(&self) -> Self {
+        #[cfg(debug_assertions)]
+        PACKET_CLONES.with(|c| c.set(c.get() + 1));
+        Self {
+            uid: self.uid,
+            src: self.src,
+            dst: self.dst,
+            size: self.size,
+            class: self.class,
+            birth: self.birth,
+            inject: self.inject,
+            route: self.route,
+            payload: self.payload,
+        }
+    }
+}
+
 /// Information handed to [`crate::network::NodeBehavior::deliver`] when a
-/// packet fully arrives.
-#[derive(Debug, Clone)]
+/// packet fully arrives. Plain-old-data and `Copy`: behaviors retain it
+/// by value without heap traffic.
+#[derive(Debug, Clone, Copy)]
 pub struct Delivered {
     /// Globally unique packet sequence number.
     pub uid: u64,
@@ -137,11 +184,13 @@ impl PacketSlab {
     ///
     /// # Panics
     /// If `id` is not live (indicates a flit outliving its packet — a bug).
+    #[inline]
     pub fn get(&self, id: PacketId) -> &Packet {
         self.slots[id as usize].as_ref().expect("dangling packet id")
     }
 
     /// Mutably borrow a live packet.
+    #[inline]
     pub fn get_mut(&mut self, id: PacketId) -> &mut Packet {
         self.slots[id as usize].as_mut().expect("dangling packet id")
     }
@@ -155,6 +204,7 @@ impl PacketSlab {
     }
 
     /// Number of live packets.
+    #[inline]
     pub fn live(&self) -> usize {
         self.live
     }

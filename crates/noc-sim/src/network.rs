@@ -19,7 +19,7 @@ use crate::flit::{Cycle, Delivered, Flit, Packet, PacketSlab, PacketSpec};
 use crate::interface::{InjStream, Ni};
 use crate::rng::SimRng;
 use crate::router::{Router, RouterCtx, SaWin};
-use crate::routing::{RoutingAlgorithm, VcBook};
+use crate::routing::{RouteLut, RoutingAlgorithm, VcBook};
 use crate::topology::{Topology, LOCAL_PORT};
 
 /// A workload driving the network.
@@ -86,6 +86,9 @@ pub struct Network {
     cfg: NetConfig,
     topo: Arc<dyn Topology>,
     routing: Arc<dyn RoutingAlgorithm>,
+    /// Flat route tables precomputed at construction; the allocation hot
+    /// path reads these instead of recomputing coordinates every cycle.
+    lut: RouteLut,
     book: VcBook,
     routers: Vec<Router>,
     /// Directed links indexed `router * (ports-1) + (port-1)`; `None`
@@ -98,6 +101,17 @@ pub struct Network {
     stats: NetStats,
     traffic_matrix: Option<Vec<u64>>,
     win_buf: Vec<SaWin>,
+    /// Upstream link feeding each `(router, in_port)` slot (same indexing
+    /// as `links`), so credit return needs no topology query per flit.
+    /// `u32::MAX` where no upstream link exists.
+    up_link: Vec<u32>,
+    /// Indices of links with a flit or credit in flight. `arrivals`
+    /// walks only this set instead of every link slot each cycle; at low
+    /// load most links are idle, so this turns the per-cycle link scan
+    /// from O(links) into O(traffic).
+    active_links: Vec<u32>,
+    /// Membership bitmap for `active_links`.
+    link_busy: Vec<bool>,
     #[cfg(feature = "sanitize")]
     san: sanitize::Sanitizer,
 }
@@ -128,10 +142,23 @@ impl Network {
             delivery_digest: DIGEST_SEED,
             ..Default::default()
         };
+        let n_links = links.len();
+        let lut = RouteLut::new(topo.as_ref(), routing.is_adaptive());
+        // invert the link map: up_link[(r, p)] is the link arriving at
+        // router r's input port p
+        let mut up_link = vec![u32::MAX; n_links];
+        for r in 0..n {
+            for p in 1..ports {
+                if let Some((d, dp)) = topo.neighbor(r, p) {
+                    up_link[d * (ports - 1) + (dp - 1)] = (r * (ports - 1) + (p - 1)) as u32;
+                }
+            }
+        }
         Ok(Self {
             cfg,
             topo,
             routing,
+            lut,
             book,
             routers,
             links,
@@ -142,6 +169,9 @@ impl Network {
             stats,
             traffic_matrix: None,
             win_buf: Vec::new(),
+            up_link,
+            active_links: Vec::new(),
+            link_busy: vec![false; n_links],
             #[cfg(feature = "sanitize")]
             san: sanitize::Sanitizer::new(),
         })
@@ -232,9 +262,10 @@ impl Network {
         use std::fmt::Write as _;
         let mut out = String::new();
         for r in &self.routers {
-            for (p, vcs) in r.inputs.iter().enumerate() {
-                for (v, ivc) in vcs.iter().enumerate() {
-                    if ivc.q.is_empty() && ivc.state == crate::router::VcState::Idle {
+            for p in 0..r.ports() {
+                for v in 0..r.vcs() {
+                    let ivc = r.input(p, v);
+                    if ivc.is_empty() && ivc.state == crate::router::VcState::Idle {
                         continue;
                     }
                     let _ = write!(
@@ -242,20 +273,20 @@ impl Network {
                         "router {} in[{p}][{v}]: state {:?} qlen {} pkt {}",
                         r.id,
                         ivc.state,
-                        ivc.q.len(),
+                        ivc.qlen(),
                         ivc.pkt
                     );
                     if ivc.state == crate::router::VcState::Active {
                         let op = ivc.out_port as usize;
                         let ov = ivc.out_vc as usize;
-                        let o = &r.outputs[op].vcs[ov];
+                        let o = r.out_vc(op, ov);
                         let _ = write!(
                             out,
                             " -> out[{op}][{ov}] owner {} credits {}",
                             o.owner, o.credits
                         );
                     }
-                    if let Some(f) = ivc.q.front() {
+                    if let Some(f) = r.q_front(p, v) {
                         let pkt = self.packets.get(f.pkt);
                         let _ = write!(
                             out,
@@ -340,23 +371,46 @@ impl Network {
         false
     }
 
+    /// Mark link `li` as carrying traffic so `arrivals` will visit it.
+    #[inline]
+    fn mark_link(link_busy: &mut [bool], active_links: &mut Vec<u32>, li: usize) {
+        if !link_busy[li] {
+            link_busy[li] = true;
+            active_links.push(li as u32);
+        }
+    }
+
     /// Deliver link flits and credits that have arrived by `t`.
+    ///
+    /// Only links in the active set are visited. Iteration order over
+    /// that set is schedule-dependent (`swap_remove` bookkeeping), which
+    /// is safe: each link deposits flits into a distinct `(router,
+    /// port)` input buffer and credits into a distinct source output
+    /// port, so cross-link delivery order cannot affect simulator state.
     fn arrivals(&mut self, t: Cycle) -> Result<(), SimError> {
-        // flit deliveries mutate the destination router, credit
-        // deliveries the source router; split the borrows by popping
-        // from the link first and depositing afterwards
-        let n_links = self.links.len();
-        for i in 0..n_links {
-            // credits: link i belongs to source router i / (ports-1)
-            let src_router = i / (self.topo.num_ports() - 1);
-            let src_port = i % (self.topo.num_ports() - 1) + 1;
-            let Some(link) = self.links[i].as_mut() else { continue };
+        let ports1 = self.topo.num_ports() - 1;
+        let mut i = 0;
+        while i < self.active_links.len() {
+            let li = self.active_links[i] as usize;
+            // credits: link li belongs to source router li / (ports-1)
+            let src_router = li / ports1;
+            let src_port = li % ports1 + 1;
+            // flit deliveries mutate the destination router, credit
+            // deliveries the source router; split the borrows by popping
+            // from the link first and depositing afterwards
+            let link = self.links[li].as_mut().expect("active link exists");
             let (dr, dp) = (link.dst_router, link.dst_port);
             while let Some(vc) = link.pop_credit(t) {
                 self.routers[src_router].credit(src_port, vc as usize)?;
             }
-            while let Some(flit) = self.links[i].as_mut().and_then(|link| link.pop_flit(t)) {
+            while let Some(flit) = self.links[li].as_mut().and_then(|link| link.pop_flit(t)) {
                 self.routers[dr].deposit(dp, flit)?;
+            }
+            if self.links[li].as_ref().is_some_and(|l| !l.is_idle()) {
+                i += 1;
+            } else {
+                self.link_busy[li] = false;
+                self.active_links.swap_remove(i);
             }
         }
         Ok(())
@@ -372,8 +426,7 @@ impl Network {
                 self.nis[node].eject_q.pop_front();
                 self.stats.flits_ejected += 1;
                 self.stats.node_delivered[node] += 1;
-                let pkt = self.packets.get(flit.pkt);
-                if flit.seq as usize == pkt.size as usize - 1 {
+                if flit.tail {
                     let pkt = self.packets.remove(flit.pkt);
                     self.stats.packets_delivered += 1;
                     let d = delivered_of(&pkt);
@@ -502,7 +555,7 @@ impl Network {
         _t: Cycle,
     ) -> Result<(), SimError> {
         let size = self.packets.get(s.pkt).size;
-        let flit = Flit { pkt: s.pkt, seq: s.next_seq, vc: s.vc };
+        let flit = Flit { pkt: s.pkt, seq: s.next_seq, vc: s.vc, tail: s.next_seq + 1 == size };
         if self.nis[node].inj_credits[s.vc as usize] == 0 {
             return Err(SimError::CreditUnderflow { node, vc: s.vc as usize });
         }
@@ -528,21 +581,27 @@ impl Network {
     fn route_and_switch(&mut self, t: Cycle) -> Result<(), SimError> {
         let tr = self.cfg.router_delay as Cycle;
         let n = self.num_nodes();
+        // the context and the winner scratch buffer are shared by every
+        // router this cycle; building/taking them once keeps the
+        // per-router loop free of setup cost
+        let ctx = RouterCtx {
+            topo: self.topo.as_ref(),
+            routing: self.routing.as_ref(),
+            lut: &self.lut,
+            book: &self.book,
+            arb: self.cfg.arbitration,
+        };
+        let mut wins = std::mem::take(&mut self.win_buf);
         for r in 0..n {
             if self.routers[r].is_idle() {
                 continue; // no buffered flit: nothing to allocate
             }
-            let ctx = RouterCtx {
-                topo: self.topo.as_ref(),
-                routing: self.routing.as_ref(),
-                book: &self.book,
-                arb: self.cfg.arbitration,
-            };
-            self.routers[r].vc_allocate(&ctx, &mut self.packets)?;
-            let mut wins = std::mem::take(&mut self.win_buf);
+            if let Err(e) = self.routers[r].vc_allocate(&ctx, &mut self.packets) {
+                self.win_buf = wins;
+                return Err(e);
+            }
             wins.clear();
-            let sa = self.routers[r].switch_allocate(&ctx, &self.packets, &mut wins);
-            if let Err(e) = sa {
+            if let Err(e) = self.routers[r].switch_allocate(&ctx, &self.packets, &mut wins) {
                 self.win_buf = wins;
                 return Err(e);
             }
@@ -559,30 +618,27 @@ impl Network {
                     };
                     let ready = t + tr + link.delay as Cycle;
                     link.push_flit(ready, w.flit);
+                    Self::mark_link(&mut self.link_busy, &mut self.active_links, li);
                 }
                 // return the credit for the freed input slot
                 if w.in_port as usize == LOCAL_PORT {
                     self.nis[r].credit_q.push_back((t + 1, w.in_vc));
                 } else {
-                    let up = self.topo.neighbor(r, w.in_port as usize);
-                    let Some((u, up)) = up else {
+                    let li = self.up_link[self.link_idx(r, w.in_port as usize)] as usize;
+                    let Some(link) = self.links.get_mut(li).and_then(Option::as_mut) else {
                         self.win_buf = wins;
                         return Err(SimError::NoUpstreamLink {
                             router: r,
                             port: w.in_port as usize,
                         });
                     };
-                    let li = self.link_idx(u, up);
-                    let Some(link) = self.links[li].as_mut() else {
-                        self.win_buf = wins;
-                        return Err(SimError::NoUpstreamLink { router: u, port: up });
-                    };
                     let ready = t + link.delay as Cycle;
                     link.push_credit(ready, w.in_vc);
+                    Self::mark_link(&mut self.link_busy, &mut self.active_links, li);
                 }
             }
-            self.win_buf = wins;
         }
+        self.win_buf = wins;
         Ok(())
     }
 }
@@ -636,7 +692,7 @@ mod tests {
         }
 
         fn deliver(&mut self, node: usize, delivered: &Delivered, cycle: Cycle) {
-            self.delivered.push((node, delivered.clone(), cycle));
+            self.delivered.push((node, *delivered, cycle));
         }
 
         fn quiescent(&self) -> bool {
@@ -842,6 +898,30 @@ mod tests {
         assert_eq!(net.stats().packets_delivered, 2);
         assert_eq!(net.stats().node_injected[0], 4);
         assert_eq!(net.stats().node_delivered[3], 4);
+    }
+
+    /// The engine moves flits by slab id; any `Packet::clone` on the
+    /// per-cycle path is a performance bug. Debug builds count clones
+    /// (see [`crate::flit::packet_clones`]) — pin the count at zero
+    /// across a busy multi-topology run.
+    #[cfg(debug_assertions)]
+    #[test]
+    fn engine_never_clones_packets() {
+        let before = crate::flit::packet_clones();
+        let mut sends = Vec::new();
+        let mut rng = crate::rng::SimRng::new(31);
+        for i in 0..300 {
+            sends.push((i % 30, rng.below(16), rng.below(16), 1 + rng.below(4) as u16));
+        }
+        let cfg = mesh_cfg().with_routing(RoutingKind::Valiant).with_vcs(4);
+        let mut net = Network::new(cfg).unwrap();
+        let mut b = Script::new(sends);
+        assert!(net.drain(&mut b, 100_000));
+        assert_eq!(
+            crate::flit::packet_clones() - before,
+            0,
+            "the engine cloned packet state on the hot path"
+        );
     }
 
     #[test]

@@ -138,12 +138,12 @@ impl Network {
                 let Some(link) = self.links[li].as_ref() else { continue };
                 let (dr, dp) = (link.dst_router, link.dst_port);
                 for v in 0..vcs {
-                    let held = self.routers[r].outputs[p].vcs[v].credits as u64;
+                    let held = self.routers[r].out_vc(p, v).credits as u64;
                     let credits_in_flight =
                         link.iter_credits().filter(|&&(_, cv)| cv as usize == v).count() as u64;
                     let flits_in_flight =
                         link.iter_flits().filter(|&&(_, f)| f.vc as usize == v).count() as u64;
-                    let downstream = self.routers[dr].inputs[dp][v].q.len() as u64;
+                    let downstream = self.routers[dr].q_len(dp, v) as u64;
                     let total = held + credits_in_flight + flits_in_flight + downstream;
                     self.san.stats.credit_checks += 1;
                     if total != vc_buf {
@@ -167,7 +167,7 @@ impl Network {
                 let held = ni.inj_credits[v] as u64;
                 let credits_in_flight =
                     ni.credit_q.iter().filter(|&&(_, cv)| cv as usize == v).count() as u64;
-                let buffered = self.routers[r].inputs[LOCAL_PORT][v].q.len() as u64;
+                let buffered = self.routers[r].q_len(LOCAL_PORT, v) as u64;
                 let total = held + credits_in_flight + buffered;
                 self.san.stats.credit_checks += 1;
                 if total != vc_buf {
@@ -192,13 +192,14 @@ impl Network {
     fn check_framing(&mut self, t: Cycle) -> Result<(), SimError> {
         // router input buffers
         for r in &self.routers {
-            for (p, vcs) in r.inputs.iter().enumerate() {
-                for (v, ivc) in vcs.iter().enumerate() {
+            for p in 0..r.ports() {
+                for v in 0..r.vcs() {
+                    let ivc = r.input(p, v);
                     self.san.stats.framing_checks += 1;
                     let where_ = || format!("router {} in[{p}][{v}]", r.id);
-                    self.check_queue_framing(t, ivc.q.iter(), &where_())?;
+                    self.check_queue_framing(t, r.q_iter(p, v), &where_())?;
                     if ivc.state != VcState::Active {
-                        if let Some(front) = ivc.q.front() {
+                        if let Some(front) = r.q_front(p, v) {
                             if front.seq != 0 {
                                 return Err(SimError::Invariant {
                                     cycle: t,
@@ -275,13 +276,14 @@ impl Network {
     fn check_allocation_consistency(&mut self, t: Cycle) -> Result<(), SimError> {
         for r in &self.routers {
             let mut claimed: HashSet<(usize, usize)> = HashSet::new();
-            for (p, vcs) in r.inputs.iter().enumerate() {
-                for (v, ivc) in vcs.iter().enumerate() {
+            for p in 0..r.ports() {
+                for v in 0..r.vcs() {
+                    let ivc = r.input(p, v);
                     if ivc.state != VcState::Active {
                         continue;
                     }
                     let (op, ov) = (ivc.out_port as usize, ivc.out_vc as usize);
-                    let owner = r.outputs[op].vcs[ov].owner;
+                    let owner = r.out_vc(op, ov).owner;
                     if owner != ivc.pkt {
                         return Err(SimError::Invariant {
                             cycle: t,
@@ -343,10 +345,10 @@ impl Network {
         let mut best = String::new();
         let mut best_is_cycle = false;
         for start_r in 0..self.routers.len() {
-            for p in 0..self.routers[start_r].inputs.len() {
-                for v in 0..self.routers[start_r].inputs[p].len() {
-                    let ivc = &self.routers[start_r].inputs[p][v];
-                    if ivc.state != VcState::Active || ivc.q.is_empty() {
+            for p in 0..self.routers[start_r].ports() {
+                for v in 0..self.routers[start_r].vcs() {
+                    let ivc = self.routers[start_r].input(p, v);
+                    if ivc.state != VcState::Active || ivc.is_empty() {
                         continue;
                     }
                     let (text, is_cycle) = self.walk_chain(start_r, p, v);
@@ -376,24 +378,24 @@ impl Network {
                 let _ = writeln!(out, "  router {r} in[{p}][{v}]  <- cycle closes here");
                 return (out, true);
             }
-            let ivc = &self.routers[r].inputs[p][v];
+            let ivc = self.routers[r].input(p, v);
             if ivc.state != VcState::Active {
                 let _ = writeln!(
                     out,
                     "  router {r} in[{p}][{v}]: waiting for VC allocation \
                      (qlen {})",
-                    ivc.q.len()
+                    ivc.qlen()
                 );
                 return (out, false);
             }
             let (op, ov) = (ivc.out_port as usize, ivc.out_vc as usize);
-            let credits = self.routers[r].outputs[op].vcs[ov].credits;
+            let credits = self.routers[r].out_vc(op, ov).credits;
             let _ = writeln!(
                 out,
                 "  router {r} in[{p}][{v}] (pkt {}, qlen {}) -> out[{op}][{ov}] \
                  (credits {credits})",
                 ivc.pkt,
-                ivc.q.len()
+                ivc.qlen()
             );
             if op == LOCAL_PORT {
                 let _ = writeln!(out, "  ejecting at router {r} (not blocked by fabric)");

@@ -24,10 +24,17 @@ pub fn arbitrate(
     }
     match policy {
         Arbitration::RoundRobin => {
-            debug_assert!(space > 0);
+            // `idx` and `ptr` are both < `space`, so the wrap-around
+            // distance fits in one conditional subtract (integer division
+            // is too slow for this innermost loop)
+            debug_assert!(space > 0 && ptr < space);
             let mut best: Option<(usize, usize)> = None; // (distance from ptr, pos)
             for (pos, &(idx, _)) in cands.iter().enumerate() {
-                let dist = (idx + space - ptr % space) % space;
+                debug_assert!(idx < space);
+                let mut dist = idx + space - ptr;
+                if dist >= space {
+                    dist -= space;
+                }
                 if best.is_none_or(|(bd, _)| dist < bd) {
                     best = Some((dist, pos));
                 }

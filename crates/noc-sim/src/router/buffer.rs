@@ -1,8 +1,13 @@
 //! Per-VC input buffers and output-side VC state.
+//!
+//! Flit storage itself lives in one flat ring store owned by the
+//! [`Router`](super::Router) (`ports * vcs * vc_buf` slots, contiguous),
+//! so an `InputVc` is pure metadata: ring head/length plus allocation
+//! state. This keeps the whole per-router buffer state in a handful of
+//! cache lines instead of one small heap allocation per VC, which is
+//! what the allocator scans touch every cycle.
 
-use std::collections::VecDeque;
-
-use crate::flit::{Flit, PacketId, NO_PACKET};
+use crate::flit::{PacketId, NO_PACKET};
 
 /// State of an input virtual channel.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -14,11 +19,14 @@ pub enum VcState {
     Active,
 }
 
-/// One input VC: a flit FIFO plus allocation state.
+/// One input VC: ring-buffer cursor into the router's flit store plus
+/// allocation state. 12 bytes, `Copy`-cheap, no heap.
 #[derive(Debug)]
 pub struct InputVc {
-    /// Buffered flits (depth enforced by upstream credits).
-    pub q: VecDeque<Flit>,
+    /// Ring index of the front flit within this VC's `vc_buf` slots.
+    pub head: u8,
+    /// Number of buffered flits (bounded by `vc_buf` via credits).
+    pub len: u8,
     /// Allocation state.
     pub state: VcState,
     /// Allocated output port (valid when `Active`).
@@ -31,25 +39,42 @@ pub struct InputVc {
 
 impl InputVc {
     /// Fresh idle VC.
-    pub fn new(capacity: usize) -> Self {
-        Self {
-            q: VecDeque::with_capacity(capacity),
-            state: VcState::Idle,
-            out_port: 0,
-            out_vc: 0,
-            pkt: NO_PACKET,
-        }
+    pub fn new() -> Self {
+        Self { head: 0, len: 0, state: VcState::Idle, out_port: 0, out_vc: 0, pkt: NO_PACKET }
     }
 
-    /// True when the VC is idle with a head flit waiting for allocation.
+    /// Buffered flit count.
+    #[inline]
+    pub fn qlen(&self) -> usize {
+        self.len as usize
+    }
+
+    /// True when no flit is buffered.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// True when the VC is idle with a flit waiting for allocation.
+    /// Wormhole ordering guarantees the front of an idle, non-empty VC
+    /// is a packet head (asserted at deposit and by the sanitizer's
+    /// framing check), so no flit inspection is needed here.
+    #[inline]
     pub fn wants_allocation(&self) -> bool {
-        self.state == VcState::Idle && self.q.front().is_some_and(|f| f.seq == 0)
+        self.state == VcState::Idle && self.len > 0
     }
 
     /// Release the VC after the tail flit departs.
+    #[inline]
     pub fn release(&mut self) {
         self.state = VcState::Idle;
         self.pkt = NO_PACKET;
+    }
+}
+
+impl Default for InputVc {
+    fn default() -> Self {
+        Self::new()
     }
 }
 
@@ -70,57 +95,9 @@ impl OutputVc {
     }
 
     /// True when no packet owns the VC.
+    #[inline]
     pub fn is_free(&self) -> bool {
         self.owner == NO_PACKET
-    }
-}
-
-/// An output port: its VCs plus rotating arbitration pointers.
-#[derive(Debug)]
-pub struct OutputPort {
-    /// Per-VC output state.
-    pub vcs: Vec<OutputVc>,
-    /// Rotating pointer for the switch-output arbiter (over input ports).
-    pub sa_rr: usize,
-    /// Rotating pointer for free-VC selection during VC allocation.
-    pub vc_rr: usize,
-}
-
-impl OutputPort {
-    /// New output port with `vcs` VCs of `credits` credits each.
-    pub fn new(vcs: usize, credits: u32) -> Self {
-        Self { vcs: vec![OutputVc::new(credits); vcs], sa_rr: 0, vc_rr: 0 }
-    }
-
-    /// Total credits across VCs allowed by `mask` that are currently
-    /// unowned — the local congestion metric used for adaptive routing.
-    pub fn free_credit_score(&self, mask: u64) -> u64 {
-        let mut score = 0;
-        for (v, vc) in self.vcs.iter().enumerate() {
-            if mask & (1 << v) != 0 && vc.is_free() {
-                score += vc.credits as u64;
-            }
-        }
-        score
-    }
-
-    /// Pick a *claimable* VC within `mask` starting from the rotating
-    /// pointer; returns the VC index. Claimable means unowned AND holding
-    /// at least one credit: committing a packet to a credit-less VC would
-    /// let it wait forever there, which breaks Duato's escape guarantee
-    /// for adaptive routing (a blocked head must always be able to fall
-    /// back to the escape VC — so heads stay unallocated, retrying each
-    /// cycle, until a VC they can actually enter is available).
-    pub fn pick_free_vc(&mut self, mask: u64) -> Option<usize> {
-        let n = self.vcs.len();
-        for i in 0..n {
-            let v = (self.vc_rr + i) % n;
-            if mask & (1 << v) != 0 && self.vcs[v].is_free() && self.vcs[v].credits > 0 {
-                self.vc_rr = (v + 1) % n;
-                return Some(v);
-            }
-        }
-        None
     }
 }
 
@@ -128,57 +105,23 @@ impl OutputPort {
 mod tests {
     use super::*;
 
-    fn flit(pkt: u32, seq: u16) -> Flit {
-        Flit { pkt, seq, vc: 0 }
-    }
-
     #[test]
-    fn wants_allocation_only_on_head() {
-        let mut vc = InputVc::new(4);
+    fn wants_allocation_only_when_idle_nonempty() {
+        let mut vc = InputVc::new();
         assert!(!vc.wants_allocation(), "empty VC");
-        vc.q.push_back(flit(1, 0));
+        vc.len = 1;
         assert!(vc.wants_allocation());
         vc.state = VcState::Active;
         assert!(!vc.wants_allocation(), "active VC");
-        vc.release();
-        vc.q.clear();
-        vc.q.push_back(flit(1, 3)); // body flit at front: mid-packet, no alloc
-        assert!(!vc.wants_allocation());
     }
 
     #[test]
     fn release_resets() {
-        let mut vc = InputVc::new(4);
+        let mut vc = InputVc::new();
         vc.state = VcState::Active;
         vc.pkt = 7;
         vc.release();
         assert_eq!(vc.state, VcState::Idle);
         assert_eq!(vc.pkt, NO_PACKET);
-    }
-
-    #[test]
-    fn pick_free_vc_respects_mask_and_rotates() {
-        let mut port = OutputPort::new(4, 8);
-        assert_eq!(port.pick_free_vc(0b0110), Some(1));
-        // pointer advanced past 1; next pick in same mask returns 2
-        assert_eq!(port.pick_free_vc(0b0110), Some(2));
-        // wrap back around
-        assert_eq!(port.pick_free_vc(0b0110), Some(1));
-        // owned VCs skipped
-        port.vcs[1].owner = 5;
-        port.vcs[2].owner = 6;
-        assert_eq!(port.pick_free_vc(0b0110), None);
-        assert_eq!(port.pick_free_vc(0b1001), Some(3));
-    }
-
-    #[test]
-    fn free_credit_score_counts_unowned_masked() {
-        let mut port = OutputPort::new(2, 4);
-        assert_eq!(port.free_credit_score(0b11), 8);
-        port.vcs[0].credits = 1;
-        assert_eq!(port.free_credit_score(0b11), 5);
-        port.vcs[1].owner = 9;
-        assert_eq!(port.free_credit_score(0b11), 1);
-        assert_eq!(port.free_credit_score(0b10), 0);
     }
 }

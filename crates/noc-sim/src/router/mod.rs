@@ -22,12 +22,12 @@ mod arbiter;
 mod buffer;
 
 pub use arbiter::arbitrate;
-pub use buffer::{InputVc, OutputPort, OutputVc, VcState};
+pub use buffer::{InputVc, OutputVc, VcState};
 
 use crate::config::Arbitration;
 use crate::error::SimError;
 use crate::flit::{Flit, PacketSlab, NO_PACKET};
-use crate::routing::{RoutingAlgorithm, VcBook};
+use crate::routing::{RouteLut, RoutingAlgorithm, VcBook};
 use crate::topology::{Topology, LOCAL_PORT};
 
 /// A switch-allocation winner: one flit leaving the router this cycle.
@@ -70,21 +70,37 @@ pub struct RouterCtx<'a> {
     pub topo: &'a dyn Topology,
     /// Routing algorithm.
     pub routing: &'a dyn RoutingAlgorithm,
+    /// Precomputed route tables for the hot allocation path.
+    pub lut: &'a RouteLut,
     /// VC partition.
     pub book: &'a VcBook,
     /// Arbitration policy.
     pub arb: Arbitration,
 }
 
-/// One router: per-port input VCs and output state.
+/// One router: input VC and output VC state in flat, router-level
+/// arrays (`port * vcs + vc` indexing) so the per-cycle scans walk
+/// contiguous memory instead of chasing per-port heap allocations.
 #[derive(Debug)]
 pub struct Router {
     /// Node/router id.
     pub id: usize,
-    /// Input VCs, indexed `[port][vc]`.
-    pub inputs: Vec<Vec<InputVc>>,
-    /// Output ports, indexed `[port]`.
-    pub outputs: Vec<OutputPort>,
+    ports: usize,
+    vcs: usize,
+    /// Input VCs, flattened `[port * vcs + vc]`.
+    pub inputs: Vec<InputVc>,
+    /// Flit storage for every input VC: `vc_buf` ring slots per VC,
+    /// flattened `[(port * vcs + vc) * vc_buf + slot]`. One contiguous
+    /// allocation per router — at default configs the whole store fits
+    /// in a few cache lines, so the per-cycle allocator scans never
+    /// chase per-VC heap queues.
+    flit_buf: Vec<Flit>,
+    /// Output VC state, flattened `[port * vcs + vc]`.
+    pub out_vcs: Vec<OutputVc>,
+    /// Per-output-port rotating pointer for the switch-output arbiter.
+    sa_rr: Vec<usize>,
+    /// Per-output-port rotating pointer for free-VC selection.
+    vc_rr: Vec<usize>,
     va_ptr: usize,
     sa_in_ptr: Vec<usize>,
     vc_buf: usize,
@@ -92,6 +108,12 @@ pub struct Router {
     /// skip allocation entirely on idle routers (the common case at low
     /// load) and keeps the hot path allocation-free.
     occupancy: usize,
+    /// Input VCs currently waiting for VC allocation, maintained
+    /// incrementally so `vc_allocate` can skip its scan when zero.
+    va_wait: usize,
+    /// Input VCs in `Active` state, maintained incrementally so
+    /// `switch_allocate` can skip its scan when zero.
+    active: usize,
     /// Pipeline event counters for bottleneck analysis.
     pub pipeline: PipelineStats,
     scratch_eligible: Vec<(usize, u64)>,
@@ -104,21 +126,34 @@ impl Router {
     /// input buffers, and matching initial output credits. The ejection
     /// port (output 0) is an infinite sink.
     pub fn new(id: usize, ports: usize, vcs: usize, vc_buf: usize) -> Self {
-        let inputs = (0..ports).map(|_| (0..vcs).map(|_| InputVc::new(vc_buf)).collect()).collect();
-        let outputs = (0..ports)
-            .map(|p| {
-                let credits = if p == LOCAL_PORT { u32::MAX } else { vc_buf as u32 };
-                OutputPort::new(vcs, credits)
+        assert!(
+            (1..=u8::MAX as usize).contains(&vc_buf),
+            "vc_buf must be in 1..=255 (ring cursors are u8)"
+        );
+        let inputs = (0..ports * vcs).map(|_| InputVc::new()).collect();
+        let flit_buf =
+            vec![Flit { pkt: NO_PACKET, seq: 0, vc: 0, tail: false }; ports * vcs * vc_buf];
+        let out_vcs = (0..ports * vcs)
+            .map(|f| {
+                let credits = if f / vcs == LOCAL_PORT { u32::MAX } else { vc_buf as u32 };
+                OutputVc::new(credits)
             })
             .collect();
         Self {
             id,
+            ports,
+            vcs,
             inputs,
-            outputs,
+            flit_buf,
+            out_vcs,
+            sa_rr: vec![0; ports],
+            vc_rr: vec![0; ports],
             va_ptr: 0,
             sa_in_ptr: vec![0; ports],
             vc_buf,
             occupancy: 0,
+            va_wait: 0,
+            active: 0,
             pipeline: PipelineStats::default(),
             scratch_eligible: Vec::new(),
             scratch_requests: Vec::new(),
@@ -127,18 +162,109 @@ impl Router {
     }
 
     /// True when no flit is buffered anywhere in this router.
+    #[inline]
     pub fn is_idle(&self) -> bool {
         self.occupancy == 0
     }
 
     /// Number of ports.
     pub fn ports(&self) -> usize {
-        self.inputs.len()
+        self.ports
     }
 
     /// Number of VCs per port.
     pub fn vcs(&self) -> usize {
-        self.inputs[0].len()
+        self.vcs
+    }
+
+    /// Input VC at (`port`, `vc`).
+    #[inline]
+    pub fn input(&self, port: usize, vc: usize) -> &InputVc {
+        &self.inputs[port * self.vcs + vc]
+    }
+
+    /// Mutable input VC at (`port`, `vc`).
+    #[inline]
+    pub fn input_mut(&mut self, port: usize, vc: usize) -> &mut InputVc {
+        &mut self.inputs[port * self.vcs + vc]
+    }
+
+    /// Output VC state at (`port`, `vc`).
+    #[inline]
+    pub fn out_vc(&self, port: usize, vc: usize) -> &OutputVc {
+        &self.out_vcs[port * self.vcs + vc]
+    }
+
+    /// Mutable output VC state at (`port`, `vc`).
+    #[inline]
+    pub fn out_vc_mut(&mut self, port: usize, vc: usize) -> &mut OutputVc {
+        &mut self.out_vcs[port * self.vcs + vc]
+    }
+
+    /// Front flit of input VC `flat` (`port * vcs + vc`), if any.
+    #[inline]
+    fn q_front_flat(&self, flat: usize) -> Option<&Flit> {
+        let ivc = &self.inputs[flat];
+        if ivc.len == 0 {
+            None
+        } else {
+            Some(&self.flit_buf[flat * self.vc_buf + ivc.head as usize])
+        }
+    }
+
+    /// Append a flit to input VC `flat`. Caller enforces the depth bound.
+    #[inline]
+    fn q_push_flat(&mut self, flat: usize, flit: Flit) {
+        let ivc = &mut self.inputs[flat];
+        debug_assert!((ivc.len as usize) < self.vc_buf);
+        let mut slot = ivc.head as usize + ivc.len as usize;
+        if slot >= self.vc_buf {
+            slot -= self.vc_buf;
+        }
+        ivc.len += 1;
+        self.flit_buf[flat * self.vc_buf + slot] = flit;
+    }
+
+    /// Pop the front flit of input VC `flat`, if any.
+    #[inline]
+    fn q_pop_flat(&mut self, flat: usize) -> Option<Flit> {
+        let ivc = &mut self.inputs[flat];
+        if ivc.len == 0 {
+            return None;
+        }
+        let slot = ivc.head as usize;
+        ivc.head = if slot + 1 >= self.vc_buf { 0 } else { slot as u8 + 1 };
+        ivc.len -= 1;
+        Some(self.flit_buf[flat * self.vc_buf + slot])
+    }
+
+    /// Buffered flit count of input VC (`port`, `vc`).
+    #[inline]
+    pub fn q_len(&self, port: usize, vc: usize) -> usize {
+        self.inputs[port * self.vcs + vc].qlen()
+    }
+
+    /// Front flit of input VC (`port`, `vc`), if any.
+    #[inline]
+    pub fn q_front(&self, port: usize, vc: usize) -> Option<&Flit> {
+        self.q_front_flat(port * self.vcs + vc)
+    }
+
+    /// Iterate the buffered flits of input VC (`port`, `vc`) front to
+    /// back (sanitizer/debug use; not on the hot path).
+    pub fn q_iter(&self, port: usize, vc: usize) -> impl Iterator<Item = &Flit> + '_ {
+        let flat = port * self.vcs + vc;
+        let ivc = &self.inputs[flat];
+        let (head, len) = (ivc.head as usize, ivc.len as usize);
+        let base = flat * self.vc_buf;
+        let cap = self.vc_buf;
+        (0..len).map(move |i| {
+            let mut slot = head + i;
+            if slot >= cap {
+                slot -= cap;
+            }
+            &self.flit_buf[base + slot]
+        })
     }
 
     /// Deposit an arriving flit into its input buffer.
@@ -146,9 +272,11 @@ impl Router {
     /// # Errors
     /// [`SimError::BufferOverflow`] if the buffer is already full —
     /// the upstream router spent a credit it did not have.
+    #[inline]
     pub fn deposit(&mut self, port: usize, flit: Flit) -> Result<(), SimError> {
-        let vc = &mut self.inputs[port][flit.vc as usize];
-        if vc.q.len() >= self.vc_buf {
+        let flat = port * self.vcs + flit.vc as usize;
+        let vc = &self.inputs[flat];
+        if vc.qlen() >= self.vc_buf {
             return Err(SimError::BufferOverflow {
                 router: self.id,
                 port,
@@ -156,7 +284,13 @@ impl Router {
                 depth: self.vc_buf,
             });
         }
-        vc.q.push_back(flit);
+        // wormhole ordering: an empty, unallocated VC only ever receives
+        // a packet head, so this deposit creates an allocation request
+        if vc.state == VcState::Idle && vc.is_empty() {
+            debug_assert_eq!(flit.seq, 0, "body flit into empty idle VC");
+            self.va_wait += 1;
+        }
+        self.q_push_flat(flat, flit);
         self.occupancy += 1;
         Ok(())
     }
@@ -166,8 +300,9 @@ impl Router {
     /// # Errors
     /// [`SimError::CreditOverflow`] if the credit count would exceed the
     /// downstream buffer depth.
+    #[inline]
     pub fn credit(&mut self, port: usize, vc: usize) -> Result<(), SimError> {
-        let out = &mut self.outputs[port].vcs[vc];
+        let out = &mut self.out_vcs[port * self.vcs + vc];
         if port != LOCAL_PORT {
             if out.credits >= self.vc_buf as u32 {
                 return Err(SimError::CreditOverflow {
@@ -184,7 +319,57 @@ impl Router {
 
     /// Total flits buffered across all input VCs.
     pub fn buffered_flits(&self) -> usize {
-        self.inputs.iter().flatten().map(|vc| vc.q.len()).sum()
+        self.inputs.iter().map(|vc| vc.qlen()).sum()
+    }
+
+    /// Total credits across VCs of `port` allowed by `mask` that are
+    /// currently unowned — the local congestion metric used for adaptive
+    /// routing.
+    fn free_credit_score(&self, port: usize, mask: u64) -> u64 {
+        let base = port * self.vcs;
+        let mut score = 0;
+        for (v, vc) in self.out_vcs[base..base + self.vcs].iter().enumerate() {
+            if mask & (1 << v) != 0 && vc.is_free() {
+                score += vc.credits as u64;
+            }
+        }
+        score
+    }
+
+    /// Non-destructive check: does `mask` contain a claimable VC
+    /// (unowned with credits) on `port`?
+    fn pick_probe(&self, port: usize, mask: u64) -> bool {
+        let base = port * self.vcs;
+        self.out_vcs[base..base + self.vcs]
+            .iter()
+            .enumerate()
+            .any(|(v, vc)| mask & (1 << v) != 0 && vc.is_free() && vc.credits > 0)
+    }
+
+    /// Pick a *claimable* VC of `port` within `mask` starting from the
+    /// rotating pointer; returns the VC index. Claimable means unowned
+    /// AND holding at least one credit: committing a packet to a
+    /// credit-less VC would let it wait forever there, which breaks
+    /// Duato's escape guarantee for adaptive routing (a blocked head
+    /// must always be able to fall back to the escape VC — so heads stay
+    /// unallocated, retrying each cycle, until a VC they can actually
+    /// enter is available).
+    fn pick_free_vc(&mut self, port: usize, mask: u64) -> Option<usize> {
+        let n = self.vcs;
+        let base = port * n;
+        let mut v = self.vc_rr[port];
+        for _ in 0..n {
+            let ovc = &self.out_vcs[base + v];
+            if mask & (1 << v) != 0 && ovc.is_free() && ovc.credits > 0 {
+                self.vc_rr[port] = if v + 1 == n { 0 } else { v + 1 };
+                return Some(v);
+            }
+            v += 1;
+            if v == n {
+                v = 0;
+            }
+        }
+        None
     }
 
     /// Stage 1: VC allocation (includes route computation).
@@ -197,121 +382,132 @@ impl Router {
         ctx: &RouterCtx<'_>,
         packets: &mut PacketSlab,
     ) -> Result<(), SimError> {
-        let ports = self.ports();
-        let vcs = self.vcs();
-        let space = ports * vcs;
+        let vcs = self.vcs;
+        let space = self.ports * vcs;
 
-        // gather eligible input VCs as (flat index, packet age)
+        // no VC is waiting for allocation (all buffered flits belong to
+        // already-allocated packets): just advance the rotating pointer
+        if self.va_wait == 0 {
+            self.va_ptr = if self.va_ptr + 1 >= space.max(1) { 0 } else { self.va_ptr + 1 };
+            return Ok(());
+        }
+
+        // gather eligible input VCs as (flat index, packet age); ages
+        // only matter to the age-based policy, so round-robin skips the
+        // packet-slab lookup entirely (a likely cache miss per VC)
+        let age_based = matches!(ctx.arb, Arbitration::AgeBased);
         let mut eligible = std::mem::take(&mut self.scratch_eligible);
         eligible.clear();
-        for p in 0..ports {
-            for v in 0..vcs {
-                let ivc = &self.inputs[p][v];
-                if ivc.wants_allocation() {
-                    let Some(head) = ivc.q.front() else {
-                        self.scratch_eligible = eligible;
-                        return Err(SimError::MissingFlit {
-                            router: self.id,
-                            port: p,
-                            vc: v,
-                            stage: "VC allocation",
-                        });
-                    };
-                    eligible.push((p * vcs + v, packets.get(head.pkt).birth));
-                }
+        for flat in 0..space {
+            let ivc = &self.inputs[flat];
+            if ivc.wants_allocation() {
+                let age = if age_based {
+                    let head = self.flit_buf[flat * self.vc_buf + ivc.head as usize];
+                    packets.get(head.pkt).birth
+                } else {
+                    0
+                };
+                eligible.push((flat, age));
             }
         }
         if eligible.is_empty() {
             self.scratch_eligible = eligible;
-            self.va_ptr = (self.va_ptr + 1) % space.max(1);
+            self.va_ptr = if self.va_ptr + 1 >= space.max(1) { 0 } else { self.va_ptr + 1 };
             return Ok(());
         }
         // order by priority, then grant greedily (later grants see
-        // earlier claims, so no output VC is double-allocated)
-        match ctx.arb {
-            Arbitration::RoundRobin => {
-                let ptr = self.va_ptr;
-                eligible.sort_by_key(|&(idx, _)| (idx + space - ptr) % space);
-            }
-            Arbitration::AgeBased => {
-                eligible.sort_by_key(|&(idx, age)| (age, idx));
+        // earlier claims, so no output VC is double-allocated); a lone
+        // requester (the common case at low load) needs no ordering
+        if eligible.len() > 1 {
+            match ctx.arb {
+                Arbitration::RoundRobin => {
+                    let ptr = self.va_ptr;
+                    eligible.sort_by_key(|&(idx, _)| {
+                        let d = idx + space - ptr;
+                        if d >= space {
+                            d - space
+                        } else {
+                            d
+                        }
+                    });
+                }
+                Arbitration::AgeBased => {
+                    eligible.sort_by_key(|&(idx, age)| (age, idx));
+                }
             }
         }
         for i in 0..eligible.len() {
             let (flat, _) = eligible[i];
-            let (p, v) = (flat / vcs, flat % vcs);
-            if let Err(e) = self.try_allocate_one(ctx, packets, p, v) {
+            if let Err(e) = self.try_allocate_one(ctx, packets, flat) {
                 self.scratch_eligible = eligible;
                 return Err(e);
             }
         }
         self.scratch_eligible = eligible;
-        self.va_ptr = (self.va_ptr + 1) % space;
+        self.va_ptr = if self.va_ptr + 1 >= space { 0 } else { self.va_ptr + 1 };
         Ok(())
     }
 
-    /// Attempt VC allocation for one input VC; claims output state on
-    /// success.
+    /// Attempt VC allocation for one input VC (given by its flat
+    /// `port * vcs + vc` index); claims output state on success.
     fn try_allocate_one(
         &mut self,
         ctx: &RouterCtx<'_>,
         packets: &mut PacketSlab,
-        p: usize,
-        v: usize,
+        flat: usize,
     ) -> Result<(), SimError> {
-        let pid = self.inputs[p][v]
-            .q
-            .front()
+        let pid = self
+            .q_front_flat(flat)
             .ok_or(SimError::MissingFlit {
                 router: self.id,
-                port: p,
-                vc: v,
+                port: flat / self.vcs,
+                vc: flat % self.vcs,
                 stage: "VC allocation",
             })?
             .pkt;
         let pkt = packets.get(pid);
         let (class, dst, route) = (pkt.class as usize, pkt.dst, pkt.route);
-        let cands = ctx.routing.candidates(ctx.topo, self.id, dst, &route);
+        let cands = ctx.routing.candidates_lut(ctx.topo, ctx.lut, self.id, dst, &route);
 
         let claim = if cands.is_empty() {
             // eject here: any VC of the packet's class partition
             let mask = ctx.book.class_mask(class);
-            self.outputs[LOCAL_PORT].pick_free_vc(mask).map(|vc| (LOCAL_PORT, vc, route))
+            self.pick_free_vc(LOCAL_PORT, mask).map(|vc| (LOCAL_PORT, vc, route))
         } else if ctx.routing.is_adaptive() {
             // adaptive: best candidate port by free downstream credits
             let mut best: Option<(usize, u64, crate::routing::RouteState, u64)> = None;
             for port in cands.iter() {
-                let ns = ctx.routing.advance(ctx.topo, self.id, port, dst, &route);
+                let ns = ctx.routing.advance_lut(ctx.topo, ctx.lut, self.id, port, dst, &route);
                 let mask = ctx.book.allowed(class, ns.phase as usize, ns.dateline, false);
-                let score = self.outputs[port].free_credit_score(mask);
-                let has_free = self.outputs[port].pick_probe(mask);
+                let score = self.free_credit_score(port, mask);
+                let has_free = self.pick_probe(port, mask);
                 if has_free && best.as_ref().is_none_or(|&(_, s, _, _)| score > s) {
                     best = Some((port, score, ns, mask));
                 }
             }
             match best {
-                Some((port, _, ns, mask)) => {
-                    self.outputs[port].pick_free_vc(mask).map(|vc| (port, vc, ns))
-                }
+                Some((port, _, ns, mask)) => self.pick_free_vc(port, mask).map(|vc| (port, vc, ns)),
                 None => {
                     // escape: DOR port, escape VC
                     let port = cands.get(0);
-                    let ns = ctx.routing.advance(ctx.topo, self.id, port, dst, &route);
+                    let ns = ctx.routing.advance_lut(ctx.topo, ctx.lut, self.id, port, dst, &route);
                     let mask = ctx.book.allowed(class, ns.phase as usize, ns.dateline, true);
-                    self.outputs[port].pick_free_vc(mask).map(|vc| (port, vc, ns))
+                    self.pick_free_vc(port, mask).map(|vc| (port, vc, ns))
                 }
             }
         } else {
             let port = cands.get(0);
-            let ns = ctx.routing.advance(ctx.topo, self.id, port, dst, &route);
+            let ns = ctx.routing.advance_lut(ctx.topo, ctx.lut, self.id, port, dst, &route);
             let mask = ctx.book.allowed(class, ns.phase as usize, ns.dateline, false);
-            self.outputs[port].pick_free_vc(mask).map(|vc| (port, vc, ns))
+            self.pick_free_vc(port, mask).map(|vc| (port, vc, ns))
         };
 
         if let Some((port, vc, ns)) = claim {
             self.pipeline.va_grants += 1;
-            self.outputs[port].vcs[vc].owner = pid;
-            let ivc = &mut self.inputs[p][v];
+            self.out_vcs[port * self.vcs + vc].owner = pid;
+            self.va_wait -= 1;
+            self.active += 1;
+            let ivc = &mut self.inputs[flat];
             ivc.state = VcState::Active;
             ivc.out_port = port as u8;
             ivc.out_vc = vc as u8;
@@ -337,25 +533,36 @@ impl Router {
         packets: &PacketSlab,
         wins: &mut Vec<SaWin>,
     ) -> Result<(), SimError> {
-        let ports = self.ports();
-        let vcs = self.vcs();
+        let ports = self.ports;
+        let vcs = self.vcs;
 
-        // input stage: one nomination per input port
+        // no active VC ⇒ nothing can bid, and the barren scan below
+        // would touch no state
+        if self.active == 0 {
+            return Ok(());
+        }
+
+        // input stage: one nomination per input port; as in VC
+        // allocation, packet ages are only fetched for the age-based
+        // policy
+        let age_based = matches!(ctx.arb, Arbitration::AgeBased);
         let mut requests = std::mem::take(&mut self.scratch_requests); // (in_port, in_vc, age)
         let mut cands = std::mem::take(&mut self.scratch_cands);
         requests.clear();
         for p in 0..ports {
             cands.clear();
+            let base = p * vcs;
             for v in 0..vcs {
-                let ivc = &self.inputs[p][v];
-                if ivc.state != VcState::Active || ivc.q.is_empty() {
+                let ivc = &self.inputs[base + v];
+                if ivc.state != VcState::Active || ivc.is_empty() {
                     continue;
                 }
                 let op = ivc.out_port as usize;
                 let has_credit =
-                    op == LOCAL_PORT || self.outputs[op].vcs[ivc.out_vc as usize].credits > 0;
+                    op == LOCAL_PORT || self.out_vcs[op * vcs + ivc.out_vc as usize].credits > 0;
                 if has_credit {
-                    cands.push((v, packets.get(ivc.pkt).birth));
+                    let age = if age_based { packets.get(ivc.pkt).birth } else { 0 };
+                    cands.push((v, age));
                 } else {
                     self.pipeline.sa_credit_starved += 1;
                 }
@@ -365,6 +572,13 @@ impl Router {
                 requests.push((p, v, age));
             }
         }
+        if requests.is_empty() {
+            // nothing bid (e.g. all active VCs credit-starved): the
+            // output stage would grant nothing and touch no state
+            self.scratch_requests = requests;
+            self.scratch_cands = cands;
+            return Ok(());
+        }
 
         // output stage: one grant per output port
         for o in 0..ports {
@@ -372,10 +586,10 @@ impl Router {
             cands.extend(
                 requests
                     .iter()
-                    .filter(|&&(p, v, _)| self.inputs[p][v].out_port as usize == o)
+                    .filter(|&&(p, v, _)| self.inputs[p * vcs + v].out_port as usize == o)
                     .map(|&(p, _, age)| (p, age)),
             );
-            let Some(pos) = arbitrate(ctx.arb, &cands, self.outputs[o].sa_rr, ports) else {
+            let Some(pos) = arbitrate(ctx.arb, &cands, self.sa_rr[o], ports) else {
                 continue;
             };
             let in_port = cands[pos].0;
@@ -391,8 +605,9 @@ impl Router {
             };
 
             // commit
-            let out_vc = self.inputs[in_port][in_vc].out_vc as usize;
-            let Some(mut flit) = self.inputs[in_port][in_vc].q.pop_front() else {
+            let in_flat = in_port * vcs + in_vc;
+            let out_vc = self.inputs[in_flat].out_vc as usize;
+            let Some(mut flit) = self.q_pop_flat(in_flat) else {
                 self.scratch_requests = requests;
                 self.scratch_cands = cands;
                 return Err(SimError::MissingFlit {
@@ -404,18 +619,29 @@ impl Router {
             };
             self.occupancy -= 1;
             flit.vc = out_vc as u8;
-            let pkt = packets.get(flit.pkt);
-            let is_tail = flit.seq as usize == pkt.size as usize - 1;
+            let is_tail = flit.tail;
+            debug_assert_eq!(
+                is_tail,
+                flit.seq as usize == packets.get(flit.pkt).size as usize - 1,
+                "flit tail bit disagrees with packet size"
+            );
             if o != LOCAL_PORT {
-                self.outputs[o].vcs[out_vc].credits -= 1;
+                self.out_vcs[o * vcs + out_vc].credits -= 1;
             }
             if is_tail {
-                self.outputs[o].vcs[out_vc].owner = NO_PACKET;
-                self.inputs[in_port][in_vc].release();
+                self.out_vcs[o * vcs + out_vc].owner = NO_PACKET;
+                self.active -= 1;
+                let ivc = &mut self.inputs[in_flat];
+                ivc.release();
+                // the next packet's head may already be queued behind
+                // the departed tail
+                if !ivc.is_empty() {
+                    self.va_wait += 1;
+                }
             }
             self.pipeline.sa_grants += 1;
-            self.sa_in_ptr[in_port] = (in_vc + 1) % vcs;
-            self.outputs[o].sa_rr = (in_port + 1) % ports;
+            self.sa_in_ptr[in_port] = if in_vc + 1 == vcs { 0 } else { in_vc + 1 };
+            self.sa_rr[o] = if in_port + 1 == ports { 0 } else { in_port + 1 };
             wins.push(SaWin {
                 out_port: o as u8,
                 out_vc: out_vc as u8,
@@ -431,21 +657,10 @@ impl Router {
     }
 }
 
-impl OutputPort {
-    /// Non-destructive check: does `mask` contain a claimable VC
-    /// (unowned with credits)?
-    fn pick_probe(&self, mask: u64) -> bool {
-        self.vcs
-            .iter()
-            .enumerate()
-            .any(|(v, vc)| mask & (1 << v) != 0 && vc.is_free() && vc.credits > 0)
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::flit::Packet;
+    use crate::flit::{Packet, PacketId};
     use crate::routing::{Dor, RouteState, VcBook};
     use crate::topology::{port_plus, KAryNCube};
 
@@ -465,6 +680,7 @@ mod tests {
 
     struct Fixture {
         topo: KAryNCube,
+        lut: RouteLut,
         book: VcBook,
         packets: PacketSlab,
     }
@@ -472,15 +688,28 @@ mod tests {
     impl Fixture {
         fn new() -> Self {
             let topo = KAryNCube::mesh(&[4, 4]);
+            let lut = RouteLut::new(&topo, false);
             let book = VcBook::new(2, 1, &Dor, &topo).unwrap();
-            Self { topo, book, packets: PacketSlab::new() }
+            Self { topo, lut, book, packets: PacketSlab::new() }
         }
     }
 
-    /// Build a context borrowing only `topo` and `book`, so `packets`
-    /// stays independently borrowable.
-    fn ctx_of<'a>(topo: &'a KAryNCube, book: &'a VcBook, arb: Arbitration) -> RouterCtx<'a> {
-        RouterCtx { topo, routing: &Dor, book, arb }
+    /// Flit of `pkt` with the tail bit derived from the slab entry, as
+    /// the network's injection path does.
+    fn flit_of(packets: &PacketSlab, pkt: PacketId, seq: u16, vc: u8) -> Flit {
+        let size = packets.get(pkt).size;
+        Flit { pkt, seq, vc, tail: seq + 1 == size }
+    }
+
+    /// Build a context borrowing only `topo`, `lut` and `book`, so
+    /// `packets` stays independently borrowable.
+    fn ctx_of<'a>(
+        topo: &'a KAryNCube,
+        lut: &'a RouteLut,
+        book: &'a VcBook,
+        arb: Arbitration,
+    ) -> RouterCtx<'a> {
+        RouterCtx { topo, routing: &Dor, lut, book, arb }
     }
 
     #[test]
@@ -489,11 +718,11 @@ mod tests {
         // router 0, packet heading to node 3 (straight +x)
         let pid = fx.packets.insert(mk_packet(0, 3, 1, 0));
         let mut r = Router::new(0, 5, 2, 4);
-        r.deposit(0, Flit { pkt: pid, seq: 0, vc: 0 }).unwrap();
+        r.deposit(0, flit_of(&fx.packets, pid, 0, 0)).unwrap();
 
-        let ctx = ctx_of(&fx.topo, &fx.book, Arbitration::RoundRobin);
+        let ctx = ctx_of(&fx.topo, &fx.lut, &fx.book, Arbitration::RoundRobin);
         r.vc_allocate(&ctx, &mut fx.packets).unwrap();
-        let ivc = &r.inputs[0][0];
+        let ivc = r.input(0, 0);
         assert_eq!(ivc.state, VcState::Active);
         assert_eq!(ivc.out_port as usize, port_plus(0));
 
@@ -504,10 +733,10 @@ mod tests {
         assert_eq!(w.out_port as usize, port_plus(0));
         assert!(w.is_tail);
         // tail departure releases everything
-        assert_eq!(r.inputs[0][0].state, VcState::Idle);
-        assert!(r.outputs[port_plus(0)].vcs[w.out_vc as usize].is_free());
+        assert_eq!(r.input(0, 0).state, VcState::Idle);
+        assert!(r.out_vc(port_plus(0), w.out_vc as usize).is_free());
         // one credit consumed downstream
-        assert_eq!(r.outputs[port_plus(0)].vcs[w.out_vc as usize].credits, 3);
+        assert_eq!(r.out_vc(port_plus(0), w.out_vc as usize).credits, 3);
     }
 
     #[test]
@@ -515,10 +744,10 @@ mod tests {
         let mut fx = Fixture::new();
         let pid = fx.packets.insert(mk_packet(3, 0, 1, 0));
         let mut r = Router::new(0, 5, 2, 4);
-        r.deposit(port_plus(0), Flit { pkt: pid, seq: 0, vc: 0 }).unwrap();
-        let ctx = ctx_of(&fx.topo, &fx.book, Arbitration::RoundRobin);
+        r.deposit(port_plus(0), flit_of(&fx.packets, pid, 0, 0)).unwrap();
+        let ctx = ctx_of(&fx.topo, &fx.lut, &fx.book, Arbitration::RoundRobin);
         r.vc_allocate(&ctx, &mut fx.packets).unwrap();
-        assert_eq!(r.inputs[port_plus(0)][0].out_port as usize, LOCAL_PORT);
+        assert_eq!(r.input(port_plus(0), 0).out_port as usize, LOCAL_PORT);
         let mut wins = Vec::new();
         r.switch_allocate(&ctx, &fx.packets, &mut wins).unwrap();
         assert_eq!(wins.len(), 1);
@@ -530,13 +759,13 @@ mod tests {
         let mut fx = Fixture::new();
         let pid = fx.packets.insert(mk_packet(0, 3, 1, 0));
         let mut r = Router::new(0, 5, 2, 1);
-        r.deposit(0, Flit { pkt: pid, seq: 0, vc: 0 }).unwrap();
-        let ctx = ctx_of(&fx.topo, &fx.book, Arbitration::RoundRobin);
+        r.deposit(0, flit_of(&fx.packets, pid, 0, 0)).unwrap();
+        let ctx = ctx_of(&fx.topo, &fx.lut, &fx.book, Arbitration::RoundRobin);
         r.vc_allocate(&ctx, &mut fx.packets).unwrap();
         // exhaust the credit of the allocated output VC
-        let op = r.inputs[0][0].out_port as usize;
-        let ov = r.inputs[0][0].out_vc as usize;
-        r.outputs[op].vcs[ov].credits = 0;
+        let op = r.input(0, 0).out_port as usize;
+        let ov = r.input(0, 0).out_vc as usize;
+        r.out_vc_mut(op, ov).credits = 0;
         let mut wins = Vec::new();
         r.switch_allocate(&ctx, &fx.packets, &mut wins).unwrap();
         assert!(wins.is_empty(), "no credit, no traversal");
@@ -553,9 +782,9 @@ mod tests {
         let a = fx.packets.insert(mk_packet(0, 3, 1, 0));
         let b = fx.packets.insert(mk_packet(0, 3, 1, 1));
         let mut r = Router::new(0, 5, 2, 4);
-        r.deposit(0, Flit { pkt: a, seq: 0, vc: 0 }).unwrap();
-        r.deposit(port_plus(1), Flit { pkt: b, seq: 0, vc: 0 }).unwrap();
-        let ctx = ctx_of(&fx.topo, &fx.book, Arbitration::RoundRobin);
+        r.deposit(0, flit_of(&fx.packets, a, 0, 0)).unwrap();
+        r.deposit(port_plus(1), flit_of(&fx.packets, b, 0, 0)).unwrap();
+        let ctx = ctx_of(&fx.topo, &fx.lut, &fx.book, Arbitration::RoundRobin);
         r.vc_allocate(&ctx, &mut fx.packets).unwrap();
         // both got different output VCs of the same port (2 VCs available)
         let mut wins = Vec::new();
@@ -572,22 +801,22 @@ mod tests {
         let a = fx.packets.insert(mk_packet(0, 3, 2, 0));
         let b = fx.packets.insert(mk_packet(0, 3, 1, 1));
         let mut r = Router::new(0, 5, 2, 4);
-        r.deposit(0, Flit { pkt: a, seq: 0, vc: 0 }).unwrap();
-        r.deposit(0, Flit { pkt: b, seq: 0, vc: 1 }).unwrap();
-        let ctx = ctx_of(&fx.topo, &fx.book, Arbitration::RoundRobin);
+        r.deposit(0, flit_of(&fx.packets, a, 0, 0)).unwrap();
+        r.deposit(0, flit_of(&fx.packets, b, 0, 1)).unwrap();
+        let ctx = ctx_of(&fx.topo, &fx.lut, &fx.book, Arbitration::RoundRobin);
         r.vc_allocate(&ctx, &mut fx.packets).unwrap();
         // both allocate (2 output VCs exist); they share the output port
-        let mut owners: Vec<_> = r.outputs[port_plus(0)].vcs.iter().map(|vc| vc.owner).collect();
+        let mut owners: Vec<_> = (0..r.vcs()).map(|v| r.out_vc(port_plus(0), v).owner).collect();
         owners.sort_unstable();
         assert_eq!(owners, vec![a.min(b), a.max(b)]);
         // deposit a's body flit; drain everything
-        r.deposit(0, Flit { pkt: a, seq: 1, vc: 0 }).unwrap();
+        r.deposit(0, flit_of(&fx.packets, a, 1, 0)).unwrap();
         let mut wins = Vec::new();
         for _ in 0..4 {
             r.switch_allocate(&ctx, &fx.packets, &mut wins).unwrap();
         }
         assert_eq!(wins.len(), 3);
-        assert!(r.outputs[port_plus(0)].vcs.iter().all(|vc| vc.is_free()));
+        assert!((0..r.vcs()).all(|v| r.out_vc(port_plus(0), v).is_free()));
     }
 
     #[test]
@@ -598,12 +827,12 @@ mod tests {
         let old = fx.packets.insert(mk_packet(0, 3, 1, 5));
         let mut r = Router::new(0, 5, 2, 4);
         // leave just one free output VC on port +x
-        r.outputs[port_plus(0)].vcs[1].owner = 999;
-        r.deposit(0, Flit { pkt: young, seq: 0, vc: 0 }).unwrap();
-        r.deposit(port_plus(1), Flit { pkt: old, seq: 0, vc: 0 }).unwrap();
-        let ctx = ctx_of(&fx.topo, &fx.book, Arbitration::AgeBased);
+        r.out_vc_mut(port_plus(0), 1).owner = 999;
+        r.deposit(0, flit_of(&fx.packets, young, 0, 0)).unwrap();
+        r.deposit(port_plus(1), flit_of(&fx.packets, old, 0, 0)).unwrap();
+        let ctx = ctx_of(&fx.topo, &fx.lut, &fx.book, Arbitration::AgeBased);
         r.vc_allocate(&ctx, &mut fx.packets).unwrap();
-        assert_eq!(r.outputs[port_plus(0)].vcs[0].owner, old, "oldest packet wins VA");
-        assert_eq!(r.inputs[0][0].state, VcState::Idle, "young packet must retry");
+        assert_eq!(r.out_vc(port_plus(0), 0).owner, old, "oldest packet wins VA");
+        assert_eq!(r.input(0, 0).state, VcState::Idle, "young packet must retry");
     }
 }

@@ -1,6 +1,9 @@
 //! Minimal adaptive routing with a DOR escape channel (Duato's protocol).
 
-use super::{advance_common, minimal_ports, PortSet, RouteState, RoutingAlgorithm};
+use super::{
+    advance_common, advance_common_lut, minimal_ports, PortSet, RouteLut, RouteState,
+    RoutingAlgorithm,
+};
 use crate::rng::SimRng;
 use crate::topology::Topology;
 
@@ -55,6 +58,29 @@ impl RoutingAlgorithm for MinAdaptive {
         state: &RouteState,
     ) -> RouteState {
         advance_common(topo, cur, port, dst, state)
+    }
+
+    fn candidates_lut(
+        &self,
+        _topo: &dyn Topology,
+        lut: &RouteLut,
+        cur: usize,
+        dst: usize,
+        state: &RouteState,
+    ) -> PortSet {
+        lut.minimal_ports(cur, state.effective_target(cur, dst))
+    }
+
+    fn advance_lut(
+        &self,
+        _topo: &dyn Topology,
+        lut: &RouteLut,
+        cur: usize,
+        port: usize,
+        _dst: usize,
+        state: &RouteState,
+    ) -> RouteState {
+        advance_common_lut(lut, cur, port, state)
     }
 }
 

@@ -174,6 +174,35 @@ pub trait RoutingAlgorithm: Send + Sync {
         dst: usize,
         state: &RouteState,
     ) -> RouteState;
+
+    /// [`candidates`](RoutingAlgorithm::candidates) with access to the
+    /// precomputed [`RouteLut`] — the per-cycle engine path. Must return
+    /// exactly what `candidates` returns; the default ignores the table.
+    fn candidates_lut(
+        &self,
+        topo: &dyn Topology,
+        _lut: &RouteLut,
+        cur: usize,
+        dst: usize,
+        state: &RouteState,
+    ) -> PortSet {
+        self.candidates(topo, cur, dst, state)
+    }
+
+    /// [`advance`](RoutingAlgorithm::advance) with access to the
+    /// precomputed [`RouteLut`] — the per-cycle engine path. Must return
+    /// exactly what `advance` returns; the default ignores the table.
+    fn advance_lut(
+        &self,
+        topo: &dyn Topology,
+        _lut: &RouteLut,
+        cur: usize,
+        port: usize,
+        dst: usize,
+        state: &RouteState,
+    ) -> RouteState {
+        self.advance(topo, cur, port, dst, state)
+    }
 }
 
 /// Dimension-ordered next port toward `target`, or `None` if `cur ==
@@ -287,6 +316,121 @@ pub(crate) fn advance_common(
     next
 }
 
+/// [`advance_common`] against precomputed tables: identical result, but
+/// the dateline test is one bit probe instead of virtual coordinate
+/// arithmetic. This is the per-hop path of every DOR-per-phase
+/// algorithm, executed once per VC allocation attempt.
+pub(crate) fn advance_common_lut(
+    lut: &RouteLut,
+    cur: usize,
+    port: usize,
+    state: &RouteState,
+) -> RouteState {
+    use crate::topology::port_dim;
+    let mut next = *state;
+    if next.phase == 0 && cur == next.intermediate {
+        next.phase = 1;
+        next.dateline = false;
+        next.last_dim = u8::MAX;
+    }
+    let d = port_dim(port) as u8;
+    if next.last_dim != d {
+        next.dateline = false;
+        next.last_dim = d;
+    }
+    if lut.crosses_dateline(cur, port) {
+        next.dateline = true;
+    }
+    next
+}
+
+/// Precomputed routing tables for one fixed topology.
+///
+/// Route computation (`dor_port`, `minimal_ports`, `crosses_dateline`)
+/// runs on every VC-allocation attempt — at saturation that is more than
+/// one call per router per cycle, each a cascade of virtual topology
+/// lookups with per-dimension division. The tables here are pure
+/// functions of the topology, so the engine computes them once at
+/// network construction and the hot path reduces to flat array loads.
+/// Built by [`crate::network::Network::new`]; handed to routers through
+/// [`crate::router::RouterCtx`].
+#[derive(Debug, Clone)]
+pub struct RouteLut {
+    n: usize,
+    /// `dor[cur * n + target]`: DOR output port (0 where `cur == target`,
+    /// which callers must treat as "eject here", never index blindly).
+    dor: Vec<u8>,
+    /// `minimal[cur * n + target]`: all minimal productive ports, DOR
+    /// port first. Empty unless built for adaptive routing (the only
+    /// consumer), as it costs O(n^2) `PortSet`s.
+    minimal: Vec<PortSet>,
+    /// `dateline[node]` bit `port`: the hop `node --port-->` crosses the
+    /// wraparound link of the port's dimension.
+    dateline: Vec<u16>,
+}
+
+impl RouteLut {
+    /// Precompute the tables for `topo`. `adaptive` additionally builds
+    /// the minimal-port table used by adaptive routing.
+    pub fn new(topo: &dyn Topology, adaptive: bool) -> Self {
+        let n = topo.num_nodes();
+        let ports = topo.num_ports();
+        let mut dor = vec![0u8; n * n];
+        for cur in 0..n {
+            for target in 0..n {
+                if let Some(p) = dor_port(topo, cur, target) {
+                    dor[cur * n + target] = p as u8;
+                }
+            }
+        }
+        let minimal = if adaptive {
+            let mut m = Vec::with_capacity(n * n);
+            for cur in 0..n {
+                for target in 0..n {
+                    m.push(minimal_ports(topo, cur, target));
+                }
+            }
+            m
+        } else {
+            Vec::new()
+        };
+        let mut dateline = vec![0u16; n];
+        for (node, mask) in dateline.iter_mut().enumerate() {
+            for port in 1..ports {
+                if crosses_dateline(topo, node, port) {
+                    *mask |= 1 << port;
+                }
+            }
+        }
+        Self { n, dor, minimal, dateline }
+    }
+
+    /// Table-backed [`dor_port`].
+    #[inline]
+    pub fn dor_port(&self, cur: usize, target: usize) -> Option<usize> {
+        if cur == target {
+            None
+        } else {
+            Some(self.dor[cur * self.n + target] as usize)
+        }
+    }
+
+    /// Table-backed [`minimal_ports`].
+    ///
+    /// # Panics
+    /// If the table was built with `adaptive == false`.
+    #[inline]
+    pub fn minimal_ports(&self, cur: usize, target: usize) -> PortSet {
+        self.minimal[cur * self.n + target]
+    }
+
+    /// Table-backed [`crosses_dateline`].
+    #[inline]
+    pub fn crosses_dateline(&self, cur: usize, port: usize) -> bool {
+        self.dateline[cur] & (1 << port) != 0
+    }
+}
+
 /// The virtual-channel partition: which VCs a packet may occupy at the
 /// next router, given its class, phase, dateline state, and whether the
 /// hop uses the adaptive or the escape sub-function.
@@ -300,6 +444,10 @@ pub struct VcBook {
     escape: usize,
     adaptive: bool,
     wrap: bool,
+    /// Memoized [`VcBook::allowed`] masks over the full (class, phase,
+    /// dateline, escape) domain — the hot path reads one word instead of
+    /// rebuilding a mask bit by bit.
+    allowed_cache: Vec<u64>,
 }
 
 impl VcBook {
@@ -343,7 +491,20 @@ impl VcBook {
             }
             0
         };
-        Ok(Self { vcs, classes, phases, block, escape, adaptive, wrap })
+        let mut book =
+            Self { vcs, classes, phases, block, escape, adaptive, wrap, allowed_cache: Vec::new() };
+        let mut cache = Vec::with_capacity(classes * phases * 4);
+        for class in 0..classes {
+            for phase in 0..phases {
+                for dateline in [false, true] {
+                    for escape_only in [false, true] {
+                        cache.push(book.compute_allowed(class, phase, dateline, escape_only));
+                    }
+                }
+            }
+        }
+        book.allowed_cache = cache;
+        Ok(book)
     }
 
     /// Total VCs.
@@ -360,9 +521,23 @@ impl VcBook {
     /// buffer after a hop, where `dateline` is the packet's state *after*
     /// the hop and `escape_only` selects the escape sub-function
     /// (deterministic DOR hop for adaptive routing).
+    #[inline]
     pub fn allowed(&self, class: usize, phase: usize, dateline: bool, escape_only: bool) -> u64 {
         debug_assert!(class < self.classes);
         let phase = phase.min(self.phases - 1);
+        let idx =
+            ((class * self.phases + phase) * 2 + dateline as usize) * 2 + escape_only as usize;
+        self.allowed_cache[idx]
+    }
+
+    /// The mask computation backing [`VcBook::allowed`]'s cache.
+    fn compute_allowed(
+        &self,
+        class: usize,
+        phase: usize,
+        dateline: bool,
+        escape_only: bool,
+    ) -> u64 {
         let base = (class * self.phases + phase) * self.block;
         if self.adaptive {
             if escape_only {

@@ -1,6 +1,8 @@
 //! Valiant's randomized routing (VAL).
 
-use super::{advance_common, dor_port, PortSet, RouteState, RoutingAlgorithm};
+use super::{
+    advance_common, advance_common_lut, dor_port, PortSet, RouteLut, RouteState, RoutingAlgorithm,
+};
 use crate::rng::SimRng;
 use crate::topology::Topology;
 
@@ -57,6 +59,33 @@ impl RoutingAlgorithm for Valiant {
         state: &RouteState,
     ) -> RouteState {
         advance_common(topo, cur, port, dst, state)
+    }
+
+    fn candidates_lut(
+        &self,
+        _topo: &dyn Topology,
+        lut: &RouteLut,
+        cur: usize,
+        dst: usize,
+        state: &RouteState,
+    ) -> PortSet {
+        let mut set = PortSet::new();
+        if let Some(p) = lut.dor_port(cur, state.effective_target(cur, dst)) {
+            set.push(p);
+        }
+        set
+    }
+
+    fn advance_lut(
+        &self,
+        _topo: &dyn Topology,
+        lut: &RouteLut,
+        cur: usize,
+        port: usize,
+        _dst: usize,
+        state: &RouteState,
+    ) -> RouteState {
+        advance_common_lut(lut, cur, port, state)
     }
 }
 
