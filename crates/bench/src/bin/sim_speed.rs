@@ -4,10 +4,20 @@
 //! tracking").
 //!
 //! Set `BENCH_JSON=path` to redirect the JSON (empty string disables).
+//! Set `BENCH_BASELINE=path` to compare against a previous
+//! `BENCH_sim_speed.json` instead of the pinned in-tree baseline; a
+//! missing or unrecognized baseline file degrades to "no baseline"
+//! (the fresh JSON is still written so the next run has one).
+use noc_eval::figures::SpeedBaseline;
+
 fn main() {
     let e = noc_bench::effort_from_args();
+    let baseline = SpeedBaseline::from_env();
+    if let SpeedBaseline::Missing { why } = &baseline {
+        eprintln!("sim_speed: no baseline ({why}); reporting raw numbers");
+    }
     let report = noc_eval::figures::sim_speed_report(&e);
-    print!("{}", report.render());
+    print!("{}", report.render_vs(&baseline));
     let path = std::env::var("BENCH_JSON").unwrap_or_else(|_| "BENCH_sim_speed.json".into());
     if path.is_empty() {
         return;

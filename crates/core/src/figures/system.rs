@@ -394,19 +394,139 @@ pub fn sim_speed_report(effort: &Effort) -> SimSpeedReport {
     SimSpeedReport { threads: noc_exp::threads(), entries }
 }
 
+/// Where the speed comparison numbers come from.
+///
+/// `sim_speed` compares against a *file* baseline (a previous
+/// `BENCH_sim_speed.json`, pointed to by `BENCH_BASELINE`) when one is
+/// available, and falls back to the pinned [`SPEED_BASELINE`]
+/// otherwise. A missing file, unreadable JSON, or an old/unknown
+/// schema all degrade to "no baseline" for the affected entries —
+/// never a panic — so the bench keeps producing a fresh
+/// `BENCH_sim_speed.json` that the next run can baseline against.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SpeedBaseline {
+    /// The pinned in-tree numbers ([`SPEED_BASELINE`]).
+    BuiltIn,
+    /// Numbers parsed from a previous `BENCH_sim_speed.json`.
+    File {
+        /// Where the baseline was read from.
+        path: String,
+        /// `(name, cycles_per_sec)` pairs recovered from the file.
+        entries: Vec<(String, f64)>,
+    },
+    /// No usable baseline, with the reason.
+    Missing {
+        /// Why the baseline could not be used.
+        why: String,
+    },
+}
+
+impl SpeedBaseline {
+    /// Resolve the baseline the way the `sim_speed` bin does: if
+    /// `BENCH_BASELINE` is set, load that file (tolerating absence and
+    /// schema drift); otherwise use the pinned in-tree numbers.
+    pub fn from_env() -> Self {
+        match std::env::var("BENCH_BASELINE") {
+            Ok(path) if !path.is_empty() => Self::load(&path),
+            _ => SpeedBaseline::BuiltIn,
+        }
+    }
+
+    /// Load a baseline from a previous `BENCH_sim_speed.json`. Any
+    /// failure (missing file, bad JSON, old schema, no entries) returns
+    /// [`SpeedBaseline::Missing`] with the reason.
+    pub fn load(path: &str) -> Self {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => return SpeedBaseline::Missing { why: format!("{path}: {e}") },
+        };
+        match Self::parse(&text) {
+            Ok(entries) => SpeedBaseline::File { path: path.to_string(), entries },
+            Err(why) => SpeedBaseline::Missing { why: format!("{path}: {why}") },
+        }
+    }
+
+    /// Tolerant parse of the `noc-eval/sim-speed/v1` schema: scan for
+    /// `"name"`/`"cycles_per_sec"` key-value pairs rather than fully
+    /// deserializing, so unknown surrounding fields are ignored. (The
+    /// in-tree serde_json shim does not deserialize; the schema is flat
+    /// enough that scanning is exact for files we ourselves wrote.)
+    fn parse(text: &str) -> Result<Vec<(String, f64)>, String> {
+        if !text.contains("\"schema\": \"noc-eval/sim-speed/v1\"") {
+            return Err("unrecognized schema (expected noc-eval/sim-speed/v1)".into());
+        }
+        let mut entries = Vec::new();
+        for line in text.lines() {
+            let Some(name) = extract_str(line, "\"name\": \"") else { continue };
+            let Some(cps) = extract_num(line, "\"cycles_per_sec\": ") else { continue };
+            entries.push((name, cps));
+        }
+        if entries.is_empty() {
+            return Err("schema header found but no entries parsed".into());
+        }
+        Ok(entries)
+    }
+
+    /// Baseline cycles/sec for `name` under this source, if tracked.
+    pub fn lookup(&self, name: &str) -> Option<f64> {
+        match self {
+            SpeedBaseline::BuiltIn => {
+                SPEED_BASELINE.iter().find(|(n, _)| *n == name).map(|&(_, v)| v)
+            }
+            SpeedBaseline::File { entries, .. } => {
+                entries.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+            }
+            SpeedBaseline::Missing { .. } => None,
+        }
+    }
+
+    /// One-line description for report headers.
+    pub fn describe(&self) -> String {
+        match self {
+            SpeedBaseline::BuiltIn => "pinned in-tree baseline".into(),
+            SpeedBaseline::File { path, entries } => {
+                format!("baseline from {path} ({} entries)", entries.len())
+            }
+            SpeedBaseline::Missing { why } => format!("no baseline ({why})"),
+        }
+    }
+}
+
+/// `prefix`-keyed quoted string value on `line`, if present.
+fn extract_str(line: &str, prefix: &str) -> Option<String> {
+    let rest = &line[line.find(prefix)? + prefix.len()..];
+    Some(rest[..rest.find('"')?].to_string())
+}
+
+/// `prefix`-keyed number on `line`, if present and parseable.
+fn extract_num(line: &str, prefix: &str) -> Option<f64> {
+    let rest = &line[line.find(prefix)? + prefix.len()..];
+    let end =
+        rest.find(|c: char| c != '-' && c != '.' && !c.is_ascii_digit()).unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
 impl SimSpeedReport {
-    /// Baseline cycles/sec for `name`, if tracked.
+    /// Baseline cycles/sec for `name` from the pinned in-tree numbers.
     pub fn baseline(name: &str) -> Option<f64> {
-        SPEED_BASELINE.iter().find(|(n, _)| *n == name).map(|&(_, v)| v)
+        SpeedBaseline::BuiltIn.lookup(name)
     }
 
     /// Text report with speedups against [`SPEED_BASELINE`].
     pub fn render(&self) -> String {
-        let mut out = String::from(
-            "== simulator speed ==\nworkload           cycles       wall     cycles/s    vs baseline\n",
+        self.render_vs(&SpeedBaseline::BuiltIn)
+    }
+
+    /// Text report with speedups against an explicit baseline source;
+    /// entries without a baseline number show `-`.
+    pub fn render_vs(&self, baseline: &SpeedBaseline) -> String {
+        let mut out = format!(
+            "== simulator speed ==  [{}]\nworkload           cycles       wall     cycles/s    vs baseline\n",
+            baseline.describe()
         );
         for e in &self.entries {
-            let vs = Self::baseline(&e.name)
+            let vs = baseline
+                .lookup(&e.name)
                 .map(|b| format!("{:.2}x", e.cycles_per_sec / b))
                 .unwrap_or_else(|| "-".into());
             out.push_str(&format!(
@@ -446,4 +566,68 @@ impl SimSpeedReport {
 /// by `repro`; see [`sim_speed_report`] for the structured form).
 pub fn sim_speed(effort: &Effort) -> String {
     sim_speed_report(effort).render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> SimSpeedReport {
+        SimSpeedReport {
+            threads: 4,
+            entries: vec![
+                SpeedEntry {
+                    name: "openloop_mesh8".into(),
+                    cycles: 24_000,
+                    wall_s: 0.5,
+                    cycles_per_sec: 48_000.0,
+                },
+                SpeedEntry {
+                    name: "batch_m8".into(),
+                    cycles: 12_000,
+                    wall_s: 0.25,
+                    cycles_per_sec: 48_000.0,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn baseline_round_trips_through_emitted_json() {
+        let json = report().to_json();
+        let parsed = SpeedBaseline::parse(&json).expect("our own schema must parse");
+        assert_eq!(
+            parsed,
+            vec![("openloop_mesh8".to_string(), 48_000.0), ("batch_m8".to_string(), 48_000.0)]
+        );
+    }
+
+    #[test]
+    fn missing_or_foreign_baselines_degrade_without_panicking() {
+        let missing = SpeedBaseline::load("/nonexistent/BENCH_sim_speed.json");
+        assert!(matches!(missing, SpeedBaseline::Missing { .. }), "{missing:?}");
+        assert_eq!(missing.lookup("openloop_mesh8"), None);
+
+        // an old/unknown schema is rejected by header, not by panic
+        assert!(SpeedBaseline::parse("{\"schema\": \"noc-eval/sim-speed/v0\"}").is_err());
+        assert!(SpeedBaseline::parse("not json at all").is_err());
+        // header without entries is also a miss, not a panic
+        assert!(SpeedBaseline::parse("{\"schema\": \"noc-eval/sim-speed/v1\"}").is_err());
+
+        // rendering against a missing baseline shows "-" everywhere
+        let out = report().render_vs(&SpeedBaseline::Missing { why: "gone".into() });
+        assert!(out.contains("no baseline (gone)"));
+        assert!(out.lines().skip(2).all(|l| l.ends_with(" -")), "{out}");
+    }
+
+    #[test]
+    fn file_baseline_feeds_speedup_column() {
+        let b = SpeedBaseline::File {
+            path: "prev.json".into(),
+            entries: vec![("openloop_mesh8".into(), 24_000.0)],
+        };
+        assert_eq!(b.lookup("openloop_mesh8"), Some(24_000.0));
+        let out = report().render_vs(&b);
+        assert!(out.contains("2.00x"), "{out}");
+    }
 }

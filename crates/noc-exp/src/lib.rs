@@ -25,21 +25,36 @@
 
 #![warn(missing_docs)]
 
+pub mod robust;
+
+pub use robust::{run_grid_journal, run_grid_robust, Diverged, PointCodec, PointOutcome};
+
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+
+/// One warning per process about a malformed thread-count variable, so
+/// a typo cannot silently change the parallelism *and* cannot spam
+/// stderr once per grid either.
+static THREADS_WARNED: std::sync::Once = std::sync::Once::new();
 
 /// Number of worker threads the engine will use.
 ///
 /// Resolution order: `NOC_THREADS`, `RAYON_NUM_THREADS`, available
-/// hardware parallelism, 1. Values that fail to parse (or are 0) fall
-/// through to the next source.
+/// hardware parallelism, 1. A value that fails to parse (or is 0) falls
+/// through to the next source — with a one-line stderr warning naming
+/// the variable and the bad value, so a typo like `NOC_THREADS=fuor`
+/// does not silently run at a different width.
 pub fn threads() -> usize {
     for var in ["NOC_THREADS", "RAYON_NUM_THREADS"] {
         if let Ok(s) = std::env::var(var) {
-            if let Ok(n) = s.trim().parse::<usize>() {
-                if n >= 1 {
-                    return n;
-                }
+            match s.trim().parse::<usize>() {
+                Ok(n) if n >= 1 => return n,
+                _ => THREADS_WARNED.call_once(|| {
+                    eprintln!(
+                        "noc-exp: ignoring {var}={s:?} (not a positive integer); \
+                         falling back to the next thread-count source"
+                    );
+                }),
             }
         }
     }

@@ -1,0 +1,208 @@
+//! # noc-fault — deterministic fault injection and graceful degradation
+//!
+//! The paper's scenarios all assume a perfect fabric; this crate asks
+//! the next question — *what does the latency/throughput curve look
+//! like when links or routers die?* It provides:
+//!
+//! * [`FaultSchedule`]: a seeded, replayable fault scenario generator.
+//!   From a `(seed, topology)` pair it samples which physical channels
+//!   and routers fail (SplitMix64-derived sub-seeds per decision
+//!   family, so link choice, router choice, and transient corruption
+//!   draw from independent deterministic streams). Same seed, same
+//!   topology ⇒ bit-identical events, always.
+//! * [`sweep::degradation_sweep`]: the degradation curve — delivered
+//!   fraction, retransmissions, and post-fault latency/throughput as a
+//!   function of the number of failed links — evaluated through
+//!   `noc-exp`'s crash-proof grid so a pathological fault scenario
+//!   reports [`noc_exp::PointOutcome::Diverged`] instead of hanging
+//!   the sweep.
+//!
+//! The simulator-side fault semantics (what a dead channel does to
+//! flits, credits, and the sanitizer's conservation laws) live in
+//! [`noc_sim::network::fault`]; the static counterpart (certifying
+//! that a surviving topology is still routable) is
+//! `noc_verify::check_fault_connectivity`.
+
+#![warn(missing_docs)]
+
+pub mod sweep;
+
+pub use sweep::{
+    degradation_sweep, degradation_sweep_serial, run_faulted, DegradationConfig, DegradationPoint,
+};
+
+use noc_sim::network::fault::{FaultEvent, FaultPlan, RetxPolicy};
+use noc_sim::rng::SimRng;
+use noc_sim::topology::Topology;
+
+/// What to break, and when.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultConfig {
+    /// Seed of the fault scenario (independent of the traffic seed).
+    pub seed: u64,
+    /// Physical (bidirectional) links to fail; both directions die.
+    pub link_failures: usize,
+    /// Routers to fail-stop (their incident links die too).
+    pub router_failures: usize,
+    /// Cycle at which every permanent fault fires.
+    pub fail_at: u64,
+    /// Transient per-head-per-channel corruption probability.
+    pub corrupt_rate: f64,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        Self { seed: 1, link_failures: 0, router_failures: 0, fail_at: 0, corrupt_rate: 0.0 }
+    }
+}
+
+/// A concrete, replayable fault scenario: the resolved event list plus
+/// the transient-corruption parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultSchedule {
+    /// Permanent fault events (both directions of each failed physical
+    /// link, plus router failures), in a deterministic order.
+    pub events: Vec<FaultEvent>,
+    /// Transient corruption probability per head flit per channel.
+    pub corrupt_rate: f64,
+    /// Seed of the simulator's dedicated corruption RNG.
+    pub corrupt_seed: u64,
+}
+
+impl FaultSchedule {
+    /// Sample a scenario for `topo` from `cfg.seed`.
+    ///
+    /// Physical links are enumerated in deterministic `(router, port)`
+    /// order, deduplicated to one entry per bidirectional pair, and
+    /// sampled by a partial Fisher–Yates shuffle; routers are sampled
+    /// the same way from an independent sub-seed. Requests for more
+    /// failures than exist are clamped to "all of them".
+    pub fn generate(cfg: &FaultConfig, topo: &dyn Topology) -> Self {
+        let n = topo.num_nodes();
+        let ports = topo.num_ports();
+
+        // one entry per physical link: keep the direction whose
+        // (router, port) endpoint is lexicographically smallest
+        let mut edges: Vec<(usize, usize, usize, usize)> = Vec::new();
+        for r in 0..n {
+            for p in 1..ports {
+                if let Some((v, vp)) = topo.neighbor(r, p) {
+                    if (r, p) <= (v, vp) {
+                        edges.push((r, p, v, vp));
+                    }
+                }
+            }
+        }
+        let mut rng = SimRng::new(noc_exp::derive_seed(cfg.seed, 0));
+        let picks = cfg.link_failures.min(edges.len());
+        for i in 0..picks {
+            let j = i + rng.below(edges.len() - i);
+            edges.swap(i, j);
+        }
+
+        let mut rng = SimRng::new(noc_exp::derive_seed(cfg.seed, 1));
+        let mut routers: Vec<usize> = (0..n).collect();
+        let rpicks = cfg.router_failures.min(n);
+        for i in 0..rpicks {
+            let j = i + rng.below(n - i);
+            routers.swap(i, j);
+        }
+
+        let mut events = Vec::with_capacity(2 * picks + rpicks);
+        for &(r, p, v, vp) in &edges[..picks] {
+            events.push(FaultEvent::LinkFail { cycle: cfg.fail_at, router: r, port: p });
+            events.push(FaultEvent::LinkFail { cycle: cfg.fail_at, router: v, port: vp });
+        }
+        for &r in &routers[..rpicks] {
+            events.push(FaultEvent::RouterFail { cycle: cfg.fail_at, router: r });
+        }
+
+        Self {
+            events,
+            corrupt_rate: cfg.corrupt_rate,
+            corrupt_seed: noc_exp::derive_seed(cfg.seed, 2),
+        }
+    }
+
+    /// Package the scenario as a simulator [`FaultPlan`], optionally
+    /// with end-to-end retransmission.
+    pub fn plan(&self, retx: Option<RetxPolicy>) -> FaultPlan {
+        FaultPlan {
+            events: self.events.clone(),
+            corrupt_rate: self.corrupt_rate,
+            corrupt_seed: self.corrupt_seed,
+            retx,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noc_sim::config::TopologyKind;
+
+    fn mesh4() -> std::sync::Arc<dyn Topology> {
+        TopologyKind::Mesh2D { k: 4 }.build()
+    }
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let cfg = FaultConfig {
+            seed: 42,
+            link_failures: 3,
+            router_failures: 1,
+            fail_at: 500,
+            corrupt_rate: 1e-3,
+        };
+        let topo = mesh4();
+        let a = FaultSchedule::generate(&cfg, topo.as_ref());
+        let b = FaultSchedule::generate(&cfg, topo.as_ref());
+        assert_eq!(a, b);
+        assert_eq!(a.events.len(), 2 * 3 + 1, "both directions per link plus the router");
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let topo = mesh4();
+        let mk = |seed| {
+            FaultSchedule::generate(
+                &FaultConfig { seed, link_failures: 4, ..FaultConfig::default() },
+                topo.as_ref(),
+            )
+        };
+        assert_ne!(mk(1).events, mk(2).events);
+    }
+
+    #[test]
+    fn link_events_come_in_matched_pairs() {
+        let topo = mesh4();
+        let s = FaultSchedule::generate(
+            &FaultConfig { seed: 7, link_failures: 5, ..FaultConfig::default() },
+            topo.as_ref(),
+        );
+        for pair in s.events.chunks(2) {
+            let [FaultEvent::LinkFail { router: r, port: p, .. }, FaultEvent::LinkFail { router: v, port: vp, .. }] =
+                pair
+            else {
+                panic!("expected paired LinkFail events, got {pair:?}");
+            };
+            assert_eq!(topo.neighbor(*r, *p), Some((*v, *vp)), "reverse direction of same link");
+        }
+    }
+
+    #[test]
+    fn oversized_requests_are_clamped() {
+        let topo = mesh4();
+        let s = FaultSchedule::generate(
+            &FaultConfig {
+                seed: 3,
+                link_failures: 10_000,
+                router_failures: 10_000,
+                ..FaultConfig::default()
+            },
+            topo.as_ref(),
+        );
+        // 4x4 mesh: 24 physical links, 16 routers
+        assert_eq!(s.events.len(), 2 * 24 + 16);
+    }
+}

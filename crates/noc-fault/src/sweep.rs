@@ -1,0 +1,331 @@
+//! Graceful-degradation sweeps: metrics vs. number of failed links.
+//!
+//! Each point of a degradation sweep runs one open-loop style
+//! measurement on a network with `k` failed physical links (plus
+//! optional router failures and transient corruption), then *settles*:
+//! generation stops at the end of the measurement window and the
+//! simulation steps until the network is idle **and** the
+//! retransmission ledger has resolved every transfer (delivered or
+//! abandoned). Only then is the delivered fraction exact rather than a
+//! snapshot.
+//!
+//! Points run through [`noc_exp::run_grid_robust`]: a scenario that
+//! panics the engine reports `Panicked`, one that fails to settle
+//! within [`DegradationConfig::settle_max`] reports `Diverged`, and
+//! the rest of the curve survives. Results are bit-identical across
+//! runs and thread counts — point `k` always uses the seed
+//! `derive_seed(base.net.seed, k)` for traffic and an independently
+//! derived scenario seed for faults, regardless of which worker
+//! evaluates it (regression-tested against [`degradation_sweep_serial`]).
+
+use noc_exp::{derive_seed, run_grid_robust, Diverged, PointOutcome};
+use noc_openloop::{OpenLoopBehavior, OpenLoopConfig};
+use noc_sim::flit::{Cycle, Delivered, PacketSpec};
+use noc_sim::network::fault::RetxPolicy;
+use noc_sim::network::{Network, NodeBehavior};
+use noc_sim::topology::Topology;
+use noc_stats::Ratio;
+use noc_traffic::Bernoulli;
+
+use crate::{FaultConfig, FaultSchedule};
+
+/// Configuration of a degradation sweep.
+#[derive(Debug, Clone)]
+pub struct DegradationConfig {
+    /// The healthy-network measurement each point starts from (traffic
+    /// pattern, load, warmup/measure windows, base seed).
+    pub base: OpenLoopConfig,
+    /// Cycle at which the permanent faults fire. Faults during warmup
+    /// (`fail_at <= base.warmup`) measure the degraded steady state;
+    /// mid-window faults measure the transition.
+    pub fail_at: u64,
+    /// The sweep axis: points fail `0..=max_failed_links` links.
+    pub max_failed_links: usize,
+    /// Routers to fail-stop at every point (usually 0; the sweep axis
+    /// is links).
+    pub router_failures: usize,
+    /// Transient per-head-per-channel corruption probability.
+    pub corrupt_rate: f64,
+    /// End-to-end retransmission policy (`None`: lost packets stay
+    /// lost and the delivered fraction measures raw damage).
+    pub retx: Option<RetxPolicy>,
+    /// Settling budget: cycles past the measurement window a point may
+    /// use to drain and resolve every transfer before it is declared
+    /// diverged.
+    pub settle_max: u64,
+}
+
+impl DegradationConfig {
+    /// A sweep over `max_failed_links` with retransmission enabled and
+    /// faults firing at the end of warmup.
+    pub fn new(base: OpenLoopConfig, max_failed_links: usize) -> Self {
+        let fail_at = base.warmup;
+        let settle_max = base.drain_max;
+        Self {
+            base,
+            fail_at,
+            max_failed_links,
+            router_failures: 0,
+            corrupt_rate: 0.0,
+            retx: Some(RetxPolicy::default()),
+            settle_max,
+        }
+    }
+}
+
+/// One point of a degradation curve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DegradationPoint {
+    /// Physical links failed at this point (the sweep axis).
+    pub failed_links: usize,
+    /// Transfers delivered / transfers started, exact.
+    pub delivered: Ratio,
+    /// Retransmissions performed.
+    pub retransmissions: u64,
+    /// Transfers abandoned (unreachable destination or attempts
+    /// exhausted).
+    pub abandoned: u64,
+    /// Whole packets swallowed by faults.
+    pub packets_dropped: u64,
+    /// Average latency of marked (in-window) delivered packets.
+    pub avg_latency: f64,
+    /// Accepted throughput during the window (flits/cycle/node).
+    pub throughput: f64,
+    /// Cycle-exact delivery digest of the run (determinism fingerprint).
+    pub digest: u64,
+    /// Total cycles simulated, including settling.
+    pub cycles: u64,
+}
+
+/// An open-loop source with a hard generation cutoff, so a degraded
+/// run can settle: past `cutoff` no new packets are pulled and the
+/// behavior reports quiescent.
+struct GatedSource {
+    inner: OpenLoopBehavior,
+    cutoff: Cycle,
+}
+
+impl NodeBehavior for GatedSource {
+    fn pull(&mut self, node: usize, cycle: Cycle) -> Option<PacketSpec> {
+        if cycle >= self.cutoff {
+            return None;
+        }
+        self.inner.pull(node, cycle)
+    }
+
+    fn deliver(&mut self, node: usize, d: &Delivered, cycle: Cycle) {
+        self.inner.deliver(node, d, cycle);
+    }
+
+    fn quiescent(&self) -> bool {
+        true // generation is bounded by the cutoff
+    }
+}
+
+/// Run one faulted measurement: `base` traffic (seeded exactly by
+/// `base.net.seed`) against an explicit fault `plan`, then settle.
+///
+/// This is the single-scenario building block under
+/// [`degradation_sweep`]; tests and tools that need a *specific* fault
+/// set (rather than a seeded sweep axis) call it directly.
+/// `failed_links` only labels the returned point.
+pub fn run_faulted(
+    base: &OpenLoopConfig,
+    plan: noc_sim::network::fault::FaultPlan,
+    failed_links: usize,
+    settle_max: u64,
+) -> Result<DegradationPoint, Diverged> {
+    let mut net =
+        Network::new(base.net.clone()).expect("degradation sweep base config must be valid");
+    let nodes = net.num_nodes();
+    let radix = net.topo().radix(0);
+    net.set_fault_plan(plan);
+
+    let p = base.load / base.size.mean();
+    assert!((0.0..=1.0).contains(&p), "offered load implies generation probability {p} > 1");
+    let cutoff = base.warmup + base.measure;
+    let mut b = GatedSource {
+        inner: OpenLoopBehavior::new(
+            nodes,
+            base.pattern.build(nodes, radix),
+            base.size.build(),
+            || Box::new(Bernoulli { p }),
+            base.net.seed,
+            base.warmup,
+            cutoff,
+        ),
+        cutoff,
+    };
+
+    net.run(cutoff, &mut b);
+    // settle: drain the fabric and resolve every transfer
+    let budget = cutoff + settle_max;
+    while !(net.is_idle() && net.fault_settled()) {
+        if net.cycle() >= budget {
+            return Err(Diverged { budget });
+        }
+        net.step(&mut b);
+    }
+
+    let fs = net.fault_stats().expect("fault plan installed above").clone();
+    Ok(DegradationPoint {
+        failed_links,
+        delivered: Ratio::new(fs.transfers_delivered, fs.transfers_started),
+        retransmissions: fs.retransmissions,
+        abandoned: fs.transfers_abandoned,
+        packets_dropped: fs.packets_dropped,
+        avg_latency: b.inner.latency.mean(),
+        throughput: b.inner.window_flits as f64 / base.measure as f64 / nodes as f64,
+        digest: net.stats().delivery_digest,
+        cycles: net.cycle(),
+    })
+}
+
+/// Evaluate degradation point `k` (that many failed links).
+fn eval_point(cfg: &DegradationConfig, k: usize) -> Result<DegradationPoint, Diverged> {
+    // per-point traffic seed, as every other grid in this workspace
+    let mut base = cfg.base.clone();
+    base.net.seed = derive_seed(cfg.base.net.seed, k as u64);
+
+    // the fault scenario draws from its own seed family so the traffic
+    // stream of point k is unchanged by turning faults on
+    let fault_cfg = FaultConfig {
+        seed: derive_seed(cfg.base.net.seed, 0x0fa1_7000 + k as u64),
+        link_failures: k,
+        router_failures: cfg.router_failures,
+        fail_at: cfg.fail_at,
+        corrupt_rate: cfg.corrupt_rate,
+    };
+    let topo = base.net.topology.build();
+    let schedule = FaultSchedule::generate(&fault_cfg, topo.as_ref());
+    run_faulted(&base, schedule.plan(cfg.retx), k, cfg.settle_max)
+}
+
+/// Measure the degradation curve: one point per failed-link count in
+/// `0..=max_failed_links`, in parallel, each isolated by the robust
+/// grid. Output is bit-identical across runs and thread counts.
+pub fn degradation_sweep(cfg: &DegradationConfig) -> Vec<PointOutcome<DegradationPoint>> {
+    let ks: Vec<usize> = (0..=cfg.max_failed_links).collect();
+    run_grid_robust(&ks, |_, &k| eval_point(cfg, k))
+}
+
+/// Serial reference implementation of [`degradation_sweep`]: same
+/// configurations, same seeds, one point at a time, no panic isolation
+/// beyond the per-point wrapper. Used to regression-test that parallel
+/// output is bit-identical.
+pub fn degradation_sweep_serial(cfg: &DegradationConfig) -> Vec<PointOutcome<DegradationPoint>> {
+    (0..=cfg.max_failed_links)
+        .map(|k| match eval_point(cfg, k) {
+            Ok(p) => PointOutcome::Ok(p),
+            Err(d) => PointOutcome::Diverged { budget: d.budget },
+        })
+        .collect()
+}
+
+/// Number of physical links of a topology (the clamp bound for a
+/// sweep's `max_failed_links`).
+pub fn physical_links(topo: &dyn Topology) -> usize {
+    let n = topo.num_nodes();
+    let ports = topo.num_ports();
+    let mut count = 0;
+    for r in 0..n {
+        for p in 1..ports {
+            if let Some((v, vp)) = topo.neighbor(r, p) {
+                if (r, p) <= (v, vp) {
+                    count += 1;
+                }
+            }
+        }
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noc_sim::config::{NetConfig, TopologyKind};
+
+    fn quick_cfg(max_links: usize) -> DegradationConfig {
+        let base = OpenLoopConfig {
+            net: NetConfig::baseline().with_topology(TopologyKind::Mesh2D { k: 4 }),
+            ..OpenLoopConfig::default()
+        }
+        .quick()
+        .with_load(0.1);
+        DegradationConfig { settle_max: 60_000, ..DegradationConfig::new(base, max_links) }
+    }
+
+    #[test]
+    fn zero_fault_point_matches_healthy_engine_exactly() {
+        // point 0 fails no links; its digest must equal a run of the
+        // same seed with no fault plan installed at all (the fault layer
+        // must be invisible until a fault actually exists)
+        let cfg = quick_cfg(0);
+        let out = degradation_sweep(&cfg);
+        let PointOutcome::Ok(p0) = &out[0] else { panic!("point 0 must succeed: {out:?}") };
+        assert!(p0.delivered.is_complete());
+        assert_eq!(p0.abandoned, 0);
+        assert_eq!(p0.packets_dropped, 0);
+
+        // healthy twin: same derived point seed, no fault plan at all
+        let mut net_cfg = cfg.base.net.clone();
+        net_cfg.seed = derive_seed(cfg.base.net.seed, 0);
+        let mut net = Network::new(net_cfg.clone()).unwrap();
+        let nodes = net.num_nodes();
+        let radix = net.topo().radix(0);
+        let p = cfg.base.load / cfg.base.size.mean();
+        let cutoff = cfg.base.warmup + cfg.base.measure;
+        let mut b = GatedSource {
+            inner: OpenLoopBehavior::new(
+                nodes,
+                cfg.base.pattern.build(nodes, radix),
+                cfg.base.size.build(),
+                || Box::new(Bernoulli { p }),
+                net_cfg.seed,
+                cfg.base.warmup,
+                cutoff,
+            ),
+            cutoff,
+        };
+        net.run(cutoff, &mut b);
+        while !net.is_idle() {
+            net.step(&mut b);
+        }
+        assert_eq!(p0.digest, net.stats().delivery_digest, "fault layer perturbed a healthy run");
+    }
+
+    #[test]
+    fn parallel_sweep_is_bit_identical_to_serial() {
+        let cfg = quick_cfg(3);
+        let par = degradation_sweep(&cfg);
+        let ser = degradation_sweep_serial(&cfg);
+        assert_eq!(par, ser);
+        // and replaying the whole sweep reproduces it exactly
+        assert_eq!(par, degradation_sweep(&cfg));
+    }
+
+    #[test]
+    fn retransmission_recovers_everything_on_connected_survivors() {
+        // 2 failed links leave a 4x4 mesh connected with very high
+        // probability for the fixed scenario seed; retransmission must
+        // then deliver every transfer
+        let cfg = quick_cfg(2);
+        for o in degradation_sweep(&cfg) {
+            let PointOutcome::Ok(p) = o else { panic!("unexpected outcome: {o:?}") };
+            assert!(
+                p.delivered.is_complete(),
+                "k={}: delivered {} with {} abandoned",
+                p.failed_links,
+                p.delivered,
+                p.abandoned
+            );
+        }
+    }
+
+    #[test]
+    fn physical_link_count_matches_mesh_formula() {
+        let topo = TopologyKind::Mesh2D { k: 4 }.build();
+        // 2 * k * (k-1) bidirectional links in a k x k mesh
+        assert_eq!(physical_links(topo.as_ref()), 24);
+    }
+}

@@ -1,0 +1,69 @@
+//! CI fault smoke test: a small mesh with failed links must degrade
+//! gracefully — every transfer delivered via retransmission, exact
+//! ledger accounting, and (under `--features sanitize`) all simulator
+//! conservation invariants intact while links are dead.
+
+use noc_fault::{run_faulted, FaultConfig, FaultSchedule};
+use noc_openloop::OpenLoopConfig;
+use noc_sim::config::{NetConfig, TopologyKind};
+
+fn base() -> OpenLoopConfig {
+    OpenLoopConfig {
+        net: NetConfig::baseline().with_topology(TopologyKind::Mesh2D { k: 4 }),
+        ..OpenLoopConfig::default()
+    }
+    .quick()
+    .with_load(0.15)
+}
+
+#[test]
+fn fault_smoke_two_dead_links_full_delivery() {
+    let base = base();
+    // two permanent link failures force rerouting; the transient
+    // corruption rate guarantees some packets are actually swallowed so
+    // full delivery exercises the retransmission path, not just rerouting
+    let fault_cfg = FaultConfig {
+        seed: 2026,
+        link_failures: 2,
+        fail_at: base.warmup,
+        corrupt_rate: 2e-3,
+        ..FaultConfig::default()
+    };
+    let topo = base.net.topology.build();
+    let schedule = FaultSchedule::generate(&fault_cfg, topo.as_ref());
+
+    // the scenario must be survivable before we demand full delivery
+    let lint = noc_verify::check_fault_connectivity(&base.net, &schedule.events);
+    assert!(lint.is_certified(), "{lint}");
+
+    let p = run_faulted(&base, schedule.plan(Some(Default::default())), 2, 100_000)
+        .expect("smoke scenario must settle");
+    assert!(
+        p.delivered.is_complete(),
+        "delivered {} with {} abandoned, {} dropped",
+        p.delivered,
+        p.abandoned,
+        p.packets_dropped
+    );
+    assert_eq!(p.abandoned, 0);
+    assert!(p.packets_dropped > 0, "the corruption rate must actually swallow packets");
+    assert!(p.retransmissions > 0, "recovering dropped packets requires retransmission");
+}
+
+#[test]
+fn fault_smoke_replays_bit_identically() {
+    let base = base();
+    let fault_cfg = FaultConfig {
+        seed: 99,
+        link_failures: 3,
+        fail_at: base.warmup / 2,
+        ..FaultConfig::default()
+    };
+    let topo = base.net.topology.build();
+    let schedule = FaultSchedule::generate(&fault_cfg, topo.as_ref());
+    let run = || {
+        run_faulted(&base, schedule.plan(Some(Default::default())), 3, 100_000)
+            .expect("scenario must settle")
+    };
+    assert_eq!(run(), run(), "same schedule, same traffic, different outcome");
+}

@@ -1,0 +1,82 @@
+//! The static fault-connectivity lint and the dynamic simulation must
+//! agree: a Certified fault set delivers everything under
+//! retransmission, and a Refuted (partitioned) one abandons exactly the
+//! traffic crossing the cut — while still settling cleanly.
+
+use noc_fault::{run_faulted, FaultConfig, FaultSchedule};
+use noc_openloop::OpenLoopConfig;
+use noc_sim::config::{NetConfig, TopologyKind};
+use noc_verify::{check_fault_connectivity, fault::isolate_node_events, FaultVerdict};
+
+fn base() -> OpenLoopConfig {
+    OpenLoopConfig {
+        net: NetConfig::baseline().with_topology(TopologyKind::Mesh2D { k: 4 }),
+        ..OpenLoopConfig::default()
+    }
+    .quick()
+    .with_load(0.1)
+}
+
+#[test]
+fn certified_fault_set_simulates_to_full_delivery() {
+    let base = base();
+    let topo = base.net.topology.build();
+    // scan seeds for a certified 3-link scenario (most are; take the
+    // first so the test does not depend on any one seed's luck)
+    let schedule = (0..64)
+        .map(|seed| {
+            FaultSchedule::generate(
+                &FaultConfig {
+                    seed,
+                    link_failures: 3,
+                    fail_at: base.warmup,
+                    ..FaultConfig::default()
+                },
+                topo.as_ref(),
+            )
+        })
+        .find(|s| check_fault_connectivity(&base.net, &s.events).is_certified())
+        .expect("some 3-link scenario on a 4x4 mesh must be survivable");
+
+    let p = run_faulted(&base, schedule.plan(Some(Default::default())), 3, 100_000)
+        .expect("certified scenario must settle");
+    assert!(
+        p.delivered.is_complete(),
+        "lint certified the survivors but simulation delivered only {}",
+        p.delivered
+    );
+    assert_eq!(p.abandoned, 0);
+}
+
+#[test]
+fn refuted_fault_set_simulates_to_partial_delivery() {
+    let base = base();
+    let topo = base.net.topology.build();
+    // isolate node 0: the lint must refute connectivity...
+    let events = isolate_node_events(topo.as_ref(), 0, base.warmup);
+    let report = check_fault_connectivity(&base.net, &events);
+    let FaultVerdict::Refuted { witness } = &report.verdict else {
+        panic!("isolating a node must refute connectivity: {report}");
+    };
+    assert!(witness.reachable == 1 || witness.cut_off == 1);
+
+    // ...and the simulation must abandon exactly the cross-cut traffic
+    // yet still settle (abandonment, not a hang)
+    let plan = noc_sim::network::fault::FaultPlan {
+        events,
+        corrupt_rate: 0.0,
+        corrupt_seed: 0,
+        retx: Some(Default::default()),
+    };
+    let p = run_faulted(&base, plan, 3, 200_000).expect("partitioned scenario must still settle");
+    assert!(!p.delivered.is_complete(), "traffic across the cut cannot be delivered");
+    assert!(p.abandoned > 0, "cross-cut transfers must be abandoned, not lost track of");
+    assert_eq!(
+        p.delivered.num + p.abandoned,
+        p.delivered.den,
+        "every transfer must resolve to delivered or abandoned"
+    );
+    // uniform traffic from 15 live nodes mostly stays on the big side:
+    // the delivered fraction should remain high
+    assert!(p.delivered.fraction() > 0.5, "degradation should be graceful: {}", p.delivered);
+}

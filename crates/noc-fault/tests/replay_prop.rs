@@ -1,0 +1,71 @@
+//! Property tests for fault-scenario replay and crash-proof grids.
+
+use noc_exp::{run_grid_robust, PointOutcome};
+use noc_fault::{FaultConfig, FaultSchedule};
+use noc_sim::config::TopologyKind;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// Same (seed, topology, request) -> bit-identical fault schedule,
+    /// for any seed, any failure counts (including oversized), and
+    /// every supported topology family.
+    #[test]
+    fn fault_schedule_replays_bit_identically(
+        seed in 0u64..u64::MAX,
+        links in 0usize..64,
+        routers in 0usize..32,
+        fail_at in 0u64..10_000,
+        kind in prop_oneof![
+            Just(TopologyKind::Mesh2D { k: 4 }),
+            Just(TopologyKind::Torus2D { k: 4 }),
+            Just(TopologyKind::FoldedTorus2D { k: 3 }),
+            Just(TopologyKind::Ring { n: 9 }),
+        ],
+    ) {
+        let cfg = FaultConfig { seed, link_failures: links, router_failures: routers, fail_at, corrupt_rate: 1e-4 };
+        let topo = kind.build();
+        let a = FaultSchedule::generate(&cfg, topo.as_ref());
+        let b = FaultSchedule::generate(&cfg, topo.as_ref());
+        prop_assert_eq!(&a, &b);
+        // every event fires at the configured cycle, and link failures
+        // never exceed twice the request (both directions per link)
+        prop_assert!(a.events.iter().all(|e| e.cycle() == fail_at));
+        let link_events = a.events.iter()
+            .filter(|e| matches!(e, noc_sim::FaultEvent::LinkFail { .. }))
+            .count();
+        prop_assert!(link_events <= 2 * links);
+        prop_assert_eq!(link_events % 2, 0);
+    }
+
+    /// A grid with one panicking point reports `Panicked` for exactly
+    /// that point and clean results for every other — and the parallel
+    /// engine agrees with a serial evaluation of the same closure.
+    #[test]
+    fn panicking_point_never_poisons_the_grid(
+        n in 2usize..24,
+        bad_seed in 0u64..1000,
+    ) {
+        let points: Vec<u64> = (0..n as u64).collect();
+        let bad = bad_seed % n as u64;
+        let eval = |_i: usize, &p: &u64| {
+            if p == bad {
+                panic!("injected failure at point {p}");
+            }
+            Ok(p * p)
+        };
+        let par = run_grid_robust(&points, eval);
+        let ser: Vec<PointOutcome<u64>> = points
+            .iter()
+            .map(|&p| {
+                if p == bad {
+                    PointOutcome::Panicked { message: format!("injected failure at point {p}") }
+                } else {
+                    PointOutcome::Ok(p * p)
+                }
+            })
+            .collect();
+        prop_assert_eq!(par, ser);
+    }
+}

@@ -55,5 +55,6 @@ pub mod trace;
 pub use config::{Arbitration, NetConfig, RoutingKind, TopologyKind};
 pub use error::ConfigError;
 pub use flit::{Cycle, Delivered, PacketSpec};
+pub use network::fault::{FaultEvent, FaultPlan, FaultStats, RetxPolicy, SurvivorTable};
 pub use network::{NetStats, Network, NodeBehavior};
 pub use trace::trace_route;

@@ -7,6 +7,7 @@
 //! deliveries back, making both open-loop and closed-loop measurement
 //! drivers thin layers over the same engine.
 
+pub mod fault;
 #[cfg(feature = "sanitize")]
 pub mod sanitize;
 
@@ -57,6 +58,9 @@ pub struct NetStats {
     pub packets_delivered: u64,
     /// Self-addressed packets delivered without entering the network.
     pub self_delivered: u64,
+    /// Flits swallowed by injected faults (dead or corrupting channels).
+    /// Always zero without a fault plan.
+    pub flits_dropped: u64,
     /// Per-node injected flit counts.
     pub node_injected: Vec<u64>,
     /// Per-node delivered flit counts.
@@ -112,6 +116,13 @@ pub struct Network {
     active_links: Vec<u32>,
     /// Membership bitmap for `active_links`.
     link_busy: Vec<bool>,
+    /// Fault-injection runtime; `None` (the default) leaves every
+    /// fault hook as a single branch per cycle.
+    fault: Option<Box<fault::FaultState>>,
+    /// Degraded-mode rerouting table, rebuilt whenever a permanent
+    /// fault fires. Kept outside `fault` so VC allocation can borrow it
+    /// immutably while the fault state mutates.
+    survivors: Option<Box<fault::SurvivorTable>>,
     #[cfg(feature = "sanitize")]
     san: sanitize::Sanitizer,
 }
@@ -172,6 +183,8 @@ impl Network {
             up_link,
             active_links: Vec::new(),
             link_busy: vec![false; n_links],
+            fault: None,
+            survivors: None,
             #[cfg(feature = "sanitize")]
             san: sanitize::Sanitizer::new(),
         })
@@ -342,6 +355,9 @@ impl Network {
     /// additionally when the `sanitize` feature is enabled.
     pub fn try_step(&mut self, behavior: &mut dyn NodeBehavior) -> Result<(), SimError> {
         let t = self.cycle;
+        if self.fault.is_some() {
+            self.fault_pre_step(t);
+        }
         self.arrivals(t)?;
         self.ejections(t, behavior);
         self.injections(t, behavior)?;
@@ -427,12 +443,17 @@ impl Network {
                 self.stats.flits_ejected += 1;
                 self.stats.node_delivered[node] += 1;
                 if flit.tail {
+                    // duplicate retransmissions and arrivals at a dead
+                    // NI are absorbed before the behavior sees them
+                    let deliver = self.fault_on_tail(node, flit.pkt);
                     let pkt = self.packets.remove(flit.pkt);
-                    self.stats.packets_delivered += 1;
-                    let d = delivered_of(&pkt);
-                    self.stats.delivery_digest =
-                        fold_digest(self.stats.delivery_digest, &d, node, t);
-                    behavior.deliver(node, &d, t);
+                    if deliver {
+                        self.stats.packets_delivered += 1;
+                        let d = delivered_of(&pkt);
+                        self.stats.delivery_digest =
+                            fold_digest(self.stats.delivery_digest, &d, node, t);
+                        behavior.deliver(node, &d, t);
+                    }
                 }
             }
             while let Some(&(ready, pid)) = self.nis[node].local_q.front() {
@@ -440,12 +461,16 @@ impl Network {
                     break;
                 }
                 self.nis[node].local_q.pop_front();
+                let deliver = self.fault_on_tail(node, pid);
                 let pkt = self.packets.remove(pid);
-                self.stats.packets_delivered += 1;
-                self.stats.self_delivered += 1;
-                let d = delivered_of(&pkt);
-                self.stats.delivery_digest = fold_digest(self.stats.delivery_digest, &d, node, t);
-                behavior.deliver(node, &d, t);
+                if deliver {
+                    self.stats.packets_delivered += 1;
+                    self.stats.self_delivered += 1;
+                    let d = delivered_of(&pkt);
+                    self.stats.delivery_digest =
+                        fold_digest(self.stats.delivery_digest, &d, node, t);
+                    behavior.deliver(node, &d, t);
+                }
             }
         }
     }
@@ -457,6 +482,13 @@ impl Network {
         let classes = self.cfg.classes;
         for node in 0..n {
             self.nis[node].absorb_credits(t);
+
+            if self.fault_node_dead(node) {
+                // a dead NI stops producing; packets mid-injection
+                // still drain below into the (dead) fabric around it
+                self.inject_one_flit(node, t)?;
+                continue;
+            }
 
             // pull freshly generated packets into source queues
             while let Some(spec) = behavior.pull(node, t) {
@@ -500,6 +532,9 @@ impl Network {
                         payload: spec.payload,
                     });
                     self.nis[node].class_q[spec.class as usize].push_back(pid);
+                    if self.fault.is_some() {
+                        self.fault_register(node, pid, spec, t);
+                    }
                 }
             }
 
@@ -590,6 +625,7 @@ impl Network {
             lut: &self.lut,
             book: &self.book,
             arb: self.cfg.arbitration,
+            survivors: self.survivors.as_deref(),
         };
         let mut wins = std::mem::take(&mut self.win_buf);
         for r in 0..n {
@@ -612,13 +648,33 @@ impl Network {
                     self.nis[r].eject_q.push_back((t + tr, w.flit));
                 } else {
                     let li = self.link_idx(r, w.out_port as usize);
-                    let Some(link) = self.links[li].as_mut() else {
-                        self.win_buf = wins;
-                        return Err(SimError::DeadPort { router: r, port: w.out_port as usize });
+                    // a faulty channel may swallow the flit instead of
+                    // carrying it (the credit is refunded inside)
+                    let swallowed = match self.fault.as_deref_mut() {
+                        Some(f) => {
+                            let r2 = &mut self.routers[r];
+                            match f.swallow(&mut self.stats, &mut self.packets, r2, li, &w) {
+                                Ok(s) => s,
+                                Err(e) => {
+                                    self.win_buf = wins;
+                                    return Err(e);
+                                }
+                            }
+                        }
+                        None => false,
                     };
-                    let ready = t + tr + link.delay as Cycle;
-                    link.push_flit(ready, w.flit);
-                    Self::mark_link(&mut self.link_busy, &mut self.active_links, li);
+                    if !swallowed {
+                        let Some(link) = self.links[li].as_mut() else {
+                            self.win_buf = wins;
+                            return Err(SimError::DeadPort {
+                                router: r,
+                                port: w.out_port as usize,
+                            });
+                        };
+                        let ready = t + tr + link.delay as Cycle;
+                        link.push_flit(ready, w.flit);
+                        Self::mark_link(&mut self.link_busy, &mut self.active_links, li);
+                    }
                 }
                 // return the credit for the freed input slot
                 if w.in_port as usize == LOCAL_PORT {

@@ -61,8 +61,8 @@ pub(super) struct Sanitizer {
     stats: SanitizeStats,
     watchdog: u64,
     /// Progress signature: (flits injected, flits ejected, packets
-    /// delivered, switch grants).
-    last_sig: (u64, u64, u64, u64),
+    /// delivered, switch grants, flits dropped by faults).
+    last_sig: (u64, u64, u64, u64, u64),
     last_progress: Cycle,
 }
 
@@ -71,7 +71,7 @@ impl Sanitizer {
         Self {
             stats: SanitizeStats::default(),
             watchdog: DEFAULT_WATCHDOG,
-            last_sig: (0, 0, 0, 0),
+            last_sig: (0, 0, 0, 0, 0),
             last_progress: 0,
         }
     }
@@ -108,7 +108,8 @@ impl Network {
         let buffered: u64 = self.routers.iter().map(|r| r.buffered_flits() as u64).sum();
         let in_flight: u64 = self.links.iter().flatten().map(|l| l.in_flight() as u64).sum();
         let ejecting: u64 = self.nis.iter().map(|ni| ni.eject_q.len() as u64).sum();
-        let accounted = self.stats.flits_ejected + buffered + in_flight + ejecting;
+        let accounted =
+            self.stats.flits_ejected + buffered + in_flight + ejecting + self.stats.flits_dropped;
         self.san.stats.conservation_checks += 1;
         if accounted != self.stats.flits_injected {
             return Err(SimError::Invariant {
@@ -117,8 +118,8 @@ impl Network {
                 detail: format!(
                     "{} flits injected but {accounted} accounted for \
                      ({} ejected + {buffered} buffered + {in_flight} on links + \
-                     {ejecting} awaiting ejection)",
-                    self.stats.flits_injected, self.stats.flits_ejected
+                     {ejecting} awaiting ejection + {} dropped by faults)",
+                    self.stats.flits_injected, self.stats.flits_ejected, self.stats.flits_dropped
                 ),
             });
         }
@@ -320,6 +321,7 @@ impl Network {
             self.stats.flits_ejected,
             self.stats.packets_delivered,
             pipe.sa_grants,
+            self.stats.flits_dropped,
         );
         if sig != self.san.last_sig || self.packets.live() == 0 {
             self.san.last_sig = sig;

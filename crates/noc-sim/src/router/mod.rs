@@ -27,7 +27,8 @@ pub use buffer::{InputVc, OutputVc, VcState};
 use crate::config::Arbitration;
 use crate::error::SimError;
 use crate::flit::{Flit, PacketSlab, NO_PACKET};
-use crate::routing::{RouteLut, RoutingAlgorithm, VcBook};
+use crate::network::fault::SurvivorTable;
+use crate::routing::{PortSet, RouteLut, RoutingAlgorithm, VcBook};
 use crate::topology::{Topology, LOCAL_PORT};
 
 /// A switch-allocation winner: one flit leaving the router this cycle.
@@ -76,6 +77,10 @@ pub struct RouterCtx<'a> {
     pub book: &'a VcBook,
     /// Arbitration policy.
     pub arb: Arbitration,
+    /// Degraded-mode rerouting table, installed after a permanent
+    /// fault. When present it overrides the routing function's
+    /// candidate ports with surviving shortest-path next hops.
+    pub survivors: Option<&'a SurvivorTable>,
 }
 
 /// One router: input VC and output VC state in flat, router-level
@@ -467,7 +472,22 @@ impl Router {
             .pkt;
         let pkt = packets.get(pid);
         let (class, dst, route) = (pkt.class as usize, pkt.dst, pkt.route);
-        let cands = ctx.routing.candidates_lut(ctx.topo, ctx.lut, self.id, dst, &route);
+        let cands = match ctx.survivors {
+            Some(s) if self.id != dst => {
+                let sp = s.ports(self.id, dst);
+                if sp.is_empty() {
+                    // unreachable in the surviving topology: route as if
+                    // healthy — every original path crosses a dead
+                    // element, so the packet terminates by being
+                    // swallowed there instead of wedging a buffer here
+                    ctx.routing.candidates_lut(ctx.topo, ctx.lut, self.id, dst, &route)
+                } else {
+                    sp
+                }
+            }
+            Some(_) => PortSet::new(), // at the destination: eject
+            None => ctx.routing.candidates_lut(ctx.topo, ctx.lut, self.id, dst, &route),
+        };
 
         let claim = if cands.is_empty() {
             // eject here: any VC of the packet's class partition
@@ -709,7 +729,7 @@ mod tests {
         book: &'a VcBook,
         arb: Arbitration,
     ) -> RouterCtx<'a> {
-        RouterCtx { topo, routing: &Dor, lut, book, arb }
+        RouterCtx { topo, routing: &Dor, lut, book, arb, survivors: None }
     }
 
     #[test]

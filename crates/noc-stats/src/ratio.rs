@@ -1,0 +1,75 @@
+//! Exact event-count ratios.
+//!
+//! Degradation metrics like "delivered fraction" must distinguish
+//! *exactly complete* (every transfer delivered) from *almost complete*
+//! (rounds to 1.0 in an `f64` display). [`Ratio`] keeps the raw
+//! numerator/denominator counts so equality checks stay exact, and only
+//! converts to floating point on demand.
+
+use std::fmt;
+
+/// An exact `num / den` event-count ratio.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Ratio {
+    /// Events counted (e.g. transfers delivered).
+    pub num: u64,
+    /// Opportunities (e.g. transfers started).
+    pub den: u64,
+}
+
+impl Ratio {
+    /// Build a ratio.
+    pub fn new(num: u64, den: u64) -> Self {
+        Self { num, den }
+    }
+
+    /// The ratio as a float; a `0/0` ratio is vacuously `1.0` (nothing
+    /// was attempted, so nothing was missed).
+    pub fn fraction(&self) -> f64 {
+        if self.den == 0 {
+            1.0
+        } else {
+            self.num as f64 / self.den as f64
+        }
+    }
+
+    /// Exactly complete: `num == den` (including the vacuous `0/0`).
+    /// Unlike `fraction() == 1.0` this can never be a rounding artifact.
+    pub fn is_complete(&self) -> bool {
+        self.num == self.den
+    }
+}
+
+impl fmt::Display for Ratio {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{} ({:.1}%)", self.num, self.den, self.fraction() * 100.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fraction_and_completeness() {
+        assert_eq!(Ratio::new(3, 4).fraction(), 0.75);
+        assert!(Ratio::new(4, 4).is_complete());
+        assert!(!Ratio::new(3, 4).is_complete());
+        assert!(Ratio::new(0, 0).is_complete());
+        assert_eq!(Ratio::new(0, 0).fraction(), 1.0);
+    }
+
+    #[test]
+    fn near_complete_is_not_complete() {
+        // a fraction that prints as 100.0% but is not complete
+        let r = Ratio::new(99_999, 100_000);
+        assert!(!r.is_complete());
+        assert!(r.fraction() < 1.0);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        assert_eq!(Ratio::new(1431, 1431).to_string(), "1431/1431 (100.0%)");
+        assert_eq!(Ratio::new(1, 2).to_string(), "1/2 (50.0%)");
+    }
+}

@@ -38,11 +38,13 @@
 
 mod cdg;
 mod checks;
+pub mod fault;
 mod partition;
 mod report;
 mod routes;
 
 pub use cdg::Cdg;
+pub use fault::{check_fault_connectivity, FaultReport, FaultVerdict, PartitionWitness};
 pub use partition::Partition;
 pub use report::{CdgStats, ChannelRef, CycleWitness, Finding, Severity, Verdict, VerifyReport};
 
