@@ -16,13 +16,24 @@ use noc_openloop::OpenLoopConfig;
 use noc_sim::config::{Arbitration, NetConfig, RoutingKind, TopologyKind};
 use noc_traffic::{PatternKind, SizeKind};
 
-fn parse_args() -> Result<(NetConfig, PatternKind, SizeKind, f64, u64, usize), String> {
+struct Args {
+    net: NetConfig,
+    pattern: PatternKind,
+    size: SizeKind,
+    load: f64,
+    batch: u64,
+    m: usize,
+    metrics_out: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
     let mut net = NetConfig::baseline();
     let mut pattern = PatternKind::Uniform;
     let mut size = SizeKind::Fixed(1);
     let mut load = 0.2f64;
     let mut batch = 1000u64;
     let mut m = 4usize;
+    let mut metrics_out = None;
 
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -82,15 +93,35 @@ fn parse_args() -> Result<(NetConfig, PatternKind, SizeKind, f64, u64, usize), S
             "--load" => load = val.parse().map_err(|e| format!("--load: {e}"))?,
             "--batch" => batch = val.parse().map_err(|e| format!("--batch: {e}"))?,
             "--m" => m = val.parse().map_err(|e| format!("--m: {e}"))?,
+            "--metrics" => {
+                net = net.with_metrics(val.parse().map_err(|e| format!("--metrics: {e}"))?)
+            }
+            "--metrics-out" => metrics_out = Some(val.clone()),
             other => return Err(format!("unknown flag `{other}`")),
         }
         i += 2;
     }
-    Ok((net, pattern, size, load, batch, m))
+    if metrics_out.is_some() && net.metrics.is_none() {
+        // writing a metrics file implies collecting metrics
+        net = net.with_metrics(noc_sim::metrics::DEFAULT_BIN_WIDTH);
+    }
+    Ok(Args { net, pattern, size, load, batch, m, metrics_out })
+}
+
+/// Write the `noc-eval/metrics/v1` JSON, then read it back and
+/// validate it against the schema and the live engine's flit ledger —
+/// so `--metrics-out` doubles as an end-to-end smoke test of the
+/// export path (CI runs exactly this).
+fn export_metrics(snap: &noc_sim::MetricsSnapshot, path: &str) -> Result<(), String> {
+    let json = noc_eval::figures::metrics_to_json(snap);
+    std::fs::write(path, &json).map_err(|e| format!("write {path}: {e}"))?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read back {path}: {e}"))?;
+    noc_eval::figures::validate_metrics_json(&text, Some(snap.link_flits))?;
+    Ok(())
 }
 
 fn main() {
-    let (net, pattern, size, load, batch, m) = match parse_args() {
+    let Args { net, pattern, size, load, batch, m, metrics_out } = match parse_args() {
         Ok(v) => v,
         Err(e) => {
             eprintln!("error: {e}");
@@ -100,6 +131,7 @@ fn main() {
             eprintln!("       --vcs N --buf N --tr N --arb rr|age --seed N");
             eprintln!("       --pattern uniform|transpose|bitcomp|bitrev|shuffle|tornado|neighbor");
             eprintln!("       --size 1|N|bimodal --load F --batch N --m N");
+            eprintln!("       --metrics BIN_WIDTH --metrics-out FILE.json");
             std::process::exit(2);
         }
     };
@@ -161,6 +193,16 @@ fn main() {
             println!("  worst-node avg  {:.1} cycles", r.worst_node_latency);
             println!("  throughput      {:.4} flits/cycle/node", r.throughput);
             println!("  stable          {}", r.stable);
+            if let Some(snap) = &r.metrics {
+                println!("\n{}", noc_eval::figures::metrics_report("open-loop run", snap));
+                if let Some(path) = &metrics_out {
+                    if let Err(e) = export_metrics(snap, path) {
+                        eprintln!("metrics export failed: {e}");
+                        std::process::exit(1);
+                    }
+                    println!("metrics written to {path} (schema validated, flits conserved)");
+                }
+            }
         }
         Err(e) => println!("open-loop failed: {e}"),
     }

@@ -90,6 +90,7 @@ fn main() {
     timed("ext_burst", || noc_eval::figures::ext_burst(&e).render());
     timed("ext_trace", || noc_eval::figures::ext_trace(&e).render());
     timed("ext_bottleneck", || noc_eval::figures::ext_bottleneck(&e).render());
+    timed("metrics", || noc_eval::figures::metrics_showcase(&e).render());
     timed("sim_speed", || noc_eval::figures::sim_speed(&e));
 
     println!("[total: {:.1}s]", total.elapsed().as_secs_f64());

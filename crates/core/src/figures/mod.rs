@@ -8,12 +8,14 @@
 mod closedloop;
 mod correlation;
 mod extensions;
+mod metrics;
 mod openloop;
 mod system;
 
 pub use closedloop::*;
 pub use correlation::*;
 pub use extensions::*;
+pub use metrics::*;
 pub use openloop::*;
 pub use system::*;
 

@@ -23,6 +23,10 @@ pub struct Fig12 {
     pub val: Vec<Vec<usize>>,
     /// The (src, dst) pair traced.
     pub pair: (usize, usize),
+    /// Trace failures, rendered instead of the missing route. Empty for
+    /// the built-in algorithms; populated only if a routing function
+    /// misbehaves ([`noc_sim::TraceError`]).
+    pub errors: Vec<String>,
 }
 
 /// Run Fig 12: the transpose worst-case pair (7,0) <-> (0,7), i.e.
@@ -30,11 +34,18 @@ pub struct Fig12 {
 pub fn fig12() -> Fig12 {
     let topo = KAryNCube::mesh(&[8, 8]);
     let (src, dst) = (7usize, 56usize);
-    Fig12 {
-        dor: trace_route(&topo, &Dor, src, dst, 0),
-        val: (1..=4).map(|seed| trace_route(&topo, &Valiant, src, dst, seed)).collect(),
-        pair: (src, dst),
-    }
+    let mut errors = Vec::new();
+    // a failed trace degrades to the bare source node and is reported in
+    // the rendered figure instead of aborting the whole repro run
+    let mut trace = |routing: &dyn noc_sim::routing::RoutingAlgorithm, seed: u64| {
+        trace_route(&topo, routing, src, dst, seed).unwrap_or_else(|e| {
+            errors.push(format!("{} seed {seed}: {e}", routing.name()));
+            vec![src]
+        })
+    };
+    let dor = trace(&Dor, 0);
+    let val = (1..=4).map(|seed| trace(&Valiant, seed)).collect();
+    Fig12 { dor, val, pair: (src, dst), errors }
 }
 
 impl Fig12 {
@@ -51,6 +62,9 @@ impl Fig12 {
         );
         for (i, v) in self.val.iter().enumerate() {
             out.push_str(&format!("VAL#{} ({} hops): {}\n", i + 1, v.len() - 1, fmt(v)));
+        }
+        for e in &self.errors {
+            out.push_str(&format!("trace FAILED: {e}\n"));
         }
         out.push_str(
             "note: DOR's corner-to-corner route is the worst case either way;\n\
@@ -493,13 +507,13 @@ impl SpeedBaseline {
 }
 
 /// `prefix`-keyed quoted string value on `line`, if present.
-fn extract_str(line: &str, prefix: &str) -> Option<String> {
+pub(crate) fn extract_str(line: &str, prefix: &str) -> Option<String> {
     let rest = &line[line.find(prefix)? + prefix.len()..];
     Some(rest[..rest.find('"')?].to_string())
 }
 
 /// `prefix`-keyed number on `line`, if present and parseable.
-fn extract_num(line: &str, prefix: &str) -> Option<f64> {
+pub(crate) fn extract_num(line: &str, prefix: &str) -> Option<f64> {
     let rest = &line[line.find(prefix)? + prefix.len()..];
     let end =
         rest.find(|c: char| c != '-' && c != '.' && !c.is_ascii_digit()).unwrap_or(rest.len());

@@ -25,8 +25,10 @@
 
 #![warn(missing_docs)]
 
+pub mod progress;
 pub mod robust;
 
+pub use progress::Progress;
 pub use robust::{run_grid_journal, run_grid_robust, Diverged, PointCodec, PointOutcome};
 
 use std::sync::atomic::{AtomicUsize, Ordering};

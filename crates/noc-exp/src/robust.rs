@@ -103,11 +103,18 @@ where
     R: Send,
     F: Fn(usize, &T) -> Result<R, Diverged> + Sync,
 {
-    run_grid(points, |i, p| match catch_unwind(AssertUnwindSafe(|| eval(i, p))) {
-        Ok(Ok(r)) => PointOutcome::Ok(r),
-        Ok(Err(d)) => PointOutcome::Diverged { budget: d.budget },
-        Err(payload) => PointOutcome::Panicked { message: panic_message(payload.as_ref()) },
-    })
+    let progress = crate::Progress::from_env("grid", points.len());
+    let out = run_grid(points, |i, p| {
+        let outcome = match catch_unwind(AssertUnwindSafe(|| eval(i, p))) {
+            Ok(Ok(r)) => PointOutcome::Ok(r),
+            Ok(Err(d)) => PointOutcome::Diverged { budget: d.budget },
+            Err(payload) => PointOutcome::Panicked { message: panic_message(payload.as_ref()) },
+        };
+        progress.point_done();
+        outcome
+    });
+    progress.finish();
+    out
 }
 
 /// Serializer for journaled point results: one line of text per result.
@@ -219,10 +226,12 @@ where
     }
     let writer = Mutex::new(std::fs::OpenOptions::new().create(true).append(true).open(path)?);
     let recorded = Mutex::new(recorded);
+    let progress = crate::Progress::from_env("journal grid", points.len());
     let outcomes = run_grid(points, |i, p| {
         if let Some(prior) =
             recorded.lock().unwrap_or_else(std::sync::PoisonError::into_inner).remove(&i)
         {
+            progress.point_done();
             return Ok(prior);
         }
         let outcome = match catch_unwind(AssertUnwindSafe(|| eval(i, p))) {
@@ -236,8 +245,10 @@ where
             writeln!(w, "{line}")?;
             w.flush()?;
         }
+        progress.point_done();
         Ok(outcome)
     });
+    progress.finish();
     outcomes.into_iter().collect()
 }
 

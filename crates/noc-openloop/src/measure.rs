@@ -102,6 +102,9 @@ pub struct OpenLoopResult {
     pub stable: bool,
     /// Total simulated cycles.
     pub cycles: u64,
+    /// Observability snapshot, present iff the network config enabled
+    /// metrics collection ([`NetConfig::with_metrics`]).
+    pub metrics: Option<noc_sim::MetricsSnapshot>,
 }
 
 /// Analytic zero-load latency lower bound for a single-flit packet at
@@ -125,14 +128,19 @@ pub fn measure(cfg: &OpenLoopConfig) -> Result<OpenLoopResult, ConfigError> {
     let k = net.topo().radix(0);
     let p = cfg.load / cfg.size.mean();
     if !(0.0..=1.0).contains(&p) {
-        return Err(ConfigError::Parameter {
-            name: "load",
-            why: format!(
+        let why = if cfg.load < 0.0 {
+            format!(
+                "load {} is negative; offered load is flits/cycle/node and must be >= 0",
+                cfg.load
+            )
+        } else {
+            format!(
                 "load {} with mean packet size {} needs generation probability {p} > 1",
                 cfg.load,
                 cfg.size.mean()
-            ),
-        });
+            )
+        };
+        return Err(ConfigError::Parameter { name: "load", why });
     }
     let mut b = OpenLoopBehavior::new(
         nodes,
@@ -188,6 +196,7 @@ pub fn measure(cfg: &OpenLoopConfig) -> Result<OpenLoopResult, ConfigError> {
         drained,
         stable: drained && throughput >= 0.9 * cfg.load,
         cycles: net.cycle(),
+        metrics: net.metrics_snapshot(),
     })
 }
 
@@ -240,7 +249,18 @@ mod tests {
     fn impossible_load_rejected() {
         let mut cfg = quick(1.5);
         cfg.size = SizeKind::Fixed(1);
-        assert!(measure(&cfg).is_err());
+        let err = measure(&cfg).unwrap_err();
+        assert!(err.to_string().contains("> 1"), "{err}");
+    }
+
+    #[test]
+    fn negative_load_rejected_with_negative_message() {
+        // regression: the rejection message used to claim "generation
+        // probability > 1" even when the load was negative
+        let err = measure(&quick(-0.1)).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("negative"), "{msg}");
+        assert!(!msg.contains("> 1"), "{msg}");
     }
 
     #[test]
@@ -280,6 +300,27 @@ mod tests {
         // without the flag, no samples are kept
         let r2 = measure(&quick(0.1)).unwrap();
         assert!(r2.latency_percentiles.is_none());
+    }
+
+    #[test]
+    fn metrics_snapshot_rides_along_when_enabled() {
+        let mut cfg = quick(0.2);
+        cfg.net = cfg.net.with_metrics(128);
+        let r = measure(&cfg).unwrap();
+        let snap = r.metrics.expect("metrics enabled must yield a snapshot");
+        snap.check_conservation().expect("channel totals must equal the link ledger");
+        assert!(snap.link_flits > 0);
+        assert_eq!(snap.cycles, r.cycles);
+        // the collector ran from cycle 0, so every channel's binned
+        // series must account for its full ledger total
+        for c in &snap.channels {
+            assert_eq!(c.flits.total() as u64, c.total, "channel {}:{}", c.src, c.port);
+        }
+        // occupancy was sampled every cycle on every router
+        assert!(snap.routers.iter().all(|r| r.occupancy.count() == snap.cycles));
+        // without the flag, no snapshot is allocated
+        let r2 = measure(&quick(0.2)).unwrap();
+        assert!(r2.metrics.is_none());
     }
 
     #[test]

@@ -112,6 +112,10 @@ pub struct NetConfig {
     pub classes: usize,
     /// RNG seed; a `(config, seed)` pair fully determines a run.
     pub seed: u64,
+    /// Metrics bin width in cycles; `None` (the default) disables the
+    /// observability collector entirely (one branch per cycle, behavior
+    /// bit-identical to an uninstrumented build). See [`crate::metrics`].
+    pub metrics: Option<u64>,
 }
 
 impl Default for NetConfig {
@@ -125,6 +129,7 @@ impl Default for NetConfig {
             arbitration: Arbitration::RoundRobin,
             classes: 1,
             seed: 0x0c5e_ed01,
+            metrics: None,
         }
     }
 }
@@ -144,6 +149,12 @@ impl NetConfig {
             return Err(ConfigError::Parameter {
                 name: "router_delay",
                 why: "must be >= 1 cycle".into(),
+            });
+        }
+        if self.metrics == Some(0) {
+            return Err(ConfigError::Parameter {
+                name: "metrics",
+                why: "metrics bin width must be >= 1 cycle".into(),
             });
         }
         if self.vcs > 64 {
@@ -204,6 +215,13 @@ impl NetConfig {
         self.arbitration = a;
         self
     }
+
+    /// Enable the metrics collector with the given bin width in cycles
+    /// (see [`crate::metrics::DEFAULT_BIN_WIDTH`] for a sane default).
+    pub fn with_metrics(mut self, bin_width: u64) -> Self {
+        self.metrics = Some(bin_width);
+        self
+    }
 }
 
 #[cfg(test)]
@@ -244,6 +262,8 @@ mod tests {
     fn bad_parameters_rejected() {
         assert!(NetConfig::baseline().with_vc_buf(0).validate().is_err());
         assert!(NetConfig::baseline().with_router_delay(0).validate().is_err());
+        assert!(NetConfig::baseline().with_metrics(0).validate().is_err());
+        assert!(NetConfig::baseline().with_metrics(64).validate().is_ok());
         let mut cfg = NetConfig::baseline();
         cfg.vcs = 65;
         assert!(cfg.validate().is_err());

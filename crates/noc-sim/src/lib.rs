@@ -45,6 +45,7 @@ pub mod config;
 pub mod error;
 pub mod flit;
 pub mod interface;
+pub mod metrics;
 pub mod network;
 pub mod rng;
 pub mod router;
@@ -55,6 +56,7 @@ pub mod trace;
 pub use config::{Arbitration, NetConfig, RoutingKind, TopologyKind};
 pub use error::ConfigError;
 pub use flit::{Cycle, Delivered, PacketSpec};
+pub use metrics::{ChannelMetrics, MetricsSnapshot, RouterMetrics};
 pub use network::fault::{FaultEvent, FaultPlan, FaultStats, RetxPolicy, SurvivorTable};
 pub use network::{NetStats, Network, NodeBehavior};
-pub use trace::trace_route;
+pub use trace::{trace_route, TraceError};

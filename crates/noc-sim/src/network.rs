@@ -116,6 +116,9 @@ pub struct Network {
     active_links: Vec<u32>,
     /// Membership bitmap for `active_links`.
     link_busy: Vec<bool>,
+    /// Observability collector; `None` (the default) leaves the metrics
+    /// hook as a single branch per cycle (see [`crate::metrics`]).
+    metrics: Option<Box<crate::metrics::Collector>>,
     /// Fault-injection runtime; `None` (the default) leaves every
     /// fault hook as a single branch per cycle.
     fault: Option<Box<fault::FaultState>>,
@@ -165,6 +168,8 @@ impl Network {
                 }
             }
         }
+        let metrics =
+            cfg.metrics.map(|bin| Box::new(crate::metrics::Collector::new(bin, n_links, n)));
         Ok(Self {
             cfg,
             topo,
@@ -183,6 +188,7 @@ impl Network {
             up_link,
             active_links: Vec::new(),
             link_busy: vec![false; n_links],
+            metrics,
             fault: None,
             survivors: None,
             #[cfg(feature = "sanitize")]
@@ -252,8 +258,38 @@ impl Network {
             total.va_blocked += r.pipeline.va_blocked;
             total.sa_grants += r.pipeline.sa_grants;
             total.sa_credit_starved += r.pipeline.sa_credit_starved;
+            total.sa_conflicts += r.pipeline.sa_conflicts;
         }
         total
+    }
+
+    /// Enable the observability collector at runtime with the given bin
+    /// width in cycles (equivalent to building the network with
+    /// [`NetConfig::with_metrics`]; see [`crate::metrics`]). Collection
+    /// starts at the current cycle; calling again resets it.
+    ///
+    /// # Panics
+    /// If `bin_width == 0`.
+    pub fn enable_metrics(&mut self, bin_width: u64) {
+        let mut c = crate::metrics::Collector::new(bin_width, self.links.len(), self.routers.len());
+        c.resync(&self.links, &self.routers, &self.stats);
+        self.metrics = Some(Box::new(c));
+    }
+
+    /// True when the observability collector is recording.
+    pub fn metrics_enabled(&self) -> bool {
+        self.metrics.is_some()
+    }
+
+    /// Snapshot the recorded metrics (flushing any partial bin), or
+    /// `None` when metrics were never enabled. The simulation can keep
+    /// running afterwards; later snapshots extend earlier ones.
+    pub fn metrics_snapshot(&mut self) -> Option<crate::metrics::MetricsSnapshot> {
+        let mut m = self.metrics.take()?;
+        let snap =
+            m.snapshot(self.cycle, self.topo.num_ports(), &self.routers, &self.links, &self.stats);
+        self.metrics = Some(m);
+        Some(snap)
     }
 
     /// Per-link carried-flit counts keyed by `(router, port)`.
@@ -362,6 +398,14 @@ impl Network {
         self.ejections(t, behavior);
         self.injections(t, behavior)?;
         self.route_and_switch(t)?;
+        if self.metrics.is_some() {
+            // take/put so the collector can read routers/links/stats
+            // without splitting borrows; it is a pointer move, and the
+            // collector never mutates engine state
+            let mut m = self.metrics.take().expect("checked is_some");
+            m.tick(t, &self.routers, &self.links, &self.stats);
+            self.metrics = Some(m);
+        }
         self.cycle = t + 1;
         #[cfg(feature = "sanitize")]
         self.sanitize_check()?;

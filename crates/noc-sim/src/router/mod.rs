@@ -63,6 +63,10 @@ pub struct PipelineStats {
     /// Active VCs that could not bid for the switch for lack of credits
     /// (per VC per cycle).
     pub sa_credit_starved: u64,
+    /// Input-stage switch nominations that lost output arbitration —
+    /// two or more input ports contended for the same output port in
+    /// the same cycle (per losing bid per cycle).
+    pub sa_conflicts: u64,
 }
 
 /// Context the router needs each cycle (shared, immutable).
@@ -170,6 +174,13 @@ impl Router {
     #[inline]
     pub fn is_idle(&self) -> bool {
         self.occupancy == 0
+    }
+
+    /// Flits currently buffered across all input VCs (O(1), maintained
+    /// incrementally — same value as [`Router::buffered_flits`]).
+    #[inline]
+    pub fn occupancy(&self) -> usize {
+        self.occupancy
     }
 
     /// Number of ports.
@@ -601,6 +612,7 @@ impl Router {
         }
 
         // output stage: one grant per output port
+        let mut granted = 0u64;
         for o in 0..ports {
             cands.clear();
             cands.extend(
@@ -660,6 +672,7 @@ impl Router {
                 }
             }
             self.pipeline.sa_grants += 1;
+            granted += 1;
             self.sa_in_ptr[in_port] = if in_vc + 1 == vcs { 0 } else { in_vc + 1 };
             self.sa_rr[o] = if in_port + 1 == ports { 0 } else { in_port + 1 };
             wins.push(SaWin {
@@ -671,6 +684,9 @@ impl Router {
                 is_tail,
             });
         }
+        // every nomination either won an output grant or collided with
+        // one that did
+        self.pipeline.sa_conflicts += requests.len() as u64 - granted;
         self.scratch_requests = requests;
         self.scratch_cands = cands;
         Ok(())

@@ -1,0 +1,131 @@
+//! The observability layer must be *observation only*: enabling
+//! metrics collection — at construction or mid-run — cannot change a
+//! single delivery. These property tests pin that with the delivery
+//! digest, a cycle-exact FNV-1a fingerprint of the full delivery
+//! stream: equal digests mean the instrumented and uninstrumented runs
+//! delivered exactly the same packets at exactly the same cycles.
+//!
+//! The CI matrix also runs this file with `--features sanitize`, so the
+//! per-cycle conservation sanitizer watches both runs too.
+
+use proptest::prelude::*;
+
+use noc_sim::config::{NetConfig, RoutingKind, TopologyKind};
+use noc_sim::flit::{Cycle, Delivered, PacketSpec};
+use noc_sim::network::{Network, NodeBehavior};
+use noc_sim::rng::SimRng;
+
+/// Bernoulli single-flit uniform-random injector, deterministic in its
+/// seed — both the instrumented and plain runs build identical copies.
+struct Injector {
+    rng: SimRng,
+    p: f64,
+    nodes: usize,
+    polled: Vec<Cycle>,
+}
+
+impl Injector {
+    fn new(nodes: usize, p: f64, seed: u64) -> Self {
+        Self { rng: SimRng::new(seed), p, nodes, polled: vec![Cycle::MAX; nodes] }
+    }
+}
+
+impl NodeBehavior for Injector {
+    fn pull(&mut self, node: usize, cycle: Cycle) -> Option<PacketSpec> {
+        // one Bernoulli draw per node per cycle, like the open-loop driver
+        if self.polled[node] == cycle {
+            return None;
+        }
+        self.polled[node] = cycle;
+        if !self.rng.chance(self.p) {
+            return None;
+        }
+        let dst = self.rng.below(self.nodes);
+        Some(PacketSpec { dst, size: 1, class: 0, payload: 0 })
+    }
+
+    fn deliver(&mut self, _node: usize, _d: &Delivered, _cycle: Cycle) {}
+}
+
+fn cfg_strategy() -> impl Strategy<Value = (NetConfig, u64, f64)> {
+    let topo =
+        prop_oneof![Just(TopologyKind::Mesh2D { k: 4 }), Just(TopologyKind::Torus2D { k: 4 }),];
+    let routing = prop_oneof![
+        Just(RoutingKind::Dor),
+        Just(RoutingKind::Valiant),
+        Just(RoutingKind::MinAdaptive),
+    ];
+    (topo, routing, 0u64..1000, 1u64..4).prop_map(|(t, r, seed, load)| {
+        let vcs = if matches!(r, RoutingKind::Dor) { 2 } else { 4 };
+        let cfg =
+            NetConfig::baseline().with_topology(t).with_routing(r).with_vcs(vcs).with_seed(seed);
+        (cfg, seed, load as f64 * 0.05)
+    })
+}
+
+/// Run `cycles` cycles and return the full stats fingerprint.
+fn run_plain(cfg: &NetConfig, p: f64, seed: u64, cycles: u64) -> (u64, u64, u64, u64) {
+    let mut net = Network::new(cfg.clone()).unwrap();
+    let mut b = Injector::new(net.num_nodes(), p, seed ^ 0xabcd);
+    net.run(cycles, &mut b);
+    let s = net.stats();
+    (s.delivery_digest, s.flits_injected, s.flits_ejected, s.packets_delivered)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    #[test]
+    fn metrics_on_is_bit_identical_to_metrics_off(
+        (cfg, seed, p) in cfg_strategy(),
+        bin in prop_oneof![Just(64u64), Just(128), Just(257)],
+    ) {
+        let cycles = 2_000;
+        let plain = run_plain(&cfg, p, seed, cycles);
+
+        let mut net = Network::new(cfg.clone().with_metrics(bin)).unwrap();
+        prop_assert!(net.metrics_enabled());
+        let mut b = Injector::new(net.num_nodes(), p, seed ^ 0xabcd);
+        net.run(cycles, &mut b);
+        let s = net.stats();
+        let instrumented =
+            (s.delivery_digest, s.flits_injected, s.flits_ejected, s.packets_delivered);
+        prop_assert_eq!(plain, instrumented,
+            "metrics collection perturbed the simulation (bin {})", bin);
+
+        // and the snapshot itself must conserve flits against the
+        // engine's own ledgers
+        let snap = net.metrics_snapshot().expect("metrics were enabled");
+        prop_assert_eq!(snap.cycles, cycles);
+        prop_assert_eq!(snap.flits_injected, plain.1);
+        prop_assert!(snap.check_conservation().is_ok(),
+            "channel totals must sum to the link ledger: {:?}", snap.check_conservation());
+        let series_total: f64 = snap.channels.iter().map(|c| c.flits.total()).sum();
+        prop_assert_eq!(series_total as u64, snap.link_flits,
+            "binned series must account for every link traversal");
+    }
+
+    #[test]
+    fn enabling_metrics_mid_run_is_also_invisible(
+        (cfg, seed, p) in cfg_strategy(),
+    ) {
+        let cycles = 2_000;
+        let plain = run_plain(&cfg, p, seed, cycles);
+
+        let mut net = Network::new(cfg.clone()).unwrap();
+        prop_assert!(!net.metrics_enabled());
+        let mut b = Injector::new(net.num_nodes(), p, seed ^ 0xabcd);
+        net.run(cycles / 2, &mut b);
+        net.enable_metrics(128);
+        net.run(cycles - cycles / 2, &mut b);
+        let s = net.stats();
+        let instrumented =
+            (s.delivery_digest, s.flits_injected, s.flits_ejected, s.packets_delivered);
+        prop_assert_eq!(plain, instrumented, "mid-run enable perturbed the simulation");
+
+        // the resynced collector baselines at the enable point, so the
+        // snapshot still conserves (totals are absolute ledger echoes)
+        let snap = net.metrics_snapshot().expect("metrics were enabled");
+        prop_assert!(snap.check_conservation().is_ok());
+    }
+}

@@ -6,13 +6,22 @@ use serde::{Deserialize, Serialize};
 ///
 /// Used throughout the harnesses for per-packet latency so that million-
 /// packet simulations never have to buffer individual samples.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct OnlineStats {
     n: u64,
     mean: f64,
     m2: f64,
     min: f64,
     max: f64,
+}
+
+/// Same as [`OnlineStats::new`]. A derived `Default` would zero-fill
+/// `min`/`max`, so an accumulator built via `Default` and pushed only
+/// positive samples would report `min = Some(0.0)`.
+impl Default for OnlineStats {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl OnlineStats {
@@ -213,6 +222,23 @@ mod tests {
         let mut one = OnlineStats::new();
         one.push(1.0);
         assert_eq!(one.ci95_half_width(), 0.0);
+    }
+
+    #[test]
+    fn default_matches_new() {
+        // regression: the derived Default zero-filled min/max, so a
+        // Default-built accumulator reported min = Some(0.0) after
+        // pushing only positive samples
+        let mut s = OnlineStats::default();
+        s.push(3.0);
+        s.push(7.0);
+        assert_eq!(s.min(), Some(3.0));
+        assert_eq!(s.max(), Some(7.0));
+        // and with only negative samples, max must not stick at 0.0
+        let mut neg = OnlineStats::default();
+        neg.push(-5.0);
+        assert_eq!(neg.min(), Some(-5.0));
+        assert_eq!(neg.max(), Some(-5.0));
     }
 
     #[test]

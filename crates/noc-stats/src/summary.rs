@@ -9,9 +9,17 @@ use crate::{percentile, OnlineStats};
 ///
 /// Unlike [`OnlineStats`], this stores every observation, so use it for
 /// per-node quantities (64–256 values), not per-packet quantities.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Summary {
     samples: Vec<f64>,
+}
+
+/// Same as [`Summary::new`]: kept manual (not derived) so the empty
+/// state has a single definition, mirroring [`OnlineStats`]'s fix.
+impl Default for Summary {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl Summary {
@@ -97,6 +105,14 @@ mod tests {
         assert_eq!(s.max(), None);
         assert_eq!(s.min(), None);
         assert_eq!(s.percentile(50.0), None);
+    }
+
+    #[test]
+    fn default_matches_new() {
+        let mut s = Summary::default();
+        assert!(s.is_empty());
+        s.push(4.0);
+        assert_eq!(s.min(), Some(4.0));
     }
 
     #[test]

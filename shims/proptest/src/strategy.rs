@@ -185,7 +185,7 @@ impl<T> Strategy for Union<T> {
     }
 }
 
-/// Strategy returned by [`vec`].
+/// Strategy returned by [`vec()`].
 pub struct VecStrategy<S> {
     elem: S,
     size: Range<usize>,
