@@ -24,6 +24,7 @@ struct Args {
     batch: u64,
     m: usize,
     metrics_out: Option<String>,
+    analytic: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -34,11 +35,17 @@ fn parse_args() -> Result<Args, String> {
     let mut batch = 1000u64;
     let mut m = 4usize;
     let mut metrics_out = None;
+    let mut analytic = false;
 
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < args.len() {
         let flag = args[i].as_str();
+        if flag == "--analytic" {
+            analytic = true;
+            i += 1;
+            continue;
+        }
         let val = args.get(i + 1).ok_or_else(|| format!("{flag} needs a value"))?;
         match flag {
             "--topology" => {
@@ -105,7 +112,7 @@ fn parse_args() -> Result<Args, String> {
         // writing a metrics file implies collecting metrics
         net = net.with_metrics(noc_sim::metrics::DEFAULT_BIN_WIDTH);
     }
-    Ok(Args { net, pattern, size, load, batch, m, metrics_out })
+    Ok(Args { net, pattern, size, load, batch, m, metrics_out, analytic })
 }
 
 /// Write the `noc-eval/metrics/v1` JSON, then read it back and
@@ -121,7 +128,7 @@ fn export_metrics(snap: &noc_sim::MetricsSnapshot, path: &str) -> Result<(), Str
 }
 
 fn main() {
-    let Args { net, pattern, size, load, batch, m, metrics_out } = match parse_args() {
+    let Args { net, pattern, size, load, batch, m, metrics_out, analytic } = match parse_args() {
         Ok(v) => v,
         Err(e) => {
             eprintln!("error: {e}");
@@ -131,7 +138,7 @@ fn main() {
             eprintln!("       --vcs N --buf N --tr N --arb rr|age --seed N");
             eprintln!("       --pattern uniform|transpose|bitcomp|bitrev|shuffle|tornado|neighbor");
             eprintln!("       --size 1|N|bimodal --load F --batch N --m N");
-            eprintln!("       --metrics BIN_WIDTH --metrics-out FILE.json");
+            eprintln!("       --metrics BIN_WIDTH --metrics-out FILE.json --analytic");
             std::process::exit(2);
         }
     };
@@ -162,6 +169,28 @@ fn main() {
         },
         size
     );
+
+    // Static analysis first: route enumeration plus the queueing model
+    // need no simulation, so the analytic view prints immediately.
+    let report = if analytic {
+        match noc_analytic::analyze(&net, pattern, size, load) {
+            Ok(rep) => {
+                println!("{}", rep.one_line());
+                for f in &rep.findings {
+                    println!("  [{}] {}: {}", f.severity, f.check, f.message);
+                }
+                println!("\n{}", noc_eval::load_heatmap(&rep.model));
+                Some(rep)
+            }
+            Err(e) => {
+                eprintln!("analytic model failed: {e}");
+                None
+            }
+        }
+    } else {
+        None
+    };
+    let analytic_net = net.clone();
 
     // the open-loop and batch views are independent simulations — run
     // them on both cores
@@ -219,5 +248,25 @@ fn main() {
             println!("  node spread     {:.2}x", worst / best.max(1.0));
         }
         Err(e) => println!("batch model failed: {e}"),
+    }
+
+    // Predicted-vs-measured overlay: a short open-loop sweep up to just
+    // past the predicted saturation point, plotted against the model's
+    // latency curve.
+    if let Some(rep) = &report {
+        let sat = rep.model.effective_saturation.min(1.0);
+        let loads: Vec<f64> = (1..=6).map(|i| 1.15 * sat * i as f64 / 6.0).collect();
+        let points = noc_openloop::sweep(
+            &OpenLoopConfig { net: analytic_net, pattern, size, ..OpenLoopConfig::default() },
+            &loads,
+        );
+        println!(
+            "\n{}",
+            noc_eval::analytic_overlay(
+                "predicted vs measured latency (cycles)",
+                &rep.model,
+                &points
+            )
+        );
     }
 }

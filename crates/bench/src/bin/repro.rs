@@ -91,6 +91,11 @@ fn main() {
     timed("ext_trace", || noc_eval::figures::ext_trace(&e).render());
     timed("ext_bottleneck", || noc_eval::figures::ext_bottleneck(&e).render());
     timed("metrics", || noc_eval::figures::metrics_showcase(&e).render());
+    timed("analytic", || {
+        let study = noc_eval::analytic_study(&noc_eval::default_cases(), &e, 300.0)
+            .expect("default analytic cases are valid configurations");
+        study.render()
+    });
     timed("sim_speed", || noc_eval::figures::sim_speed(&e));
 
     println!("[total: {:.1}s]", total.elapsed().as_secs_f64());

@@ -1,0 +1,359 @@
+//! Cross-validation of the static analytic model against the
+//! simulator, in the same spirit as the paper's open-vs-batch
+//! correlation study: predict each configuration's saturation
+//! throughput with `noc-analytic`, measure it with `noc-openloop`'s
+//! bisection search, and report per-case relative errors plus the
+//! Pearson correlation. Results export to the `noc-eval/analytic/v1`
+//! JSON schema (hand-rolled emission, tolerant line-scanning parse —
+//! the same discipline as `noc-eval/metrics/v1`).
+
+use noc_analytic::AnalyticModel;
+use noc_openloop::{saturation_throughput, OpenLoopConfig, SweepPoint};
+use noc_sim::config::{NetConfig, TopologyKind};
+use noc_sim::error::ConfigError;
+use noc_stats::pearson;
+use noc_traffic::{PatternKind, SizeKind};
+use serde::{Deserialize, Serialize};
+
+use crate::effort::Effort;
+use crate::figures::extract_num;
+
+/// Schema tag emitted and required by this module.
+pub const ANALYTIC_SCHEMA: &str = "noc-eval/analytic/v1";
+
+/// One cross-validation case: a labeled `(network, pattern)` point.
+pub type AnalyticCase = (String, NetConfig, PatternKind);
+
+/// The default cross-validation set: DOR meshes and tori the verifier
+/// certifies deadlock-free, under patterns whose matrices are exact.
+pub fn default_cases() -> Vec<AnalyticCase> {
+    let mesh = |k| NetConfig::baseline().with_topology(TopologyKind::Mesh2D { k });
+    let torus = |k| NetConfig::baseline().with_topology(TopologyKind::Torus2D { k });
+    vec![
+        ("mesh4/uniform".into(), mesh(4), PatternKind::Uniform),
+        ("mesh8/uniform".into(), mesh(8), PatternKind::Uniform),
+        ("torus4/uniform".into(), torus(4), PatternKind::Uniform),
+        ("torus8/uniform".into(), torus(8), PatternKind::Uniform),
+        ("mesh8/transpose".into(), mesh(8), PatternKind::Transpose),
+        ("torus8/tornado".into(), torus(8), PatternKind::Tornado),
+    ]
+}
+
+/// One case's predicted vs measured saturation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AnalyticPoint {
+    /// Case label.
+    pub label: String,
+    /// True when `noc_verify` certifies the configuration (the model's
+    /// accuracy contract only covers certified configs).
+    pub certified: bool,
+    /// Capacity bound `1 / max_channel_load`.
+    pub ideal: f64,
+    /// Model-predicted saturation throughput.
+    pub predicted: f64,
+    /// Simulator bisection bracket (stable side).
+    pub measured_lo: f64,
+    /// Simulator bisection bracket (unstable side).
+    pub measured_hi: f64,
+    /// `|predicted - measured| / measured` with measured the bracket
+    /// midpoint.
+    pub rel_err: f64,
+}
+
+/// Outcome of the cross-validation study.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AnalyticStudy {
+    /// Latency cap used on both sides of the comparison.
+    pub latency_cap: f64,
+    /// Per-case results.
+    pub points: Vec<AnalyticPoint>,
+    /// Pearson correlation of predicted vs measured saturation.
+    pub r: Option<f64>,
+    /// Worst per-case relative error.
+    pub max_rel_err: f64,
+    /// Mean per-case relative error.
+    pub mean_rel_err: f64,
+}
+
+/// Run the study: one analytic model plus one simulator bisection per
+/// case, fanned out through `noc_exp::run_grid`.
+pub fn analytic_study(
+    cases: &[AnalyticCase],
+    effort: &Effort,
+    latency_cap: f64,
+) -> Result<AnalyticStudy, ConfigError> {
+    let raw = noc_exp::run_grid(cases, |_, (label, net, pattern)| {
+        let model = AnalyticModel::of(net, *pattern, SizeKind::Fixed(1))?;
+        let predicted = model.predicted_saturation(latency_cap);
+        let certified = noc_verify::verify(net).is_certified();
+        let cfg = OpenLoopConfig {
+            net: net.clone(),
+            pattern: *pattern,
+            warmup: effort.warmup,
+            measure: effort.measure,
+            drain_max: effort.drain,
+            ..OpenLoopConfig::default()
+        };
+        let (lo, hi) = saturation_throughput(&cfg, latency_cap, 0.02)?;
+        let measured = 0.5 * (lo + hi);
+        let rel_err =
+            if measured > 0.0 { (predicted - measured).abs() / measured } else { f64::INFINITY };
+        Ok(AnalyticPoint {
+            label: label.clone(),
+            certified,
+            ideal: model.ideal_saturation,
+            predicted,
+            measured_lo: lo,
+            measured_hi: hi,
+            rel_err,
+        })
+    });
+    let points = raw.into_iter().collect::<Result<Vec<_>, ConfigError>>()?;
+    let x: Vec<f64> = points.iter().map(|p| p.predicted).collect();
+    let y: Vec<f64> = points.iter().map(|p| 0.5 * (p.measured_lo + p.measured_hi)).collect();
+    let max_rel_err = points.iter().map(|p| p.rel_err).fold(0.0, f64::max);
+    let mean_rel_err = if points.is_empty() {
+        0.0
+    } else {
+        points.iter().map(|p| p.rel_err).sum::<f64>() / points.len() as f64
+    };
+    Ok(AnalyticStudy { latency_cap, points, r: pearson(&x, &y), max_rel_err, mean_rel_err })
+}
+
+impl AnalyticStudy {
+    /// Text report: one line per case plus the summary statistics.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "== analytic cross-validation (latency cap {} cycles) ==\n\
+             {:<18} {:>6} {:>9} {:>9} {:>19} {:>8}\n",
+            self.latency_cap, "case", "cert", "ideal", "predicted", "measured [lo, hi]", "rel err",
+        );
+        for p in &self.points {
+            out.push_str(&format!(
+                "{:<18} {:>6} {:>9.4} {:>9.4}    [{:.4}, {:.4}] {:>7.1}%\n",
+                p.label,
+                if p.certified { "yes" } else { "no" },
+                p.ideal,
+                p.predicted,
+                p.measured_lo,
+                p.measured_hi,
+                100.0 * p.rel_err,
+            ));
+        }
+        out.push_str(&format!(
+            "r = {}, max rel err {:.1}%, mean rel err {:.1}%\n",
+            self.r.map(|r| format!("{r:.4}")).unwrap_or_else(|| "n/a".into()),
+            100.0 * self.max_rel_err,
+            100.0 * self.mean_rel_err,
+        ));
+        out
+    }
+}
+
+/// Serialize a study to the `noc-eval/analytic/v1` schema: one point
+/// record per line so the parser (and grep) can scan line by line.
+pub fn analytic_to_json(s: &AnalyticStudy) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"schema\": \"{ANALYTIC_SCHEMA}\",\n"));
+    out.push_str(&format!("  \"latency_cap\": {},\n", s.latency_cap));
+    out.push_str(&format!(
+        "  \"r\": {},\n",
+        s.r.map(|r| format!("{r:.6}")).unwrap_or_else(|| "null".into())
+    ));
+    out.push_str(&format!("  \"max_rel_err\": {:.6},\n", s.max_rel_err));
+    out.push_str(&format!("  \"mean_rel_err\": {:.6},\n", s.mean_rel_err));
+    out.push_str("  \"points\": [\n");
+    for (i, p) in s.points.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"label\": \"{}\", \"certified\": {}, \"ideal\": {:.6}, \
+             \"predicted\": {:.6}, \"measured_lo\": {:.6}, \"measured_hi\": {:.6}, \
+             \"rel_err\": {:.6}}}{}\n",
+            p.label,
+            p.certified,
+            p.ideal,
+            p.predicted,
+            p.measured_lo,
+            p.measured_hi,
+            p.rel_err,
+            if i + 1 == s.points.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Extract a quoted string field from a JSON-ish line.
+fn extract_str<'a>(line: &'a str, prefix: &str) -> Option<&'a str> {
+    let rest = &line[line.find(prefix)? + prefix.len()..];
+    rest.split('"').next()
+}
+
+/// Tolerant parse of the `noc-eval/analytic/v1` schema: requires the
+/// schema header, then scans line by line. Returns an error string on
+/// any structural problem, never a panic.
+pub fn parse_analytic_json(text: &str) -> Result<AnalyticStudy, String> {
+    if !text.contains(&format!("\"schema\": \"{ANALYTIC_SCHEMA}\"")) {
+        return Err(format!("unrecognized schema (expected {ANALYTIC_SCHEMA})"));
+    }
+    let top = |key: &str| -> Result<f64, String> {
+        text.lines()
+            .filter(|l| !l.contains("\"label\""))
+            .find_map(|l| extract_num(l, &format!("\"{key}\": ")))
+            .ok_or_else(|| format!("missing top-level field \"{key}\""))
+    };
+    let latency_cap = top("latency_cap")?;
+    let max_rel_err = top("max_rel_err")?;
+    let mean_rel_err = top("mean_rel_err")?;
+    let r =
+        text.lines().filter(|l| !l.contains("\"label\"")).find_map(|l| extract_num(l, "\"r\": "));
+    let mut points = Vec::new();
+    for line in text.lines() {
+        let Some(label) = extract_str(line, "\"label\": \"") else { continue };
+        let num = |key: &str| {
+            extract_num(line, &format!("\"{key}\": "))
+                .ok_or_else(|| format!("malformed point record ({key}): {}", line.trim()))
+        };
+        points.push(AnalyticPoint {
+            label: label.to_string(),
+            certified: line.contains("\"certified\": true"),
+            ideal: num("ideal")?,
+            predicted: num("predicted")?,
+            measured_lo: num("measured_lo")?,
+            measured_hi: num("measured_hi")?,
+            rel_err: num("rel_err")?,
+        });
+    }
+    if points.is_empty() {
+        return Err("schema header found but no point records parsed".into());
+    }
+    Ok(AnalyticStudy { latency_cap, points, r, max_rel_err, mean_rel_err })
+}
+
+/// Overlay the model's predicted latency-load curve on measured sweep
+/// points, as an ASCII plot.
+pub fn analytic_overlay(title: &str, model: &AnalyticModel, measured: &[SweepPoint]) -> String {
+    let max_load = measured.iter().map(|p| p.load).fold(0.0, f64::max).max(1e-6);
+    let dense: Vec<f64> = (1..=64).map(|i| max_load * i as f64 / 64.0).collect();
+    let predicted = model.curve(&dense);
+    // unstable measured points sit at effectively unbounded latency;
+    // clip the overlay to stable ones so the y-range stays readable
+    let meas: Vec<(f64, f64)> = measured
+        .iter()
+        .filter(|p| p.result.stable)
+        .map(|p| (p.load, p.result.avg_latency))
+        .collect();
+    crate::plot::ascii_plot(
+        title,
+        &[
+            crate::plot::Series { label: "predicted", points: &predicted },
+            crate::plot::Series { label: "measured", points: &meas },
+        ],
+        64,
+        14,
+    )
+}
+
+/// The analytic channel-load heatmap: per-router peak outgoing expected
+/// load on a `k x k` grid (same shape as the measured
+/// [`crate::figures::metrics_heatmap`]).
+pub fn load_heatmap(model: &AnalyticModel) -> String {
+    let n = model.nodes;
+    let k = (n as f64).sqrt().round() as usize;
+    let peaks = model.loads.per_router_peak();
+    if k * k != n || n == 0 {
+        let mut out = String::new();
+        let mut channels = model.loads.channels();
+        channels.sort_by(|a, b| b.load.partial_cmp(&a.load).expect("loads are finite"));
+        for c in channels.into_iter().take(8) {
+            out.push_str(&format!(
+                "channel at router {} port {}: {:.3} per unit load\n",
+                c.node, c.port, c.load
+            ));
+        }
+        return out;
+    }
+    crate::plot::ascii_heatmap(
+        "expected peak outgoing channel load per router (rows are y):",
+        &peaks,
+        k,
+        "traversals per unit offered load",
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noc_analytic::Confidence;
+
+    fn tiny_study() -> AnalyticStudy {
+        let cases = vec![(
+            "mesh4/uniform".to_string(),
+            NetConfig::baseline().with_topology(TopologyKind::Mesh2D { k: 4 }),
+            PatternKind::Uniform,
+        )];
+        analytic_study(&cases, &Effort::quick(), 300.0).unwrap()
+    }
+
+    #[test]
+    fn study_predicts_within_tolerance_on_mesh4() {
+        let s = tiny_study();
+        assert_eq!(s.points.len(), 1);
+        let p = &s.points[0];
+        assert!(p.certified);
+        assert!(
+            p.rel_err < 0.15,
+            "rel err {:.3} (pred {} vs [{}, {}])",
+            p.rel_err,
+            p.predicted,
+            p.measured_lo,
+            p.measured_hi
+        );
+        assert!(s.render().contains("mesh4/uniform"));
+    }
+
+    #[test]
+    fn json_round_trips_through_own_parser() {
+        let s = tiny_study();
+        let json = analytic_to_json(&s);
+        assert!(json.contains(ANALYTIC_SCHEMA));
+        let parsed = parse_analytic_json(&json).unwrap();
+        assert_eq!(parsed.points.len(), s.points.len());
+        assert_eq!(parsed.latency_cap, s.latency_cap);
+        for (a, b) in parsed.points.iter().zip(&s.points) {
+            assert_eq!(a.label, b.label);
+            assert_eq!(a.certified, b.certified);
+            assert!((a.predicted - b.predicted).abs() < 1e-5);
+            assert!((a.measured_lo - b.measured_lo).abs() < 1e-5);
+            assert!((a.rel_err - b.rel_err).abs() < 1e-5);
+        }
+        assert!((parsed.max_rel_err - s.max_rel_err).abs() < 1e-5);
+        if let (Some(pr), Some(sr)) = (parsed.r, s.r) {
+            assert!((pr - sr).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn foreign_or_corrupt_json_degrades_without_panicking() {
+        assert!(parse_analytic_json("{}").is_err());
+        assert!(parse_analytic_json("{\"schema\": \"noc-eval/metrics/v1\"}").is_err());
+        let hollow = format!(
+            "{{\"schema\": \"{ANALYTIC_SCHEMA}\",\n\"latency_cap\": 300,\n\
+             \"max_rel_err\": 0,\n\"mean_rel_err\": 0,\n\"points\": []\n}}"
+        );
+        assert!(parse_analytic_json(&hollow).is_err());
+    }
+
+    #[test]
+    fn overlay_and_heatmap_render() {
+        let net = NetConfig::baseline().with_topology(TopologyKind::Mesh2D { k: 4 });
+        let model = AnalyticModel::of(&net, PatternKind::Uniform, SizeKind::Fixed(1)).unwrap();
+        assert_eq!(model.confidence, Confidence::High);
+        let cfg = OpenLoopConfig { net, ..OpenLoopConfig::default() }.quick();
+        let sweep = noc_openloop::sweep(&cfg, &[0.1, 0.3]);
+        let overlay = analytic_overlay("mesh4 uniform", &model, &sweep);
+        assert!(overlay.contains("predicted") && overlay.contains("measured"));
+        let hm = load_heatmap(&model);
+        assert!(hm.contains("scale"), "{hm}");
+        assert_eq!(hm.lines().count(), 1 + 4 + 1, "4x4 grid plus header and legend");
+    }
+}

@@ -227,7 +227,8 @@ pub fn ext_barrier(effort: &Effort) -> ExtBarrier {
         },
         300.0,
         0.02,
-    );
+    )
+    .expect("valid saturation search parameters");
     let batch = run_batch(&BatchConfig {
         net: NetConfig::baseline(),
         batch: effort.batch,

@@ -142,8 +142,6 @@ pub fn validate_metrics_json(
     Ok(parsed)
 }
 
-const SHADES: &[u8] = b" .:-=+*#%@";
-
 /// ASCII link-saturation heatmap: one cell per router on a `k x k`
 /// grid, shaded by the utilization of the router's busiest *outgoing*
 /// channel relative to the network-wide peak. Falls back to a flat
@@ -151,17 +149,8 @@ const SHADES: &[u8] = b" .:-=+*#%@";
 pub fn metrics_heatmap(s: &MetricsSnapshot) -> String {
     let n = s.routers.len();
     let k = (n as f64).sqrt().round() as usize;
-    let peak_util = |r: usize| -> f64 {
-        s.channels
-            .iter()
-            .filter(|c| c.src == r)
-            .map(|c| c.utilization(s.cycles))
-            .fold(0.0, f64::max)
-    };
-    let utils: Vec<f64> = (0..n).map(peak_util).collect();
-    let max = utils.iter().cloned().fold(0.0, f64::max);
-    let mut out = String::new();
     if k * k != n || n == 0 {
+        let mut out = String::new();
         for c in s.hottest_channels().into_iter().take(8) {
             out.push_str(&format!(
                 "channel {} -> {} (port {}): {:.3} flits/cycle\n",
@@ -173,22 +162,20 @@ pub fn metrics_heatmap(s: &MetricsSnapshot) -> String {
         }
         return out;
     }
-    out.push_str("busiest outgoing channel per router (rows are y):\n");
-    for y in 0..k {
-        out.push_str("  ");
-        for x in 0..k {
-            let u = utils[y * k + x];
-            let idx = if max <= 0.0 {
-                0
-            } else {
-                ((u / max) * (SHADES.len() - 1) as f64).round() as usize
-            };
-            out.push(SHADES[idx.min(SHADES.len() - 1)] as char);
-        }
-        out.push('\n');
-    }
-    out.push_str(&format!("  scale: ' ' = idle .. '@' = {max:.3} flits/cycle\n"));
-    out
+    let peak_util = |r: usize| -> f64 {
+        s.channels
+            .iter()
+            .filter(|c| c.src == r)
+            .map(|c| c.utilization(s.cycles))
+            .fold(0.0, f64::max)
+    };
+    let utils: Vec<f64> = (0..n).map(peak_util).collect();
+    crate::plot::ascii_heatmap(
+        "busiest outgoing channel per router (rows are y):",
+        &utils,
+        k,
+        "flits/cycle",
+    )
 }
 
 /// One-line description of a channel's saturation behavior.

@@ -12,6 +12,8 @@ mod metrics;
 mod openloop;
 mod system;
 
+pub(crate) use system::extract_num;
+
 pub use closedloop::*;
 pub use correlation::*;
 pub use extensions::*;

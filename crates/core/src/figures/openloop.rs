@@ -70,7 +70,8 @@ pub fn fig01(effort: &Effort) -> Fig01 {
         &base_openloop(net, PatternKind::Uniform, effort),
         300.0,
         0.02,
-    );
+    )
+    .expect("valid saturation search parameters");
     Fig01 { zero_load: curve.first_y().unwrap_or(0.0), saturation: sat, curve }
 }
 

@@ -16,9 +16,14 @@
 //! * [`report`] — text tables and CSV output.
 //! * [`effort`] — scaling knobs: `quick` for tests, `paper` for the full
 //!   reproduction.
+//! * [`analytic`] — cross-validation of `noc-analytic`'s static
+//!   predictions against the simulator, exported as
+//!   `noc-eval/analytic/v1` JSON, plus predicted-vs-measured overlays
+//!   and static channel-load heatmaps.
 
 #![warn(missing_docs)]
 
+pub mod analytic;
 pub mod bridge;
 pub mod correlate;
 pub mod effort;
@@ -26,6 +31,10 @@ pub mod figures;
 pub mod plot;
 pub mod report;
 
+pub use analytic::{
+    analytic_overlay, analytic_study, analytic_to_json, default_cases, load_heatmap,
+    parse_analytic_json, AnalyticPoint, AnalyticStudy, ANALYTIC_SCHEMA,
+};
 pub use bridge::{batch_for_profile, BatchExtension};
 pub use correlate::{correlate_cmp_batch, correlate_open_batch, CmpBatchOutcome, OpenBatchOutcome};
 pub use effort::Effort;

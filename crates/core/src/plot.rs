@@ -13,6 +13,34 @@ pub struct Series<'a> {
 
 const MARKS: &[u8] = b"*o+x#@%&";
 
+const SHADES: &[u8] = b" .:-=+*#%@";
+
+/// Render one value per router on a `k x k` grid (row-major, rows are
+/// y), shaded relative to the grid's own maximum, with a header line
+/// above and a scale legend (in `unit`) below. The shared renderer
+/// behind the measured link-saturation heatmap and the analytic
+/// channel-load heatmap.
+pub fn ascii_heatmap(header: &str, values: &[f64], k: usize, unit: &str) -> String {
+    debug_assert_eq!(values.len(), k * k);
+    let max = values.iter().cloned().fold(0.0, f64::max);
+    let mut out = format!("{header}\n");
+    for y in 0..k {
+        out.push_str("  ");
+        for x in 0..k {
+            let v = values[y * k + x];
+            let idx = if max <= 0.0 {
+                0
+            } else {
+                ((v / max) * (SHADES.len() - 1) as f64).round() as usize
+            };
+            out.push(SHADES[idx.min(SHADES.len() - 1)] as char);
+        }
+        out.push('\n');
+    }
+    out.push_str(&format!("  scale: ' ' = idle .. '@' = {max:.3} {unit}\n"));
+    out
+}
+
 /// Render series into a `width x height` character grid with axes and a
 /// legend. Non-finite points are skipped; an empty plot renders a frame.
 pub fn ascii_plot(title: &str, series: &[Series<'_>], width: usize, height: usize) -> String {

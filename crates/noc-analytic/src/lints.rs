@@ -1,0 +1,135 @@
+//! Static performance lints: findings derived from the load map alone,
+//! reported through `noc-verify`'s `Finding` machinery so they compose
+//! with the deadlock analysis in reports.
+
+use noc_sim::config::{Arbitration, NetConfig};
+use noc_verify::{Finding, Severity};
+
+use crate::model::{AnalyticModel, Confidence};
+
+/// Imbalance ratio past which the load distribution is flagged.
+pub const IMBALANCE_WARNING: f64 = 3.0;
+
+/// Run the analytic lints for `model` at offered load `load`
+/// (flits/cycle/node). Findings use the same `check` identifiers
+/// discipline as `noc_verify::verify`.
+pub fn lints(model: &AnalyticModel, net: &NetConfig, load: f64) -> Vec<Finding> {
+    let mut findings = Vec::new();
+
+    // Channels statically driven at or past 100% utilization: the
+    // offered load is unsustainable regardless of router quality.
+    let over = model.overloaded_channels(load);
+    if let Some(worst) =
+        over.iter().max_by(|a, b| a.load.partial_cmp(&b.load).expect("loads are finite"))
+    {
+        findings.push(Finding {
+            severity: Severity::Warning,
+            check: "channel-overload",
+            message: format!(
+                "offered load {load:.3} drives {} channel(s) at or past capacity; the worst \
+                 (router {}, port {}) would need {:.2} flits/cycle against a capacity of 1 — \
+                 no stable operating point exists above {:.3} flits/cycle/node",
+                over.len(),
+                worst.node,
+                worst.port,
+                load * worst.load,
+                model.ideal_saturation,
+            ),
+        });
+    }
+
+    // Static load imbalance: a hot channel saturates long before the
+    // average one, wasting most of the bisection bandwidth.
+    let imb = model.loads.imbalance();
+    if imb >= IMBALANCE_WARNING {
+        let hot = model.loads.hottest().expect("imbalanced map has a hottest channel");
+        findings.push(Finding {
+            severity: Severity::Warning,
+            check: "load-imbalance",
+            message: format!(
+                "expected channel loads are {imb:.1}x imbalanced (hottest: router {}, port {} \
+                 at {:.3} per unit load); load-balanced routing (Valiant/ROMM) or adaptive \
+                 routing would spread this pattern",
+                hot.node, hot.port, hot.load,
+            ),
+        });
+    }
+
+    // Starvation-prone pairing: round-robin arbitration on a heavily
+    // imbalanced load keeps granting the hot input ports in turn, so a
+    // packet on a cold port behind a hot merge point can wait
+    // unboundedly in the worst case; age-based arbitration bounds it.
+    if net.arbitration == Arbitration::RoundRobin && imb >= IMBALANCE_WARNING {
+        findings.push(Finding {
+            severity: Severity::Info,
+            check: "arbitration-starvation",
+            message: format!(
+                "round-robin arbitration with {imb:.1}x load imbalance is starvation-prone at \
+                 the hot merge points; age-based arbitration bounds worst-case packet wait",
+            ),
+        });
+    }
+
+    if model.confidence == Confidence::Low {
+        findings.push(Finding {
+            severity: Severity::Info,
+            check: "analytic-confidence",
+            message: "adaptive routing: channel loads are an equal-split flow approximation; \
+                      predictions are indicative and grid pruning is disabled"
+                .into(),
+        });
+    }
+
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noc_sim::config::{RoutingKind, TopologyKind};
+    use noc_traffic::{PatternKind, SizeKind};
+
+    fn model(net: &NetConfig, pat: PatternKind) -> AnalyticModel {
+        AnalyticModel::of(net, pat, SizeKind::Fixed(1)).unwrap()
+    }
+
+    #[test]
+    fn overload_fires_past_capacity_only() {
+        let net = NetConfig::baseline().with_topology(TopologyKind::Mesh2D { k: 4 });
+        let m = model(&net, PatternKind::Uniform);
+        let low = lints(&m, &net, 0.2);
+        assert!(!low.iter().any(|f| f.check == "channel-overload"), "{low:?}");
+        let over = lints(&m, &net, 1.0);
+        assert!(over.iter().any(|f| f.check == "channel-overload"));
+    }
+
+    #[test]
+    fn hotspot_triggers_imbalance_and_starvation_lints() {
+        let net = NetConfig::baseline().with_topology(TopologyKind::Mesh2D { k: 4 });
+        let m = model(&net, PatternKind::Hotspot { node: 5, frac: 0.6 });
+        assert!(m.loads.imbalance() >= IMBALANCE_WARNING, "imbalance {}", m.loads.imbalance());
+        let fs = lints(&m, &net, 0.1);
+        assert!(fs.iter().any(|f| f.check == "load-imbalance"));
+        assert!(fs.iter().any(|f| f.check == "arbitration-starvation"));
+        // age-based arbitration clears the starvation pairing
+        let aged = net.with_arbitration(Arbitration::AgeBased);
+        let fs = lints(&m, &aged, 0.1);
+        assert!(!fs.iter().any(|f| f.check == "arbitration-starvation"));
+    }
+
+    #[test]
+    fn uniform_baseline_is_clean() {
+        let net = NetConfig::baseline();
+        let m = model(&net, PatternKind::Uniform);
+        assert!(lints(&m, &net, 0.2).is_empty());
+    }
+
+    #[test]
+    fn adaptive_confidence_note_present() {
+        let net = NetConfig::baseline()
+            .with_topology(TopologyKind::Mesh2D { k: 4 })
+            .with_routing(RoutingKind::MinAdaptive);
+        let m = model(&net, PatternKind::Uniform);
+        assert!(lints(&m, &net, 0.1).iter().any(|f| f.check == "analytic-confidence"));
+    }
+}

@@ -1,0 +1,92 @@
+//! The calibration scan behind the model's flow-control efficiency
+//! regime constants ([`noc_analytic::RANDOM_EFFICIENCY`] and friends).
+//! Ignored by default — it simulates a minute's worth of bisection
+//! searches. Rerun it when the router microarchitecture changes:
+//!
+//! ```text
+//! cargo test --release -p noc-analytic --test calibrate -- --ignored --nocapture
+//! ```
+//!
+//! `meas/ideal` is the empirical efficiency for each regime; if a
+//! constant has drifted, the final assertion (the same 15% contract CI
+//! enforces) fails.
+
+use noc_analytic::AnalyticModel;
+use noc_openloop::{saturation_throughput, OpenLoopConfig};
+use noc_sim::config::{NetConfig, TopologyKind};
+use noc_traffic::{PatternKind, SizeKind};
+
+#[test]
+#[ignore]
+fn calibration_scan() {
+    let cases: Vec<(&str, NetConfig, PatternKind)> = vec![
+        (
+            "mesh4/uniform",
+            NetConfig::baseline().with_topology(TopologyKind::Mesh2D { k: 4 }),
+            PatternKind::Uniform,
+        ),
+        (
+            "mesh8/uniform",
+            NetConfig::baseline().with_topology(TopologyKind::Mesh2D { k: 8 }),
+            PatternKind::Uniform,
+        ),
+        (
+            "torus4/uniform",
+            NetConfig::baseline().with_topology(TopologyKind::Torus2D { k: 4 }),
+            PatternKind::Uniform,
+        ),
+        (
+            "torus8/uniform",
+            NetConfig::baseline().with_topology(TopologyKind::Torus2D { k: 8 }),
+            PatternKind::Uniform,
+        ),
+        (
+            "mesh4/transpose",
+            NetConfig::baseline().with_topology(TopologyKind::Mesh2D { k: 4 }),
+            PatternKind::Transpose,
+        ),
+        (
+            "mesh8/transpose",
+            NetConfig::baseline().with_topology(TopologyKind::Mesh2D { k: 8 }),
+            PatternKind::Transpose,
+        ),
+        (
+            "torus8/tornado",
+            NetConfig::baseline().with_topology(TopologyKind::Torus2D { k: 8 }),
+            PatternKind::Tornado,
+        ),
+        (
+            "mesh8/hotspot",
+            NetConfig::baseline().with_topology(TopologyKind::Mesh2D { k: 8 }),
+            PatternKind::Hotspot { node: 27, frac: 0.2 },
+        ),
+    ];
+    for (label, net, pat) in cases {
+        let model = AnalyticModel::of(&net, pat, SizeKind::Fixed(1)).unwrap();
+        let cfg = OpenLoopConfig {
+            net: net.clone(),
+            pattern: pat,
+            warmup: 3_000,
+            measure: 8_000,
+            drain_max: 50_000,
+            ..OpenLoopConfig::default()
+        };
+        let (lo, hi) = saturation_throughput(&cfg, 300.0, 0.02).unwrap();
+        let measured = 0.5 * (lo + hi);
+        let ideal = model.ideal_saturation;
+        let pred = model.predicted_saturation(300.0);
+        println!(
+            "{label:16} ideal {ideal:.4}  pred {pred:.4}  measured {measured:.4}  \
+             meas/ideal {:.3}  pred/meas {:.3}  T0 {:.1}",
+            measured / ideal,
+            pred / measured,
+            model.zero_load_latency,
+        );
+        let rel_err = (pred - measured).abs() / measured;
+        assert!(
+            rel_err < 0.15,
+            "{label}: rel err {:.1}% — a regime constant has drifted",
+            100.0 * rel_err
+        );
+    }
+}

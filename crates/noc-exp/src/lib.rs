@@ -15,6 +15,10 @@
 //!   `i` with `derive_seed(base, i)` in both their serial and parallel
 //!   paths, which (a) decorrelates points that previously shared one
 //!   seed and (b) makes determinism independent of evaluation order.
+//! * [`run_grid_pruned`] adds a cheap serial pre-pass (e.g. the
+//!   `noc-analytic` model) that can answer points outright; only the
+//!   remaining points are simulated, each under its original index so
+//!   evaluated results stay bit-identical to the unpruned grid.
 //!
 //! The build environment has no registry access, so instead of rayon
 //! this is a ~100-line scoped-thread pool. The thread count honors
@@ -125,6 +129,80 @@ where
     slots.into_iter().map(|r| r.expect("every grid index evaluated exactly once")).collect()
 }
 
+/// Result of [`run_grid_pruned`]: every point's result plus which
+/// points were answered by the (cheap) prune pass instead of being
+/// evaluated.
+#[derive(Debug, Clone)]
+pub struct PrunedGrid<R> {
+    /// One result per input point, in point order. Pruned points carry
+    /// the prune closure's answer; the rest carry `eval`'s.
+    pub results: Vec<R>,
+    /// `skipped[i]` is true iff point `i` was answered by the prune
+    /// pass (i.e. `eval` never ran for it).
+    pub skipped: Vec<bool>,
+}
+
+impl<R> PrunedGrid<R> {
+    /// Number of points answered without evaluation.
+    pub fn skipped_count(&self) -> usize {
+        self.skipped.iter().filter(|&&s| s).count()
+    }
+
+    /// Number of points that were actually evaluated.
+    pub fn evaluated_count(&self) -> usize {
+        self.skipped.len() - self.skipped_count()
+    }
+
+    /// One-line `"simulated X of Y points (Z skipped)"` summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "simulated {} of {} points ({} skipped by the analytic model)",
+            self.evaluated_count(),
+            self.skipped.len(),
+            self.skipped_count()
+        )
+    }
+}
+
+/// [`run_grid`] with a cheap pre-pass that can answer points without
+/// evaluating them.
+///
+/// `prune(i, &points[i])` runs serially first (it is expected to cost
+/// microseconds — e.g. an analytic model); every `Some(result)` answers
+/// that point outright. Only the `None` points are then evaluated via
+/// [`run_grid`], **with their original point indices**, so an evaluated
+/// point's result is bit-identical to what the unpruned grid would have
+/// produced for it (seed derivation keys on the index, not on the
+/// schedule).
+pub fn run_grid_pruned<T, R, P, F>(points: &[T], prune: P, eval: F) -> PrunedGrid<R>
+where
+    T: Sync,
+    R: Send,
+    P: Fn(usize, &T) -> Option<R>,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let mut slots: Vec<Option<R>> = points.iter().map(|_| None).collect();
+    let mut skipped = vec![false; points.len()];
+    let mut to_eval: Vec<usize> = Vec::new();
+    for (i, p) in points.iter().enumerate() {
+        match prune(i, p) {
+            Some(r) => {
+                slots[i] = Some(r);
+                skipped[i] = true;
+            }
+            None => to_eval.push(i),
+        }
+    }
+    let evaluated = run_grid(&to_eval, |_, &i| eval(i, &points[i]));
+    for (&i, r) in to_eval.iter().zip(evaluated) {
+        slots[i] = Some(r);
+    }
+    PrunedGrid {
+        results: slots.into_iter().map(|r| r.expect("every point answered")).collect(),
+        skipped,
+    }
+}
+
 /// Run two independent closures concurrently and return both results.
 ///
 /// The heterogeneous companion to [`run_grid`] — e.g. an open-loop
@@ -182,6 +260,40 @@ mod tests {
         assert_eq!(uniq.len(), 64, "seed collisions");
         assert_ne!(derive_seed(42, 0), 42, "point 0 must not reuse the base seed");
         assert_ne!(derive_seed(1, 0), derive_seed(2, 0), "base seed must matter");
+    }
+
+    #[test]
+    fn pruned_grid_matches_unpruned_on_evaluated_points() {
+        let points: Vec<u64> = (0..50).collect();
+        let full = run_grid(&points, |i, &p| (i as u64) * 1000 + p);
+        // prune every even point with a sentinel answer
+        let pruned = run_grid_pruned(
+            &points,
+            |_, &p| (p % 2 == 0).then_some(u64::MAX - p),
+            |i, &p| (i as u64) * 1000 + p,
+        );
+        assert_eq!(pruned.skipped_count(), 25);
+        assert_eq!(pruned.evaluated_count(), 25);
+        for (i, &p) in points.iter().enumerate() {
+            if pruned.skipped[i] {
+                assert_eq!(pruned.results[i], u64::MAX - p);
+            } else {
+                // evaluated with the original index => bit-identical
+                assert_eq!(pruned.results[i], full[i]);
+            }
+        }
+        assert!(pruned.summary().contains("25 of 50"));
+    }
+
+    #[test]
+    fn pruned_grid_handles_all_and_none_skipped() {
+        let points: Vec<u32> = (0..9).collect();
+        let all = run_grid_pruned(&points, |_, &p| Some(p), |_, &p| p + 100);
+        assert_eq!(all.skipped_count(), 9);
+        assert_eq!(all.results, points);
+        let none = run_grid_pruned(&points, |_, _| None::<u32>, |_, &p| p + 100);
+        assert_eq!(none.skipped_count(), 0);
+        assert!(none.results.iter().zip(&points).all(|(&r, &p)| r == p + 100));
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! `derive_seed(base.net.seed, i)`, regardless of which worker
 //! evaluates it or in what order.
 
+use noc_sim::error::ConfigError;
 use serde::{Deserialize, Serialize};
 
 use crate::measure::{measure, OpenLoopConfig, OpenLoopResult};
@@ -66,8 +67,34 @@ pub fn sweep_serial(base: &OpenLoopConfig, loads: &[f64]) -> Vec<SweepPoint> {
 /// `(0.0, first_unstable_load)` instead of bisecting noise; a network
 /// that absorbs full injection bandwidth returns `(1.0, 1.0)`.
 ///
+/// `latency_cap` and `tol` must be positive and finite: a NaN or
+/// non-positive cap would judge every load unstable (every comparison
+/// with NaN is false), and a NaN or non-positive `tol` would leave the
+/// bisection loop degenerate or non-terminating — both are rejected
+/// with a [`ConfigError::Parameter`] instead.
+///
 /// Returns the bracketing `(stable_load, unstable_load)` pair.
-pub fn saturation_throughput(base: &OpenLoopConfig, latency_cap: f64, tol: f64) -> (f64, f64) {
+pub fn saturation_throughput(
+    base: &OpenLoopConfig,
+    latency_cap: f64,
+    tol: f64,
+) -> Result<(f64, f64), ConfigError> {
+    if !(latency_cap > 0.0 && latency_cap.is_finite()) {
+        return Err(ConfigError::Parameter {
+            name: "latency_cap",
+            why: format!(
+                "saturation search needs a positive finite latency cap, got {latency_cap}"
+            ),
+        });
+    }
+    if !(tol > 0.0 && tol.is_finite()) {
+        return Err(ConfigError::Parameter {
+            name: "tol",
+            why: format!(
+                "saturation search needs a positive finite bisection tolerance, got {tol}"
+            ),
+        });
+    }
     let stable_at = |load: f64| -> bool {
         let cfg = base.clone().with_load(load);
         match measure(&cfg) {
@@ -86,11 +113,11 @@ pub fn saturation_throughput(base: &OpenLoopConfig, latency_cap: f64, tol: f64) 
     let Some(first_bad) = verdicts.iter().position(|&ok| !ok) else {
         // stable across the whole ladder including load 1.0: the network
         // absorbs full injection bandwidth
-        return (1.0, 1.0);
+        return Ok((1.0, 1.0));
     };
     if first_bad == 0 {
         // even the near-zero probe is unstable: nothing to bisect
-        return (0.0, probes[0]);
+        return Ok((0.0, probes[0]));
     }
     let mut lo = probes[first_bad - 1];
     let mut hi = probes[first_bad];
@@ -102,7 +129,7 @@ pub fn saturation_throughput(base: &OpenLoopConfig, latency_cap: f64, tol: f64) 
             hi = mid;
         }
     }
-    (lo, hi)
+    Ok((lo, hi))
 }
 
 #[cfg(test)]
@@ -141,10 +168,28 @@ mod tests {
         // 2*bisection/N = 2*(2*4)/16 = 1.0 flit/cycle/node theoretical;
         // DOR with small buffers lands well below. Just check ordering
         // and a plausible range.
-        let (lo, hi) = saturation_throughput(&base(), 200.0, 0.05);
+        let (lo, hi) = saturation_throughput(&base(), 200.0, 0.05).unwrap();
         assert!(lo <= hi);
         assert!(lo > 0.2, "saturation too low: {lo}");
         assert!(hi < 1.0, "saturation too high: {hi}");
+    }
+
+    #[test]
+    fn degenerate_cap_and_tol_rejected() {
+        for (cap, tol) in [
+            (f64::NAN, 0.05),
+            (0.0, 0.05),
+            (-10.0, 0.05),
+            (f64::INFINITY, 0.05),
+            (200.0, f64::NAN),
+            (200.0, 0.0),
+            (200.0, -0.01),
+            (200.0, f64::INFINITY),
+        ] {
+            let err = saturation_throughput(&base(), cap, tol).unwrap_err();
+            let msg = err.to_string();
+            assert!(msg.contains("latency_cap") || msg.contains("tol"), "({cap}, {tol}): {msg}");
+        }
     }
 
     #[test]
@@ -154,7 +199,7 @@ mod tests {
         // (0.0, first_unstable) instead of bisecting measurement noise.
         let mut cfg = base();
         cfg.drain_max = 0;
-        let (lo, hi) = saturation_throughput(&cfg, 200.0, 0.05);
+        let (lo, hi) = saturation_throughput(&cfg, 200.0, 0.05).unwrap();
         assert_eq!(lo, 0.0);
         assert!(hi > 0.0 && hi <= 0.125, "first unstable load should be the near-zero probe");
     }

@@ -26,6 +26,13 @@
 //! VC-class partition disjointness, degenerate routing/topology
 //! pairings, and buffer depth against the credit round-trip.
 //!
+//! The route enumerator that powers all of this is a public API:
+//! [`routes::enumerate_routes`] reports every route (exact weighted
+//! paths for deterministic/oblivious routing, expected-flow hops for
+//! adaptive routing) to a [`routes::RouteVisitor`], so other static
+//! passes — channel-load analysis in `noc-analytic`, future ones —
+//! consume the verifier's own walks instead of re-deriving them.
+//!
 //! ```
 //! use noc_sim::config::NetConfig;
 //!
@@ -41,7 +48,7 @@ mod checks;
 pub mod fault;
 mod partition;
 mod report;
-mod routes;
+pub mod routes;
 
 pub use cdg::Cdg;
 pub use fault::{check_fault_connectivity, FaultReport, FaultVerdict, PartitionWitness};

@@ -1,24 +1,40 @@
-//! Route enumeration: build the channel dependency graph by walking
-//! every route the routing function can produce.
+//! Route enumeration: the public API other static passes consume, plus
+//! the channel-dependency-graph builder that drives the deadlock
+//! verdict.
+//!
+//! [`enumerate_routes`] walks every route the configured routing
+//! function can produce and reports it to a [`RouteVisitor`]:
+//!
+//! * **Deterministic and oblivious two-phase routing** (DOR, Valiant,
+//!   ROMM): every `(src, dst, intermediate)` choice yields one exact
+//!   path, delivered via [`RouteVisitor::path`] together with its
+//!   probability weight within the pair (Valiant draws the intermediate
+//!   uniformly over all nodes; ROMM uniformly over the minimal box).
+//! * **Minimal adaptive**: the route taken depends on runtime buffer
+//!   occupancy, so there is no fixed path set. The enumerator instead
+//!   propagates expected flow through the exact reachable
+//!   `(node, dateline, last_dim)` state DAG, splitting each state's
+//!   weight equally over its candidate ports, and delivers one
+//!   [`RouteVisitor::flow`] hop per state transition. This is an
+//!   approximation of the runtime behavior (flagged by
+//!   [`Enumeration::exact`] = false), but hop weights still conserve
+//!   flow: per `(src, dst)` pair, one unit enters at `src` and one unit
+//!   drains at `dst`.
+//!
+//! [`build_cdg`] consumes the same enumeration for the deterministic
+//! kinds — consecutive hops contribute the cross-product of their legal
+//! VC masks as dependency edges — and switches to Duato's *extended*
+//! escape dependency graph for minimal adaptive routing (direct
+//! escape-to-escape dependencies plus indirect ones bridged by adaptive
+//! hops). Packet state is threaded exactly through every reachable
+//! path, so escape VC selection is precise; only the waiting relation
+//! is over-approximated, hence a cycle there yields `Unknown`, not
+//! `Refuted`.
 //!
 //! Analysis covers message class 0 only. Classes partition the VC space
 //! into disjoint, identically-shaped blocks (a static check verifies
 //! the disjointness), so a dependency cycle exists in some class iff it
 //! exists in class 0.
-//!
-//! * **Deterministic and oblivious two-phase routing** (DOR, Valiant,
-//!   ROMM): every `(src, dst, intermediate)` choice yields one exact
-//!   path; consecutive hops contribute the cross-product of their legal
-//!   VC masks as dependency edges. A cycle in this graph is a concrete
-//!   circular-wait witness.
-//! * **Minimal adaptive with DOR escape**: certified via Duato's
-//!   criterion — the *extended* dependency graph of the escape
-//!   sub-network (direct escape-to-escape dependencies plus indirect
-//!   ones bridged by adaptive hops) must be acyclic. Packet state
-//!   (dateline flag, last dimension) is threaded exactly through every
-//!   reachable adaptive path, so escape VC selection is precise; only
-//!   the waiting relation is over-approximated, hence a cycle here
-//!   yields `Unknown`, not `Refuted`.
 
 use std::collections::HashMap;
 
@@ -29,15 +45,53 @@ use noc_sim::topology::Topology;
 use crate::cdg::Cdg;
 use crate::partition::Partition;
 
-/// CDG plus enumeration metadata.
-pub struct CdgBuild {
-    /// The dependency graph.
-    pub cdg: Cdg,
-    /// Route walks enumerated.
+/// One committed hop of a route: the packet leaves `node` through
+/// output `port`, landing in the routing state `state`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Hop {
+    /// Router the packet departs from.
+    pub node: usize,
+    /// Output port taken (1-based; port 0 is the local port and never
+    /// appears on a route).
+    pub port: usize,
+    /// Routing state *after* the hop commits (phase, dateline, last
+    /// dimension) — exactly what the simulator's `advance` returns, so
+    /// VC-mask replay through [`Partition::allowed`] is bit-exact.
+    pub state: RouteState,
+}
+
+/// Size and exactness of one [`enumerate_routes`] run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Enumeration {
+    /// Route walks performed (one per source, destination, and
+    /// intermediate/state choice; one per pair for adaptive routing).
     pub routes: u64,
-    /// True when every edge is realizable by a real packet, so a cycle
-    /// refutes deadlock freedom outright.
+    /// True when every reported route is realizable exactly as stated —
+    /// i.e. only [`RouteVisitor::path`] was used. Adaptive routing
+    /// reports expected flow instead and clears this flag.
     pub exact: bool,
+}
+
+/// Consumer of a route enumeration.
+///
+/// Implementations accumulate whatever they need — dependency edges,
+/// channel loads, hop-count distributions — from the exact walks the
+/// verifier itself uses, instead of re-deriving routes from the routing
+/// functions.
+pub trait RouteVisitor {
+    /// One exact path from `src` to `dst`, taken with probability
+    /// `weight` among the pair's routes (weights over a pair sum to 1).
+    /// `hops` is empty when `src == dst`.
+    fn path(&mut self, src: usize, dst: usize, weight: f64, hops: &[Hop]);
+
+    /// One expected-flow hop of an adaptive route set: a packet from
+    /// `src` to `dst` traverses `hop` an expected `weight` times
+    /// (equal-split approximation over candidate ports). The default
+    /// implementation ignores flow hops, which is correct for visitors
+    /// that only consume exact paths.
+    fn flow(&mut self, src: usize, dst: usize, weight: f64, hop: Hop) {
+        let _ = (src, dst, weight, hop);
+    }
 }
 
 /// Dense id of the channel `(cur --port--> neighbor, vc)`.
@@ -56,14 +110,24 @@ pub fn decode_channel(topo: &dyn Topology, id: u32, vcs: usize) -> (usize, usize
     (link / ports, link % ports + 1, vc)
 }
 
-/// Enumerate all routes of `cfg.routing` and build the CDG.
-pub fn build_cdg(cfg: &NetConfig, topo: &dyn Topology, part: &Partition) -> CdgBuild {
+/// Enumerate every route of `cfg.routing` over `topo`, reporting each
+/// to `visitor`. See the module docs for the exact semantics per
+/// routing kind.
+pub fn enumerate_routes(
+    cfg: &NetConfig,
+    topo: &dyn Topology,
+    visitor: &mut dyn RouteVisitor,
+) -> Enumeration {
     let routing = cfg.routing.build();
-    let vcs = part.vcs();
-    let mut cdg = Cdg::new(topo.num_nodes() * (topo.num_ports() - 1) * vcs);
-    let mut routes = 0u64;
     let n = topo.num_nodes();
+    let mut routes = 0u64;
     let exact = !routing.is_adaptive();
+    let mut hops: Vec<Hop> = Vec::new();
+    // Adaptive traversability depends on the VC partition: a non-DOR
+    // candidate is only usable when an adaptive VC exists for it.
+    let part = (cfg.routing == RoutingKind::MinAdaptive)
+        .then(|| Partition::new(cfg.vcs, cfg.classes, &*routing, topo).ok())
+        .flatten();
     for src in 0..n {
         for dst in 0..n {
             if src == dst {
@@ -71,72 +135,63 @@ pub fn build_cdg(cfg: &NetConfig, topo: &dyn Topology, part: &Partition) -> CdgB
             }
             match cfg.routing {
                 RoutingKind::Dor => {
-                    walk_route(topo, &*routing, part, &mut cdg, src, dst, RouteState::direct());
+                    walk_path(topo, &*routing, src, dst, RouteState::direct(), &mut hops);
+                    visitor.path(src, dst, 1.0, &hops);
                     routes += 1;
                 }
                 RoutingKind::Valiant => {
-                    // init() maps mid == src to a direct route; all
-                    // other intermediates are reachable.
-                    walk_route(topo, &*routing, part, &mut cdg, src, dst, RouteState::direct());
+                    // init() draws the intermediate uniformly over all n
+                    // nodes and maps mid == src to a direct route.
+                    let w = 1.0 / n as f64;
+                    walk_path(topo, &*routing, src, dst, RouteState::direct(), &mut hops);
+                    visitor.path(src, dst, w, &hops);
                     routes += 1;
                     for mid in 0..n {
                         if mid != src {
-                            walk_route(
-                                topo,
-                                &*routing,
-                                part,
-                                &mut cdg,
-                                src,
-                                dst,
-                                RouteState::via(mid),
-                            );
+                            walk_path(topo, &*routing, src, dst, RouteState::via(mid), &mut hops);
+                            visitor.path(src, dst, w, &hops);
                             routes += 1;
                         }
                     }
                 }
                 RoutingKind::Romm => {
-                    walk_route(topo, &*routing, part, &mut cdg, src, dst, RouteState::direct());
+                    // The intermediate is uniform over the minimal box
+                    // (independent per-dimension uniform steps).
+                    let mids = minimal_box(topo, src, dst);
+                    let w = 1.0 / mids.len() as f64;
+                    walk_path(topo, &*routing, src, dst, RouteState::direct(), &mut hops);
+                    visitor.path(src, dst, w, &hops);
                     routes += 1;
-                    for mid in minimal_box(topo, src, dst) {
+                    for mid in mids {
                         if mid != src {
-                            walk_route(
-                                topo,
-                                &*routing,
-                                part,
-                                &mut cdg,
-                                src,
-                                dst,
-                                RouteState::via(mid),
-                            );
+                            walk_path(topo, &*routing, src, dst, RouteState::via(mid), &mut hops);
+                            visitor.path(src, dst, w, &hops);
                             routes += 1;
                         }
                     }
                 }
                 RoutingKind::MinAdaptive => {
-                    escape_dependencies(topo, &*routing, part, &mut cdg, src, dst);
+                    adaptive_flows(topo, &*routing, part.as_ref(), src, dst, visitor);
                     routes += 1;
                 }
             }
         }
     }
-    CdgBuild { cdg, routes, exact }
+    Enumeration { routes, exact }
 }
 
-/// Walk one deterministic route and add consecutive-hop dependencies.
-fn walk_route(
+/// Walk one deterministic route into `hops` (cleared first).
+fn walk_path(
     topo: &dyn Topology,
     routing: &dyn RoutingAlgorithm,
-    part: &Partition,
-    cdg: &mut Cdg,
     src: usize,
     dst: usize,
     init: RouteState,
+    hops: &mut Vec<Hop>,
 ) {
-    let vcs = part.vcs();
+    hops.clear();
     let mut cur = src;
     let mut state = init;
-    let mut prev: Vec<u32> = Vec::new();
-    let mut here: Vec<u32> = Vec::new();
     loop {
         let cands = routing.candidates(topo, cur, dst, &state);
         if cands.is_empty() {
@@ -145,29 +200,165 @@ fn walk_route(
         // Deterministic/oblivious routing emits exactly one candidate.
         let port = cands.get(0);
         let ns = routing.advance(topo, cur, port, dst, &state);
-        let mask = part.allowed(0, ns.phase as usize, ns.dateline, false);
-        here.clear();
-        let mut bits = mask;
-        while bits != 0 {
-            let vc = bits.trailing_zeros() as usize;
-            bits &= bits - 1;
-            here.push(channel_id(topo, cur, port, vc, vcs));
-        }
-        for &a in &prev {
-            for &b in &here {
-                cdg.add_edge(a, b);
-            }
-        }
-        std::mem::swap(&mut prev, &mut here);
+        hops.push(Hop { node: cur, port, state: ns });
         cur = topo.neighbor(cur, port).expect("routing produced a dead port").0;
         state = ns;
     }
 }
 
+/// Packet state relevant to routing decisions at a router.
+type StateKey = (usize, bool, u8); // (node, dateline, last_dim)
+
+/// Explore the exact reachable state DAG of a minimal adaptive route
+/// set and emit equal-split expected-flow hops.
+///
+/// Every hop strictly decreases the distance to `dst`, so states form a
+/// DAG; weights are propagated in order of decreasing distance (all
+/// predecessors of a state are strictly farther from `dst`), and each
+/// state splits its accumulated weight equally over its candidate
+/// ports.
+fn adaptive_flows(
+    topo: &dyn Topology,
+    routing: &dyn RoutingAlgorithm,
+    part: Option<&Partition>,
+    src: usize,
+    dst: usize,
+    visitor: &mut dyn RouteVisitor,
+) {
+    let mut state_ix: HashMap<StateKey, usize> = HashMap::new();
+    let mut states: Vec<StateKey> = Vec::new();
+    // per state: (output port, post-hop state, successor state index)
+    let mut hops: Vec<Vec<(usize, RouteState, usize)>> = Vec::new();
+
+    let init = RouteState::direct();
+    let start: StateKey = (src, init.dateline, init.last_dim);
+    state_ix.insert(start, 0);
+    states.push(start);
+    hops.push(Vec::new());
+
+    let mut frontier = vec![0usize];
+    while let Some(si) = frontier.pop() {
+        let (node, dateline, last_dim) = states[si];
+        if node == dst {
+            continue;
+        }
+        let state = RouteState { dateline, last_dim, ..RouteState::direct() };
+        let cands = routing.candidates(topo, node, dst, &state);
+        for (ci, port) in cands.iter().enumerate() {
+            let ns = routing.advance(topo, node, port, dst, &state);
+            let next_node =
+                topo.neighbor(node, port).expect("adaptive candidate must be a live port").0;
+            // Same traversability rule as the CDG builder: adaptively
+            // via any adaptive VC, or via the escape sub-network on the
+            // DOR candidate (ci == 0).
+            if let Some(p) = part {
+                if ci != 0 && p.allowed(0, ns.phase as usize, ns.dateline, false) == 0 {
+                    continue;
+                }
+            }
+            let key: StateKey = (next_node, ns.dateline, ns.last_dim);
+            let ti = *state_ix.entry(key).or_insert_with(|| {
+                states.push(key);
+                hops.push(Vec::new());
+                frontier.push(states.len() - 1);
+                states.len() - 1
+            });
+            hops[si].push((port, ns, ti));
+        }
+    }
+
+    // Propagate weight in order of decreasing distance to dst; ties in
+    // distance never depend on each other (every hop moves closer).
+    let mut order: Vec<usize> = (0..states.len()).collect();
+    order.sort_by_key(|&s| std::cmp::Reverse((topo.min_hops(states[s].0, dst), s)));
+    let mut weight = vec![0.0f64; states.len()];
+    weight[0] = 1.0;
+    for s in order {
+        let w = weight[s];
+        if w <= 0.0 || hops[s].is_empty() {
+            continue;
+        }
+        let share = w / hops[s].len() as f64;
+        for &(port, ns, ti) in &hops[s] {
+            visitor.flow(src, dst, share, Hop { node: states[s].0, port, state: ns });
+            weight[ti] += share;
+        }
+    }
+}
+
+/// CDG plus enumeration metadata.
+pub struct CdgBuild {
+    /// The dependency graph.
+    pub cdg: Cdg,
+    /// Route walks enumerated.
+    pub routes: u64,
+    /// True when every edge is realizable by a real packet, so a cycle
+    /// refutes deadlock freedom outright.
+    pub exact: bool,
+}
+
+/// Accumulates CDG edges from exact path enumeration: consecutive hops
+/// contribute the cross-product of their legal VC masks.
+struct CdgVisitor<'a> {
+    topo: &'a dyn Topology,
+    part: &'a Partition,
+    cdg: &'a mut Cdg,
+    prev: Vec<u32>,
+    here: Vec<u32>,
+}
+
+impl RouteVisitor for CdgVisitor<'_> {
+    fn path(&mut self, _src: usize, _dst: usize, _weight: f64, hops: &[Hop]) {
+        let vcs = self.part.vcs();
+        self.prev.clear();
+        for hop in hops {
+            let mask = self.part.allowed(0, hop.state.phase as usize, hop.state.dateline, false);
+            self.here.clear();
+            let mut bits = mask;
+            while bits != 0 {
+                let vc = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                self.here.push(channel_id(self.topo, hop.node, hop.port, vc, vcs));
+            }
+            for &a in &self.prev {
+                for &b in &self.here {
+                    self.cdg.add_edge(a, b);
+                }
+            }
+            std::mem::swap(&mut self.prev, &mut self.here);
+        }
+    }
+}
+
+/// Enumerate all routes of `cfg.routing` and build the CDG.
+pub fn build_cdg(cfg: &NetConfig, topo: &dyn Topology, part: &Partition) -> CdgBuild {
+    let vcs = part.vcs();
+    let mut cdg = Cdg::new(topo.num_nodes() * (topo.num_ports() - 1) * vcs);
+    if cfg.routing == RoutingKind::MinAdaptive {
+        // Duato's criterion needs the escape sub-network's extended
+        // dependency graph, not expected flow — built separately.
+        let routing = cfg.routing.build();
+        let n = topo.num_nodes();
+        let mut routes = 0u64;
+        for src in 0..n {
+            for dst in 0..n {
+                if src != dst {
+                    escape_dependencies(topo, &*routing, part, &mut cdg, src, dst);
+                    routes += 1;
+                }
+            }
+        }
+        return CdgBuild { cdg, routes, exact: false };
+    }
+    let mut visitor = CdgVisitor { topo, part, cdg: &mut cdg, prev: Vec::new(), here: Vec::new() };
+    let e = enumerate_routes(cfg, topo, &mut visitor);
+    CdgBuild { cdg, routes: e.routes, exact: e.exact }
+}
+
 /// All nodes inside the minimal quadrant between `src` and `dst`,
 /// following ROMM's per-dimension direction choice (wrap ties break
 /// toward the positive direction, matching `dor_port`).
-fn minimal_box(topo: &dyn Topology, src: usize, dst: usize) -> Vec<usize> {
+pub fn minimal_box(topo: &dyn Topology, src: usize, dst: usize) -> Vec<usize> {
     let cs = topo.coords_of(src);
     let cd = topo.coords_of(dst);
     let mut per_dim: Vec<Vec<usize>> = Vec::new();
@@ -208,9 +399,6 @@ fn minimal_box(topo: &dyn Topology, src: usize, dst: usize) -> Vec<usize> {
     }
     nodes.iter().map(|c| topo.node_at(c)).collect()
 }
-
-/// Packet state relevant to VC selection at a router.
-type StateKey = (usize, bool, u8); // (node, dateline, last_dim)
 
 /// One escape hop observed during journey exploration.
 struct EscapeHop {
@@ -328,6 +516,109 @@ fn escape_dependencies(
                     }
                 }
             }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noc_sim::config::TopologyKind;
+
+    /// Collects paths/flows for assertions.
+    #[derive(Default)]
+    struct Collect {
+        paths: Vec<(usize, usize, f64, usize)>,
+        flows: Vec<(usize, usize, f64, Hop)>,
+    }
+
+    impl RouteVisitor for Collect {
+        fn path(&mut self, src: usize, dst: usize, weight: f64, hops: &[Hop]) {
+            self.paths.push((src, dst, weight, hops.len()));
+        }
+
+        fn flow(&mut self, src: usize, dst: usize, weight: f64, hop: Hop) {
+            self.flows.push((src, dst, weight, hop));
+        }
+    }
+
+    #[test]
+    fn dor_paths_are_minimal_and_unit_weight() {
+        let cfg = NetConfig::baseline().with_topology(TopologyKind::Mesh2D { k: 4 });
+        let topo = cfg.topology.build();
+        let mut v = Collect::default();
+        let e = enumerate_routes(&cfg, &*topo, &mut v);
+        assert!(e.exact);
+        assert_eq!(e.routes, 16 * 15);
+        assert_eq!(v.paths.len(), 16 * 15);
+        for &(src, dst, w, len) in &v.paths {
+            assert_eq!(w, 1.0);
+            assert_eq!(len, topo.min_hops(src, dst), "{src}->{dst}");
+        }
+    }
+
+    #[test]
+    fn valiant_weights_sum_to_one_per_pair() {
+        let cfg = NetConfig::baseline()
+            .with_topology(TopologyKind::Mesh2D { k: 4 })
+            .with_routing(RoutingKind::Valiant);
+        let topo = cfg.topology.build();
+        let mut v = Collect::default();
+        let e = enumerate_routes(&cfg, &*topo, &mut v);
+        assert!(e.exact);
+        let total: f64 = v.paths.iter().filter(|p| p.0 == 0 && p.1 == 5).map(|p| p.2).sum();
+        assert!((total - 1.0).abs() < 1e-9, "weights sum to {total}");
+    }
+
+    #[test]
+    fn romm_weights_sum_to_one_and_paths_are_minimal() {
+        let cfg = NetConfig::baseline()
+            .with_topology(TopologyKind::Mesh2D { k: 4 })
+            .with_routing(RoutingKind::Romm);
+        let topo = cfg.topology.build();
+        let mut v = Collect::default();
+        enumerate_routes(&cfg, &*topo, &mut v);
+        for (src, dst) in [(0usize, 15usize), (3, 12), (1, 2)] {
+            let pair: Vec<_> = v.paths.iter().filter(|p| p.0 == src && p.1 == dst).collect();
+            let total: f64 = pair.iter().map(|p| p.2).sum();
+            assert!((total - 1.0).abs() < 1e-9, "{src}->{dst}: {total}");
+            for p in pair {
+                assert_eq!(p.3, topo.min_hops(src, dst), "ROMM path must stay minimal");
+            }
+        }
+    }
+
+    #[test]
+    fn adaptive_flow_conserves_per_pair() {
+        let cfg = NetConfig::baseline()
+            .with_topology(TopologyKind::Mesh2D { k: 4 })
+            .with_routing(RoutingKind::MinAdaptive);
+        let topo = cfg.topology.build();
+        let mut v = Collect::default();
+        let e = enumerate_routes(&cfg, &*topo, &mut v);
+        assert!(!e.exact);
+        assert!(v.paths.is_empty());
+        // flow into each node minus flow out must be 0 everywhere except
+        // -1 at src and +1 at dst
+        let (src, dst) = (0usize, 15usize);
+        let mut net = [0.0f64; 16];
+        for &(s, d, w, hop) in &v.flows {
+            if (s, d) != (src, dst) {
+                continue;
+            }
+            net[hop.node] -= w;
+            let to = topo.neighbor(hop.node, hop.port).unwrap().0;
+            net[to] += w;
+        }
+        for (node, &flux) in net.iter().enumerate() {
+            let expect = if node == src {
+                -1.0
+            } else if node == dst {
+                1.0
+            } else {
+                0.0
+            };
+            assert!((flux - expect).abs() < 1e-9, "node {node}: {flux} != {expect}");
         }
     }
 }

@@ -1,0 +1,165 @@
+//! Acceptance tests for the static analytic fast path: the
+//! `noc-analytic` model's saturation predictions must bracket what the
+//! simulator measures on certified DOR configurations, and the analytic
+//! grid pruner must be a pure accelerator — every point it does
+//! simulate is bit-identical to the unpruned sweep, and every point it
+//! skips agrees with the simulator's verdict.
+
+use proptest::prelude::*;
+
+use noc_analytic::{sweep_pruned, AnalyticModel, Confidence};
+use noc_openloop::{saturation_throughput, sweep, OpenLoopConfig};
+use noc_sim::config::{NetConfig, TopologyKind};
+use noc_traffic::{PatternKind, SizeKind};
+
+/// The model's accuracy contract on certified DOR configurations.
+const TOLERANCE: f64 = 0.15;
+
+fn quick_cfg(net: NetConfig, pattern: PatternKind) -> OpenLoopConfig {
+    OpenLoopConfig { net, pattern, ..OpenLoopConfig::default() }.quick()
+}
+
+/// The measurement windows the model's regime constants were calibrated
+/// with: `quick`'s shorter windows systematically inflate the measured
+/// saturation of permutation patterns.
+fn calibrated_cfg(net: NetConfig, pattern: PatternKind) -> OpenLoopConfig {
+    let mut cfg = quick_cfg(net, pattern);
+    cfg.warmup = 3_000;
+    cfg.measure = 8_000;
+    cfg.drain_max = 50_000;
+    cfg
+}
+
+/// Predicted saturation is within tolerance of the simulator's
+/// bisection bracket on certified DOR mesh and torus configs — the
+/// contract that makes grid pruning safe.
+#[test]
+fn predicted_saturation_brackets_simulated_saturation() {
+    let cases = [
+        ("mesh4/uniform", TopologyKind::Mesh2D { k: 4 }, PatternKind::Uniform),
+        ("torus4/uniform", TopologyKind::Torus2D { k: 4 }, PatternKind::Uniform),
+        ("mesh4/transpose", TopologyKind::Mesh2D { k: 4 }, PatternKind::Transpose),
+    ];
+    for (label, topo, pattern) in cases {
+        let net = NetConfig::baseline().with_topology(topo);
+        assert!(noc_verify::verify(&net).is_certified(), "{label} must be certified");
+        let model = AnalyticModel::of(&net, pattern, SizeKind::Fixed(1)).unwrap();
+        assert_eq!(model.confidence, Confidence::High, "{label}");
+        let predicted = model.predicted_saturation(300.0);
+        let (lo, hi) = saturation_throughput(&calibrated_cfg(net, pattern), 300.0, 0.02).unwrap();
+        let measured = 0.5 * (lo + hi);
+        let rel_err = (predicted - measured).abs() / measured;
+        assert!(
+            rel_err < TOLERANCE,
+            "{label}: predicted {predicted:.4} vs measured [{lo:.4}, {hi:.4}] \
+             (rel err {:.1}%)",
+            100.0 * rel_err
+        );
+    }
+}
+
+/// On the standard offered-load grid the pruner must (a) skip at least
+/// 40% of the points, (b) reproduce every simulated point bit-for-bit
+/// relative to the full sweep, and (c) never skip a point whose
+/// simulated stability verdict disagrees with the analytic one.
+#[test]
+fn pruned_sweep_is_a_pure_accelerator() {
+    let base = quick_cfg(
+        NetConfig::baseline().with_topology(TopologyKind::Mesh2D { k: 4 }),
+        PatternKind::Uniform,
+    );
+    let loads: Vec<f64> = (1..=10).map(|i| i as f64 * 0.095).collect();
+    let pruned = sweep_pruned(&base, &loads, 300.0, 0.25).unwrap();
+    let full = sweep(&base, &loads);
+
+    let skipped = pruned.skipped_count();
+    assert!(
+        skipped * 10 >= loads.len() * 4,
+        "only {skipped} of {} points skipped (need >= 40%)",
+        loads.len()
+    );
+    assert!(pruned.evaluated_count() > 0, "the saturation region must still be simulated");
+
+    for (i, (p, f)) in pruned.results.iter().zip(&full).enumerate() {
+        if pruned.skipped[i] {
+            // spot-check: the synthesized verdict agrees with what the
+            // simulator would have said
+            assert_eq!(
+                p.result.stable, f.result.stable,
+                "verdict mismatch at skipped load {:.3}",
+                p.load
+            );
+            assert_eq!(p.result.measured_packets, 0, "synthesized points measure nothing");
+        } else {
+            assert_eq!(
+                p.result.avg_latency.to_bits(),
+                f.result.avg_latency.to_bits(),
+                "latency not bit-identical at load {:.3}",
+                p.load
+            );
+            assert_eq!(
+                p.result.throughput.to_bits(),
+                f.result.throughput.to_bits(),
+                "throughput not bit-identical at load {:.3}",
+                p.load
+            );
+        }
+    }
+}
+
+// k is kept a power of two so every permutation pattern in the strategy
+// below is instantiable (bit-wise patterns assert on the node count).
+fn certified_dor_topologies() -> impl Strategy<Value = TopologyKind> {
+    prop_oneof![
+        Just(TopologyKind::Mesh2D { k: 4 }),
+        Just(TopologyKind::Mesh2D { k: 8 }),
+        Just(TopologyKind::Torus2D { k: 4 }),
+        Just(TopologyKind::Torus2D { k: 8 }),
+    ]
+}
+
+fn exact_patterns() -> impl Strategy<Value = PatternKind> {
+    prop_oneof![
+        Just(PatternKind::Uniform),
+        Just(PatternKind::Transpose),
+        Just(PatternKind::BitComplement),
+        Just(PatternKind::Tornado),
+        Just(PatternKind::Neighbor),
+        Just(PatternKind::Hotspot { node: 5, frac: 0.3 }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    /// Structural invariants of the model, no simulation involved:
+    /// saturation ordering, curve monotonicity, and divergence at the
+    /// effective saturation point.
+    #[test]
+    fn model_invariants_hold_on_certified_configs(
+        topo in certified_dor_topologies(),
+        pattern in exact_patterns(),
+    ) {
+        let net = NetConfig::baseline().with_topology(topo);
+        let model = AnalyticModel::of(&net, pattern, SizeKind::Fixed(1)).unwrap();
+        prop_assert_eq!(model.confidence, Confidence::High);
+        // effective <= ideal: flow control never helps
+        prop_assert!(model.effective_saturation <= model.ideal_saturation + 1e-12);
+        // a tighter latency cap can only lower the prediction, and the
+        // prediction never exceeds the effective bound
+        let sat = model.predicted_saturation(300.0);
+        prop_assert!(sat <= model.effective_saturation + 1e-9);
+        prop_assert!(model.predicted_saturation(30.0) <= sat + 1e-12);
+        // the latency curve is monotone below saturation and diverges at it
+        let mut prev = 0.0;
+        for i in 1..=8 {
+            let load = model.effective_saturation * i as f64 / 9.0;
+            if let Some(lat) = model.latency_at(load) {
+                prop_assert!(lat >= prev, "latency must be non-decreasing");
+                prop_assert!(lat >= model.zero_load_latency - 1e-9);
+                prev = lat;
+            }
+        }
+        prop_assert!(model.latency_at(model.effective_saturation).is_none());
+    }
+}
