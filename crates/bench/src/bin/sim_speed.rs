@@ -8,7 +8,11 @@
 //! `BENCH_sim_speed.json` instead of the pinned in-tree baseline; a
 //! missing or unrecognized baseline file degrades to "no baseline"
 //! (the fresh JSON is still written so the next run has one).
-use noc_eval::figures::SpeedBaseline;
+//!
+//! Exits nonzero when the emitted report is missing any tracked
+//! workload (`TRACKED_WORKLOADS`): a dropped workload would silently
+//! truncate the perf trajectory CI records across runs.
+use noc_eval::figures::{SpeedBaseline, TRACKED_WORKLOADS};
 
 fn main() {
     let e = noc_bench::effort_from_args();
@@ -18,12 +22,20 @@ fn main() {
     }
     let report = noc_eval::figures::sim_speed_report(&e);
     print!("{}", report.render_vs(&baseline));
+    let missing: Vec<&str> = TRACKED_WORKLOADS
+        .iter()
+        .copied()
+        .filter(|w| !report.entries.iter().any(|e| e.name == *w))
+        .collect();
     let path = std::env::var("BENCH_JSON").unwrap_or_else(|_| "BENCH_sim_speed.json".into());
-    if path.is_empty() {
-        return;
+    if !path.is_empty() {
+        match std::fs::write(&path, report.to_json()) {
+            Ok(()) => println!("wrote {path}"),
+            Err(e) => eprintln!("could not write {path}: {e}"),
+        }
     }
-    match std::fs::write(&path, report.to_json()) {
-        Ok(()) => println!("wrote {path}"),
-        Err(e) => eprintln!("could not write {path}: {e}"),
+    if !missing.is_empty() {
+        eprintln!("sim_speed: tracked workload(s) missing from report: {}", missing.join(", "));
+        std::process::exit(1);
     }
 }

@@ -103,11 +103,16 @@ pub struct DegradationPoint {
 struct GatedSource {
     inner: OpenLoopBehavior,
     cutoff: Cycle,
+    /// Set by the first pull at or past the cutoff; until then the
+    /// behavior must not report quiescent (the engine's quiescent-cycle
+    /// fast-forward would skip generation cycles otherwise).
+    done: bool,
 }
 
 impl NodeBehavior for GatedSource {
     fn pull(&mut self, node: usize, cycle: Cycle) -> Option<PacketSpec> {
         if cycle >= self.cutoff {
+            self.done = true;
             return None;
         }
         self.inner.pull(node, cycle)
@@ -118,7 +123,7 @@ impl NodeBehavior for GatedSource {
     }
 
     fn quiescent(&self) -> bool {
-        true // generation is bounded by the cutoff
+        self.done // generation is bounded by the cutoff
     }
 }
 
@@ -155,6 +160,7 @@ pub fn run_faulted(
             cutoff,
         ),
         cutoff,
+        done: false,
     };
 
     net.run(cutoff, &mut b);
@@ -286,6 +292,7 @@ mod tests {
                 cutoff,
             ),
             cutoff,
+            done: false,
         };
         net.run(cutoff, &mut b);
         while !net.is_idle() {

@@ -23,6 +23,19 @@ pub struct OpenLoopBehavior {
     rng: SimRng,
     last_polled: Vec<Cycle>,
     pending: Vec<bool>,
+    /// Cycle most recently handled by the batched [`NodeBehavior::generate`]
+    /// path, which polls every node in one sweep: `pull` treats that
+    /// whole cycle as already polled without touching `last_polled`.
+    batch_cycle: Cycle,
+    /// Cycle of the most recent `pull` poll; lets `generate` skip the
+    /// per-node `last_polled` reconciliation when no `pull` ran this
+    /// cycle (the steady state under the engine's batched path).
+    last_pull_cycle: Cycle,
+    /// `Some(p)` when every node's process is a fixed Bernoulli coin
+    /// flip with the same probability: `generate` then inlines the flip
+    /// instead of making one virtual `fire` call per node per cycle
+    /// (identical RNG stream either way).
+    uniform_p: Option<f64>,
     mark_from: Cycle,
     mark_until: Cycle,
     /// Marked packets still in flight.
@@ -58,13 +71,21 @@ impl OpenLoopBehavior {
         mark_from: Cycle,
         mark_until: Cycle,
     ) -> Self {
+        let processes: Vec<_> = (0..nodes).map(|_| make_process()).collect();
+        let uniform_p = match processes.first().and_then(|p| p.fixed_bernoulli()) {
+            Some(p) if processes.iter().all(|q| q.fixed_bernoulli() == Some(p)) => Some(p),
+            _ => None,
+        };
         Self {
             pattern,
             size,
-            processes: (0..nodes).map(|_| make_process()).collect(),
+            processes,
             rng: SimRng::new(seed ^ 0x9e37_79b9_7f4a_7c15),
             last_polled: vec![Cycle::MAX; nodes],
             pending: vec![false; nodes],
+            batch_cycle: Cycle::MAX,
+            last_pull_cycle: Cycle::MAX,
+            uniform_p,
             mark_from,
             mark_until,
             marked_outstanding: 0,
@@ -92,9 +113,15 @@ impl OpenLoopBehavior {
 
 impl NodeBehavior for OpenLoopBehavior {
     fn pull(&mut self, node: usize, cycle: Cycle) -> Option<PacketSpec> {
+        // a batched `generate` sweep already polled (and consumed) this
+        // entire cycle
+        if self.batch_cycle == cycle {
+            return None;
+        }
         // poll the injection process exactly once per node per cycle
         if self.last_polled[node] != cycle {
             self.last_polled[node] = cycle;
+            self.last_pull_cycle = cycle;
             self.pending[node] = self.processes[node].fire(&mut self.rng);
         }
         if !self.pending[node] {
@@ -133,6 +160,64 @@ impl NodeBehavior for OpenLoopBehavior {
         // driver decides when to stop stepping
         false
     }
+
+    fn generate(&mut self, nodes: usize, cycle: Cycle, sink: &mut dyn FnMut(usize, PacketSpec)) {
+        // batched twin of `pull`: identical draws in identical order
+        // (one process poll per node, then destination and size per
+        // packet). Every node is polled and consumed in this one sweep,
+        // so instead of writing `last_polled`/`pending` per node the
+        // whole cycle is marked handled via `batch_cycle`; a node whose
+        // `pull` happens to land on the same cycle sees `None`, exactly
+        // as if the pull loop had polled it already.
+        debug_assert_eq!(nodes, self.processes.len());
+        let marked = self.in_window(cycle);
+        if self.last_pull_cycle != cycle {
+            if let Some(p) = self.uniform_p {
+                // devirtualized sweep: every node is the same fixed
+                // Bernoulli flip and none was polled via `pull` this
+                // cycle, so the per-node virtual call and `last_polled`
+                // reconciliation both drop out. Draw order is identical
+                // to the general loop below.
+                for node in 0..nodes {
+                    if !self.rng.chance(p) {
+                        continue;
+                    }
+                    self.generated += 1;
+                    let dst = self.pattern.dest(node, &mut self.rng);
+                    let size = self.size.draw(&mut self.rng);
+                    if marked {
+                        self.marked_outstanding += 1;
+                    }
+                    let payload = if marked { MARKED } else { 0 };
+                    sink(node, PacketSpec { dst, size, class: 0, payload });
+                }
+                self.batch_cycle = cycle;
+                return;
+            }
+        }
+        for node in 0..nodes {
+            let fired = if self.last_polled[node] == cycle {
+                // this node was already polled via `pull` this cycle
+                std::mem::replace(&mut self.pending[node], false)
+            } else {
+                self.processes[node].fire(&mut self.rng)
+            };
+            if !fired {
+                continue;
+            }
+            self.generated += 1;
+            let dst = self.pattern.dest(node, &mut self.rng);
+            let size = self.size.draw(&mut self.rng);
+            if marked {
+                self.marked_outstanding += 1;
+            }
+            sink(
+                node,
+                PacketSpec { dst, size, class: 0, payload: if marked { MARKED } else { 0 } },
+            );
+        }
+        self.batch_cycle = cycle;
+    }
 }
 
 #[cfg(test)]
@@ -150,6 +235,116 @@ mod tests {
             from,
             until,
         )
+    }
+
+    #[test]
+    fn generate_matches_pull_loop_exactly() {
+        // the batched override must replay the default per-node pull
+        // loop bit for bit: same packets, same order, same RNG stream
+        let mk = || {
+            OpenLoopBehavior::new(
+                16,
+                Box::new(UniformRandom { nodes: 16 }),
+                Box::new(FixedSize(2)),
+                || Box::new(Bernoulli { p: 0.35 }),
+                42,
+                5,
+                40,
+            )
+        };
+        let (mut via_generate, mut via_pull) = (mk(), mk());
+        for cycle in 0..60 {
+            let mut got: Vec<(usize, PacketSpec)> = Vec::new();
+            via_generate.generate(16, cycle, &mut |node, spec| got.push((node, spec)));
+            let mut want: Vec<(usize, PacketSpec)> = Vec::new();
+            for node in 0..16 {
+                while let Some(spec) = via_pull.pull(node, cycle) {
+                    want.push((node, spec));
+                }
+            }
+            assert_eq!(got, want, "cycle {cycle}");
+        }
+        assert_eq!(via_generate.generated, via_pull.generated);
+        assert_eq!(via_generate.marked_outstanding, via_pull.marked_outstanding);
+    }
+
+    #[test]
+    fn generate_matches_pull_loop_without_uniform_fast_path() {
+        // bursty processes have state, so `fixed_bernoulli` is None and
+        // `generate` must take the general virtual-dispatch loop; it
+        // still has to replay the pull loop exactly
+        use noc_traffic::OnOff;
+        let mk = || {
+            OpenLoopBehavior::new(
+                16,
+                Box::new(UniformRandom { nodes: 16 }),
+                Box::new(FixedSize(2)),
+                || Box::new(OnOff::new(0.6, 0.2, 0.3)),
+                42,
+                5,
+                40,
+            )
+        };
+        let (mut via_generate, mut via_pull) = (mk(), mk());
+        assert!(via_generate.uniform_p.is_none());
+        for cycle in 0..60 {
+            let mut got: Vec<(usize, PacketSpec)> = Vec::new();
+            via_generate.generate(16, cycle, &mut |node, spec| got.push((node, spec)));
+            let mut want: Vec<(usize, PacketSpec)> = Vec::new();
+            for node in 0..16 {
+                while let Some(spec) = via_pull.pull(node, cycle) {
+                    want.push((node, spec));
+                }
+            }
+            assert_eq!(got, want, "cycle {cycle}");
+        }
+        assert_eq!(via_generate.generated, via_pull.generated);
+    }
+
+    #[test]
+    fn generate_reconciles_interleaved_pulls() {
+        // a node polled via `pull` earlier in the same cycle must not be
+        // polled again by `generate` — even on the uniform-Bernoulli
+        // fast path, which has to detect the interleave and fall back
+        let mk = || {
+            OpenLoopBehavior::new(
+                8,
+                Box::new(UniformRandom { nodes: 8 }),
+                Box::new(FixedSize(1)),
+                || Box::new(Bernoulli { p: 0.5 }),
+                9,
+                0,
+                100,
+            )
+        };
+        let (mut mixed, mut pure) = (mk(), mk());
+        assert!(mixed.uniform_p.is_some());
+        for cycle in 0..40 {
+            let mut got: Vec<(usize, PacketSpec)> = Vec::new();
+            // pull nodes 0..3 first, as the engine's fault path would
+            for node in 0..3 {
+                while let Some(spec) = mixed.pull(node, cycle) {
+                    got.push((node, spec));
+                }
+            }
+            mixed.generate(8, cycle, &mut |node, spec| {
+                // nodes 0..3 were consumed by pull above
+                assert!(node >= 3, "cycle {cycle}: node {node} polled twice");
+                got.push((node, spec));
+            });
+            let mut want: Vec<(usize, PacketSpec)> = Vec::new();
+            for node in 0..8 {
+                while let Some(spec) = pure.pull(node, cycle) {
+                    want.push((node, spec));
+                }
+            }
+            // pull-then-generate covers the same nodes in the same
+            // order, so the merged stream matches the pure pull loop
+            let mut got_sorted = got.clone();
+            got_sorted.sort_by_key(|(n, _)| *n);
+            assert_eq!(got_sorted, want, "cycle {cycle}");
+        }
+        assert_eq!(mixed.generated, pure.generated);
     }
 
     #[test]

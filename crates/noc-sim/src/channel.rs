@@ -83,6 +83,16 @@ impl Link {
         self.flits.is_empty() && self.credits.is_empty()
     }
 
+    /// Arrival cycle of the earliest in-flight flit, if any. Used by the
+    /// quiescent-cycle fast-forward to find the next cycle on which the
+    /// network state can change. Credits are deliberately not reported:
+    /// with every router idle and nothing queued to inject, a late
+    /// credit absorption is observationally identical to an on-time one.
+    #[inline]
+    pub fn next_flit_ready(&self) -> Option<Cycle> {
+        self.flits.front().map(|&(ready, _)| ready)
+    }
+
     /// Iterate over in-flight flits with their arrival times (oldest
     /// first). Used by the runtime sanitizer for conservation checks.
     pub fn iter_flits(&self) -> impl Iterator<Item = &(Cycle, Flit)> {

@@ -5,7 +5,7 @@ use std::sync::Arc;
 use serde::{Deserialize, Serialize};
 
 use crate::error::ConfigError;
-use crate::routing::{Dor, MinAdaptive, Romm, RoutingAlgorithm, Valiant, VcBook};
+use crate::routing::{Dor, MinAdaptive, Romm, Routing, RoutingAlgorithm, Valiant, VcBook};
 use crate::topology::{KAryNCube, Topology};
 
 /// Switch/VC arbitration policy (Table I: round robin, age-based).
@@ -85,6 +85,18 @@ impl RoutingKind {
             RoutingKind::Valiant => Arc::new(Valiant),
             RoutingKind::Romm => Arc::new(Romm),
             RoutingKind::MinAdaptive => Arc::new(MinAdaptive),
+        }
+    }
+
+    /// Instantiate the algorithm as the engine's statically dispatched
+    /// [`Routing`] enum, so per-flit route calls inline instead of
+    /// going through a vtable.
+    pub fn build_static(&self) -> Routing {
+        match self {
+            RoutingKind::Dor => Routing::Dor(Dor),
+            RoutingKind::Valiant => Routing::Valiant(Valiant),
+            RoutingKind::Romm => Routing::Romm(Romm),
+            RoutingKind::MinAdaptive => Routing::MinAdaptive(MinAdaptive),
         }
     }
 }

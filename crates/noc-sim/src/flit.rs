@@ -135,7 +135,7 @@ pub struct Delivered {
 
 /// Request to create a packet, returned by
 /// [`crate::network::NodeBehavior::pull`].
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PacketSpec {
     /// Destination node.
     pub dst: usize,

@@ -30,7 +30,7 @@ use noc_stats::{OnlineStats, TimeSeries};
 use crate::channel::Link;
 use crate::flit::Cycle;
 use crate::network::NetStats;
-use crate::router::Router;
+use crate::router::RouterSlab;
 
 /// Default metrics bin width in cycles — fine enough to localize
 /// saturation onsets in the quick test configurations, coarse enough
@@ -203,7 +203,12 @@ impl Collector {
     /// Baseline the delta trackers to the engine's current counters, so
     /// a collector enabled mid-run reports only traffic from now on in
     /// its binned series (totals still echo the absolute ledgers).
-    pub(crate) fn resync(&mut self, links: &[Option<Link>], routers: &[Router], stats: &NetStats) {
+    pub(crate) fn resync(
+        &mut self,
+        links: &[Option<Link>],
+        routers: &RouterSlab,
+        stats: &NetStats,
+    ) {
         for (i, slot) in links.iter().enumerate() {
             if let Some(l) = slot.as_ref() {
                 self.prev_link[i] = l.flits_carried;
@@ -211,9 +216,9 @@ impl Collector {
         }
         let mut stalls = 0u64;
         let mut conflicts = 0u64;
-        for r in routers {
-            stalls += r.pipeline.sa_credit_starved;
-            conflicts += r.pipeline.sa_conflicts;
+        for p in routers.pipelines() {
+            stalls += p.sa_credit_starved;
+            conflicts += p.sa_conflicts;
         }
         self.prev_stalls = stalls;
         self.prev_conflicts = conflicts;
@@ -225,15 +230,14 @@ impl Collector {
     pub(crate) fn tick(
         &mut self,
         t: Cycle,
-        routers: &[Router],
+        routers: &RouterSlab,
         links: &[Option<Link>],
         stats: &NetStats,
     ) {
-        let mut total_occ = 0usize;
-        for (r, occ) in routers.iter().zip(self.per_router_occ.iter_mut()) {
-            let o = r.occupancy();
+        let mut total_occ = 0u64;
+        for (&o, occ) in routers.occupancies().iter().zip(self.per_router_occ.iter_mut()) {
             occ.push(o as f64);
-            total_occ += o;
+            total_occ += o as u64;
         }
         self.occupancy.push(t, total_occ as f64);
         if (t + 1).is_multiple_of(self.bin_width) {
@@ -262,12 +266,12 @@ impl Collector {
     }
 
     /// Flush pipeline-counter deltas since the last bin boundary.
-    fn flush_pipeline(&mut self, t: Cycle, routers: &[Router]) {
+    fn flush_pipeline(&mut self, t: Cycle, routers: &RouterSlab) {
         let mut stalls = 0u64;
         let mut conflicts = 0u64;
-        for r in routers {
-            stalls += r.pipeline.sa_credit_starved;
-            conflicts += r.pipeline.sa_conflicts;
+        for p in routers.pipelines() {
+            stalls += p.sa_credit_starved;
+            conflicts += p.sa_conflicts;
         }
         if stalls > self.prev_stalls {
             self.credit_stalls.push(t, (stalls - self.prev_stalls) as f64);
@@ -285,7 +289,7 @@ impl Collector {
         &mut self,
         cycle: Cycle,
         ports: usize,
-        routers: &[Router],
+        routers: &RouterSlab,
         links: &[Option<Link>],
         stats: &NetStats,
     ) -> MetricsSnapshot {
@@ -307,14 +311,16 @@ impl Collector {
             });
         }
         let router_metrics = routers
+            .pipelines()
             .iter()
             .zip(self.per_router_occ.iter())
-            .map(|(r, occ)| RouterMetrics {
-                id: r.id,
+            .enumerate()
+            .map(|(i, (p, occ))| RouterMetrics {
+                id: i,
                 occupancy: occ.clone(),
-                credit_stalls: r.pipeline.sa_credit_starved,
-                sa_conflicts: r.pipeline.sa_conflicts,
-                va_blocked: r.pipeline.va_blocked,
+                credit_stalls: p.sa_credit_starved,
+                sa_conflicts: p.sa_conflicts,
+                va_blocked: p.va_blocked,
             })
             .collect();
         MetricsSnapshot {

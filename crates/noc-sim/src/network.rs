@@ -6,6 +6,24 @@
 //! closed-loop models can react to feedback) and *pushes* completed
 //! deliveries back, making both open-loop and closed-loop measurement
 //! drivers thin layers over the same engine.
+//!
+//! # Hot-path structure
+//!
+//! The per-cycle sweep is event-driven rather than scan-everything:
+//! routers with buffered flits live in an **active-router bitset**
+//! (mirroring the active-link set), NIs with pending ejections or
+//! injection work live in two more bitsets, and the allocation sweep
+//! walks only set bits in ascending order — so a quiet 1024-node network
+//! costs a handful of word tests per cycle instead of 1024 router
+//! visits. Router state itself is a network-wide struct-of-arrays slab
+//! ([`crate::router::RouterSlab`]) swept contiguously, routing is
+//! statically dispatched through the [`crate::routing::Routing`] enum,
+//! and fully quiescent stretches are fast-forwarded to the next
+//! scheduled event (see [`Network::try_step`]). All of this is
+//! observationally invisible: delivery digests are bit-identical to the
+//! naive full-scan sweep, which is kept as
+//! [`Network::try_step_reference`] and property-tested against the fast
+//! path.
 
 pub mod fault;
 #[cfg(feature = "sanitize")]
@@ -19,8 +37,8 @@ use crate::error::{ConfigError, SimError};
 use crate::flit::{Cycle, Delivered, Flit, Packet, PacketSlab, PacketSpec};
 use crate::interface::{InjStream, Ni};
 use crate::rng::SimRng;
-use crate::router::{Router, RouterCtx, SaWin};
-use crate::routing::{RouteLut, RoutingAlgorithm, VcBook};
+use crate::router::{RouterCtx, RouterSlab, SaWin};
+use crate::routing::{RouteLut, Routing, VcBook};
 use crate::topology::{Topology, LOCAL_PORT};
 
 /// A workload driving the network.
@@ -40,8 +58,34 @@ pub trait NodeBehavior {
     /// generate more packets unless triggered by a delivery).
     /// [`Network::drain`] stops only when both the network is idle and
     /// the behavior is quiescent.
+    ///
+    /// Contract: while this returns true, `pull` must return `None` for
+    /// every node *without observable side effects*. The engine relies
+    /// on that to fast-forward over quiescent stretches — the per-cycle
+    /// pulls of skipped cycles are never issued, which must not change
+    /// behavior state.
     fn quiescent(&self) -> bool {
         true
+    }
+
+    /// Batched generation: offer every node its per-cycle pulls in one
+    /// call, feeding each produced packet to `sink` as `(node, spec)`.
+    ///
+    /// The default exactly replays the engine's classic polling loop —
+    /// [`NodeBehavior::pull`] per node in ascending order until `None` —
+    /// so implementors get it for free. Behaviors with a cheap internal
+    /// source (e.g. the open-loop Bernoulli workload) may override it to
+    /// skip two virtual calls per node per cycle, but an override MUST
+    /// be observationally identical to the default: same packets, same
+    /// node order, same RNG consumption, and `pull`/`generate` sharing
+    /// one poll-dedup state — the engine falls back to per-node `pull`
+    /// on fault-degraded networks, where dead NIs are never polled.
+    fn generate(&mut self, nodes: usize, cycle: Cycle, sink: &mut dyn FnMut(usize, PacketSpec)) {
+        for node in 0..nodes {
+            while let Some(spec) = self.pull(node, cycle) {
+                sink(node, spec);
+            }
+        }
     }
 }
 
@@ -85,16 +129,37 @@ fn fnv1a(mut hash: u64, value: u64) -> u64 {
 /// FNV-1a offset basis (the digest's initial value).
 pub const DIGEST_SEED: u64 = 0xcbf2_9ce4_8422_2325;
 
+/// Set bit `i` in a `u64`-word bitset.
+#[inline]
+fn bit_set(words: &mut [u64], i: usize) {
+    words[i >> 6] |= 1 << (i & 63);
+}
+
+/// Clear bit `i`.
+#[inline]
+fn bit_clear(words: &mut [u64], i: usize) {
+    words[i >> 6] &= !(1 << (i & 63));
+}
+
+/// Test bit `i`.
+#[inline]
+fn bit_test(words: &[u64], i: usize) -> bool {
+    words[i >> 6] & (1 << (i & 63)) != 0
+}
+
 /// The simulated network.
 pub struct Network {
     cfg: NetConfig,
     topo: Arc<dyn Topology>,
-    routing: Arc<dyn RoutingAlgorithm>,
+    /// Statically dispatched routing algorithm: per-flit route calls
+    /// inline instead of going through a vtable.
+    routing: Routing,
     /// Flat route tables precomputed at construction; the allocation hot
     /// path reads these instead of recomputing coordinates every cycle.
     lut: RouteLut,
     book: VcBook,
-    routers: Vec<Router>,
+    /// All router state, network-wide struct-of-arrays.
+    routers: RouterSlab,
     /// Directed links indexed `router * (ports-1) + (port-1)`; `None`
     /// where a mesh edge has no neighbor.
     links: Vec<Option<Link>>,
@@ -116,6 +181,22 @@ pub struct Network {
     active_links: Vec<u32>,
     /// Membership bitmap for `active_links`.
     link_busy: Vec<bool>,
+    /// Bitset of routers with at least one buffered flit. Maintained at
+    /// every deposit; `route_and_switch` sweeps only set bits (clearing
+    /// those that went idle), so allocation is O(active routers).
+    active_r: Vec<u64>,
+    /// Bitset of NIs with a non-empty ejection or local-delivery queue;
+    /// `ejections` visits only these.
+    ni_pending: Vec<u64>,
+    /// Bitset of NIs with injection-side work: queued packets, an open
+    /// injection stream, or undelivered injection credits. `injections`
+    /// touches the NI state of a node only when its bit is set.
+    ni_work: Vec<u64>,
+    /// Packets queued for injection plus open injection streams, summed
+    /// over all NIs. Zero means no NI can inject a flit this cycle,
+    /// which (with empty active sets and a quiescent behavior) licenses
+    /// the quiescent-cycle fast-forward.
+    inj_backlog: u64,
     /// Observability collector; `None` (the default) leaves the metrics
     /// hook as a single branch per cycle (see [`crate::metrics`]).
     metrics: Option<Box<crate::metrics::Collector>>,
@@ -135,11 +216,10 @@ impl Network {
     pub fn new(cfg: NetConfig) -> Result<Self, ConfigError> {
         let book = cfg.validate()?;
         let topo = cfg.topology.build();
-        let routing = cfg.routing.build();
+        let routing = cfg.routing.build_static();
         let n = topo.num_nodes();
         let ports = topo.num_ports();
-        let routers =
-            (0..n).map(|i| Router::new(i, ports, cfg.vcs, cfg.vc_buf)).collect::<Vec<_>>();
+        let routers = RouterSlab::new(n, ports, cfg.vcs, cfg.vc_buf);
         let mut links = Vec::with_capacity(n * (ports - 1));
         for r in 0..n {
             for p in 1..ports {
@@ -168,6 +248,7 @@ impl Network {
                 }
             }
         }
+        let words = n.div_ceil(64);
         let metrics =
             cfg.metrics.map(|bin| Box::new(crate::metrics::Collector::new(bin, n_links, n)));
         Ok(Self {
@@ -188,6 +269,10 @@ impl Network {
             up_link,
             active_links: Vec::new(),
             link_busy: vec![false; n_links],
+            active_r: vec![0; words],
+            ni_pending: vec![0; words],
+            ni_work: vec![0; words],
+            inj_backlog: 0,
             metrics,
             fault: None,
             survivors: None,
@@ -253,12 +338,12 @@ impl Network {
     /// [`crate::router::PipelineStats`]).
     pub fn pipeline_stats(&self) -> crate::router::PipelineStats {
         let mut total = crate::router::PipelineStats::default();
-        for r in &self.routers {
-            total.va_grants += r.pipeline.va_grants;
-            total.va_blocked += r.pipeline.va_blocked;
-            total.sa_grants += r.pipeline.sa_grants;
-            total.sa_credit_starved += r.pipeline.sa_credit_starved;
-            total.sa_conflicts += r.pipeline.sa_conflicts;
+        for p in self.routers.pipelines() {
+            total.va_grants += p.va_grants;
+            total.va_blocked += p.va_blocked;
+            total.sa_grants += p.sa_grants;
+            total.sa_credit_starved += p.sa_credit_starved;
+            total.sa_conflicts += p.sa_conflicts;
         }
         total
     }
@@ -310,7 +395,8 @@ impl Network {
     pub fn debug_state(&self) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
-        for r in &self.routers {
+        for ri in 0..self.routers.len() {
+            let r = self.routers.router(ri);
             for p in 0..r.ports() {
                 for v in 0..r.vcs() {
                     let ivc = r.input(p, v);
@@ -319,8 +405,7 @@ impl Network {
                     }
                     let _ = write!(
                         out,
-                        "router {} in[{p}][{v}]: state {:?} qlen {} pkt {}",
-                        r.id,
+                        "router {ri} in[{p}][{v}]: state {:?} qlen {} pkt {}",
                         ivc.state,
                         ivc.qlen(),
                         ivc.pkt
@@ -371,7 +456,8 @@ impl Network {
         router * (self.topo.num_ports() - 1) + (port - 1)
     }
 
-    /// Advance one cycle.
+    /// Advance one cycle (possibly fast-forwarding, see
+    /// [`Network::try_step`]).
     ///
     /// # Panics
     /// On a [`SimError`] — an engine-integrity fault that a correct
@@ -385,14 +471,48 @@ impl Network {
 
     /// Advance one cycle, surfacing integrity faults as values.
     ///
+    /// When the network is fully quiescent — no buffered flit anywhere,
+    /// nothing queued to inject, and the behavior reports
+    /// [`NodeBehavior::quiescent`] — but links or NI queues hold
+    /// future-ready events, the cycle counter jumps directly to the
+    /// earliest such event before the sweep runs, so dead time between
+    /// events costs one step instead of one step per cycle. The skip is
+    /// disabled while a fault plan or the metrics collector is
+    /// installed (both observe individual cycles), and every observable
+    /// (delivery times, digests, counters) is bit-identical to stepping
+    /// through the skipped cycles one by one.
+    ///
     /// # Errors
     /// Any [`SimError`]: structural faults (buffer/credit accounting,
     /// dead ports) always; invariant violations and watchdog timeouts
     /// additionally when the `sanitize` feature is enabled.
     pub fn try_step(&mut self, behavior: &mut dyn NodeBehavior) -> Result<(), SimError> {
-        let t = self.cycle;
+        self.try_step_inner(behavior, Cycle::MAX)
+    }
+
+    /// One cycle of the event-driven sweep, fast-forwarding at most to
+    /// `limit` (so [`Network::run`] can land exactly on its target).
+    fn try_step_inner(
+        &mut self,
+        behavior: &mut dyn NodeBehavior,
+        limit: Cycle,
+    ) -> Result<(), SimError> {
+        let mut t = self.cycle;
         if self.fault.is_some() {
             self.fault_pre_step(t);
+        } else if self.metrics.is_none()
+            && self.inj_backlog == 0
+            && self.active_r.iter().all(|&w| w == 0)
+            && behavior.quiescent()
+        {
+            // quiescent-cycle fast-forward: nothing can change state
+            // before the next scheduled event, so jump straight to it
+            if let Some(next) = self.next_event_cycle() {
+                if next > t {
+                    t = next.min(limit);
+                    self.cycle = t;
+                }
+            }
         }
         self.arrivals(t)?;
         self.ejections(t, behavior);
@@ -412,15 +532,77 @@ impl Network {
         Ok(())
     }
 
-    /// Advance `cycles` cycles.
+    /// Reference single-cycle sweep: full O(n) scans over every router
+    /// and NI, no worklists, no fast-forward. This is the semantic
+    /// baseline the event-driven hot path is property-tested against
+    /// (delivery digests must match bit-for-bit); it is not meant for
+    /// production use.
+    #[doc(hidden)]
+    pub fn try_step_reference(&mut self, behavior: &mut dyn NodeBehavior) -> Result<(), SimError> {
+        let t = self.cycle;
+        if self.fault.is_some() {
+            self.fault_pre_step(t);
+        }
+        self.arrivals(t)?;
+        self.ejections_reference(t, behavior);
+        self.injections_reference(t, behavior)?;
+        self.route_and_switch_reference(t)?;
+        if self.metrics.is_some() {
+            let mut m = self.metrics.take().expect("checked is_some");
+            m.tick(t, &self.routers, &self.links, &self.stats);
+            self.metrics = Some(m);
+        }
+        self.cycle = t + 1;
+        #[cfg(feature = "sanitize")]
+        self.sanitize_check()?;
+        Ok(())
+    }
+
+    /// Earliest future cycle with a scheduled state change while the
+    /// network is quiescent: the minimum over in-flight flit arrivals
+    /// and pending NI ejection/local-delivery ready times. In-flight
+    /// *credits* are deliberately ignored: with no flit buffered
+    /// anywhere and nothing queued to inject, credits only top counters
+    /// back up — absorbing one later than its ready time is
+    /// observationally identical, because no injection or switch bid
+    /// can consult it before the next flit event anyway.
+    fn next_event_cycle(&self) -> Option<Cycle> {
+        let mut next: Option<Cycle> = None;
+        for &li in &self.active_links {
+            if let Some(c) = self.links[li as usize].as_ref().and_then(Link::next_flit_ready) {
+                next = Some(next.map_or(c, |n: Cycle| n.min(c)));
+            }
+        }
+        for wi in 0..self.ni_pending.len() {
+            let mut word = self.ni_pending[wi];
+            while word != 0 {
+                let node = (wi << 6) + word.trailing_zeros() as usize;
+                word &= word - 1;
+                let ni = &self.nis[node];
+                if let Some(&(c, _)) = ni.eject_q.front() {
+                    next = Some(next.map_or(c, |n: Cycle| n.min(c)));
+                }
+                if let Some(&(c, _)) = ni.local_q.front() {
+                    next = Some(next.map_or(c, |n: Cycle| n.min(c)));
+                }
+            }
+        }
+        next
+    }
+
+    /// Advance `cycles` cycles (exactly — fast-forward is capped so the
+    /// final step lands on the target cycle).
     pub fn run(&mut self, cycles: u64, behavior: &mut dyn NodeBehavior) {
-        for _ in 0..cycles {
-            self.step(behavior);
+        let target = self.cycle + cycles;
+        while self.cycle < target {
+            if let Err(e) = self.try_step_inner(behavior, target - 1) {
+                panic!("simulation integrity failure: {e}");
+            }
         }
     }
 
     /// Step until the network is idle *and* the behavior is quiescent, or
-    /// until `max_cycles` elapse; returns true if fully drained.
+    /// until `max_cycles` steps elapse; returns true if fully drained.
     pub fn drain(&mut self, behavior: &mut dyn NodeBehavior, max_cycles: u64) -> bool {
         for _ in 0..max_cycles {
             self.step(behavior);
@@ -461,10 +643,11 @@ impl Network {
             let link = self.links[li].as_mut().expect("active link exists");
             let (dr, dp) = (link.dst_router, link.dst_port);
             while let Some(vc) = link.pop_credit(t) {
-                self.routers[src_router].credit(src_port, vc as usize)?;
+                self.routers.router_mut(src_router).credit(src_port, vc as usize)?;
             }
             while let Some(flit) = self.links[li].as_mut().and_then(|link| link.pop_flit(t)) {
-                self.routers[dr].deposit(dp, flit)?;
+                self.routers.router_mut(dr).deposit(dp, flit)?;
+                bit_set(&mut self.active_r, dr);
             }
             if self.links[li].as_ref().is_some_and(|l| !l.is_idle()) {
                 i += 1;
@@ -477,39 +660,46 @@ impl Network {
     }
 
     /// Deliver ejected and self-addressed packets whose time has come.
+    /// Visits only NIs with pending queues, in ascending node order
+    /// (matching the reference full scan, since delivery order feeds the
+    /// digest).
     fn ejections(&mut self, t: Cycle, behavior: &mut dyn NodeBehavior) {
-        for node in 0..self.nis.len() {
-            while let Some(&(ready, flit)) = self.nis[node].eject_q.front() {
-                if ready > t {
-                    break;
-                }
-                self.nis[node].eject_q.pop_front();
-                self.stats.flits_ejected += 1;
-                self.stats.node_delivered[node] += 1;
-                if flit.tail {
-                    // duplicate retransmissions and arrivals at a dead
-                    // NI are absorbed before the behavior sees them
-                    let deliver = self.fault_on_tail(node, flit.pkt);
-                    let pkt = self.packets.remove(flit.pkt);
-                    if deliver {
-                        self.stats.packets_delivered += 1;
-                        let d = delivered_of(&pkt);
-                        self.stats.delivery_digest =
-                            fold_digest(self.stats.delivery_digest, &d, node, t);
-                        behavior.deliver(node, &d, t);
-                    }
+        for wi in 0..self.ni_pending.len() {
+            let mut word = self.ni_pending[wi];
+            while word != 0 {
+                let node = (wi << 6) + word.trailing_zeros() as usize;
+                word &= word - 1;
+                self.eject_node(node, t, behavior);
+                if self.nis[node].eject_q.is_empty() && self.nis[node].local_q.is_empty() {
+                    bit_clear(&mut self.ni_pending, node);
                 }
             }
-            while let Some(&(ready, pid)) = self.nis[node].local_q.front() {
-                if ready > t {
-                    break;
-                }
-                self.nis[node].local_q.pop_front();
-                let deliver = self.fault_on_tail(node, pid);
-                let pkt = self.packets.remove(pid);
+        }
+    }
+
+    /// Reference twin of [`Network::ejections`]: scan every NI.
+    fn ejections_reference(&mut self, t: Cycle, behavior: &mut dyn NodeBehavior) {
+        for node in 0..self.nis.len() {
+            self.eject_node(node, t, behavior);
+        }
+    }
+
+    /// Drain one NI's due ejections and local deliveries.
+    fn eject_node(&mut self, node: usize, t: Cycle, behavior: &mut dyn NodeBehavior) {
+        while let Some(&(ready, flit)) = self.nis[node].eject_q.front() {
+            if ready > t {
+                break;
+            }
+            self.nis[node].eject_q.pop_front();
+            self.stats.flits_ejected += 1;
+            self.stats.node_delivered[node] += 1;
+            if flit.tail {
+                // duplicate retransmissions and arrivals at a dead
+                // NI are absorbed before the behavior sees them
+                let deliver = self.fault_on_tail(node, flit.pkt);
+                let pkt = self.packets.remove(flit.pkt);
                 if deliver {
                     self.stats.packets_delivered += 1;
-                    self.stats.self_delivered += 1;
                     let d = delivered_of(&pkt);
                     self.stats.delivery_digest =
                         fold_digest(self.stats.delivery_digest, &d, node, t);
@@ -517,74 +707,185 @@ impl Network {
                 }
             }
         }
+        while let Some(&(ready, pid)) = self.nis[node].local_q.front() {
+            if ready > t {
+                break;
+            }
+            self.nis[node].local_q.pop_front();
+            let deliver = self.fault_on_tail(node, pid);
+            let pkt = self.packets.remove(pid);
+            if deliver {
+                self.stats.packets_delivered += 1;
+                self.stats.self_delivered += 1;
+                let d = delivered_of(&pkt);
+                self.stats.delivery_digest = fold_digest(self.stats.delivery_digest, &d, node, t);
+                behavior.deliver(node, &d, t);
+            }
+        }
     }
 
     /// Pull new packets from the behavior and inject up to one flit per
-    /// node into the router fabric.
+    /// node into the router fabric. On a healthy network, generation is
+    /// one batched [`NodeBehavior::generate`] call and NI state is only
+    /// touched for nodes with injection work pending (`ni_work` bit
+    /// set), so a quiet cycle costs O(packets + pending NIs), not O(n).
     fn injections(&mut self, t: Cycle, behavior: &mut dyn NodeBehavior) -> Result<(), SimError> {
         let n = self.num_nodes();
-        let classes = self.cfg.classes;
+        if self.fault.is_some() {
+            // degraded mode: dead NIs must not be polled at all (their
+            // generator state freezes), so keep the per-node loop
+            for node in 0..n {
+                if self.fault_node_dead(node) {
+                    // a dead NI stops producing; packets mid-injection
+                    // still drain below into the (dead) fabric around it
+                    if bit_test(&self.ni_work, node) {
+                        self.nis[node].absorb_credits(t);
+                        self.inject_one_flit(node, t)?;
+                        self.clear_ni_work_if_drained(node);
+                    }
+                    continue;
+                }
+                self.pull_packets(node, t, behavior);
+                if !bit_test(&self.ni_work, node) {
+                    continue;
+                }
+                self.nis[node].absorb_credits(t);
+                self.inject_one_flit(node, t)?;
+                self.clear_ni_work_if_drained(node);
+            }
+            return Ok(());
+        }
+        self.generate_packets(t, behavior);
+        // ascending-node bitset walk, matching the reference full scan
+        for wi in 0..self.ni_work.len() {
+            let mut word = self.ni_work[wi];
+            while word != 0 {
+                let node = (wi << 6) + word.trailing_zeros() as usize;
+                word &= word - 1;
+                self.nis[node].absorb_credits(t);
+                self.inject_one_flit(node, t)?;
+                self.clear_ni_work_if_drained(node);
+            }
+        }
+        Ok(())
+    }
+
+    /// Reference twin of [`Network::injections`]: touch every NI
+    /// unconditionally (same observable behavior — an NI whose work bit
+    /// is clear has nothing to absorb or inject). Generation goes
+    /// through the same batched path as the worklist sweep so both see
+    /// one identical `generate` call per cycle.
+    fn injections_reference(
+        &mut self,
+        t: Cycle,
+        behavior: &mut dyn NodeBehavior,
+    ) -> Result<(), SimError> {
+        let n = self.num_nodes();
+        if self.fault.is_some() {
+            for node in 0..n {
+                if self.fault_node_dead(node) {
+                    self.nis[node].absorb_credits(t);
+                    self.inject_one_flit(node, t)?;
+                    continue;
+                }
+                self.pull_packets(node, t, behavior);
+                self.nis[node].absorb_credits(t);
+                self.inject_one_flit(node, t)?;
+            }
+            return Ok(());
+        }
+        self.generate_packets(t, behavior);
         for node in 0..n {
             self.nis[node].absorb_credits(t);
-
-            if self.fault_node_dead(node) {
-                // a dead NI stops producing; packets mid-injection
-                // still drain below into the (dead) fabric around it
-                self.inject_one_flit(node, t)?;
-                continue;
-            }
-
-            // pull freshly generated packets into source queues
-            while let Some(spec) = behavior.pull(node, t) {
-                assert!(spec.dst < n, "destination {} out of range", spec.dst);
-                assert!(spec.size >= 1, "packets must have at least one flit");
-                assert!(
-                    (spec.class as usize) < classes,
-                    "class {} exceeds configured {classes}",
-                    spec.class
-                );
-                if let Some(m) = self.traffic_matrix.as_mut() {
-                    m[node * n + spec.dst] += 1;
-                }
-                if spec.dst == node {
-                    // local delivery: bypass the fabric with router-only latency
-                    let pid = self.packets.insert(Packet {
-                        uid: 0,
-                        src: node,
-                        dst: node,
-                        size: spec.size,
-                        class: spec.class,
-                        birth: t,
-                        inject: t,
-                        route: crate::routing::RouteState::direct(),
-                        payload: spec.payload,
-                    });
-                    let ready = t + self.cfg.router_delay as Cycle + 1;
-                    self.nis[node].local_q.push_back((ready, pid));
-                } else {
-                    let route =
-                        self.routing.init(self.topo.as_ref(), node, spec.dst, &mut self.rng);
-                    let pid = self.packets.insert(Packet {
-                        uid: 0,
-                        src: node,
-                        dst: spec.dst,
-                        size: spec.size,
-                        class: spec.class,
-                        birth: t,
-                        inject: u64::MAX,
-                        route,
-                        payload: spec.payload,
-                    });
-                    self.nis[node].class_q[spec.class as usize].push_back(pid);
-                    if self.fault.is_some() {
-                        self.fault_register(node, pid, spec, t);
-                    }
-                }
-            }
-
             self.inject_one_flit(node, t)?;
         }
         Ok(())
+    }
+
+    /// Admit this cycle's generated packets via one batched
+    /// [`NodeBehavior::generate`] call. Interleaving all generation
+    /// ahead of all NI injection is observation-equivalent to the
+    /// classic per-node pull-then-inject loop: generation never reads
+    /// fabric state, and node `i`'s injection touches only node `i`'s
+    /// NI and router.
+    fn generate_packets(&mut self, t: Cycle, behavior: &mut dyn NodeBehavior) {
+        let n = self.num_nodes();
+        behavior.generate(n, t, &mut |node, spec| self.admit_packet(node, spec, t));
+    }
+
+    /// Pull freshly generated packets at `node` into its source queues
+    /// (the per-node polling path, used on fault-degraded networks).
+    fn pull_packets(&mut self, node: usize, t: Cycle, behavior: &mut dyn NodeBehavior) {
+        while let Some(spec) = behavior.pull(node, t) {
+            self.admit_packet(node, spec, t);
+        }
+    }
+
+    /// Admit one freshly generated packet at `node` into its source
+    /// queues.
+    fn admit_packet(&mut self, node: usize, spec: PacketSpec, t: Cycle) {
+        let n = self.num_nodes();
+        let classes = self.cfg.classes;
+        {
+            assert!(spec.dst < n, "destination {} out of range", spec.dst);
+            assert!(spec.size >= 1, "packets must have at least one flit");
+            assert!(
+                (spec.class as usize) < classes,
+                "class {} exceeds configured {classes}",
+                spec.class
+            );
+            if let Some(m) = self.traffic_matrix.as_mut() {
+                m[node * n + spec.dst] += 1;
+            }
+            if spec.dst == node {
+                // local delivery: bypass the fabric with router-only latency
+                let pid = self.packets.insert(Packet {
+                    uid: 0,
+                    src: node,
+                    dst: node,
+                    size: spec.size,
+                    class: spec.class,
+                    birth: t,
+                    inject: t,
+                    route: crate::routing::RouteState::direct(),
+                    payload: spec.payload,
+                });
+                let ready = t + self.cfg.router_delay as Cycle + 1;
+                self.nis[node].local_q.push_back((ready, pid));
+                bit_set(&mut self.ni_pending, node);
+            } else {
+                let route = self.routing.init(self.topo.as_ref(), node, spec.dst, &mut self.rng);
+                let pid = self.packets.insert(Packet {
+                    uid: 0,
+                    src: node,
+                    dst: spec.dst,
+                    size: spec.size,
+                    class: spec.class,
+                    birth: t,
+                    inject: u64::MAX,
+                    route,
+                    payload: spec.payload,
+                });
+                self.nis[node].class_q[spec.class as usize].push_back(pid);
+                self.inj_backlog += 1;
+                bit_set(&mut self.ni_work, node);
+                if self.fault.is_some() {
+                    self.fault_register(node, pid, spec, t);
+                }
+            }
+        }
+    }
+
+    /// Clear `node`'s injection-work bit once its NI holds no queued
+    /// packet, no open stream, and no undelivered credit.
+    fn clear_ni_work_if_drained(&mut self, node: usize) {
+        let ni = &self.nis[node];
+        if ni.credit_q.is_empty()
+            && ni.stream.iter().all(Option::is_none)
+            && ni.class_q.iter().all(std::collections::VecDeque::is_empty)
+        {
+            bit_clear(&mut self.ni_work, node);
+        }
     }
 
     /// Inject at most one flit at `node` (1 flit/cycle/node injection
@@ -610,6 +911,7 @@ impl Network {
             let mask = self.book.injection(c);
             let Some(vc) = self.nis[node].pick_inj_vc(mask) else { continue };
             self.nis[node].class_q[c].pop_front();
+            self.inj_backlog -= 1;
             self.packets.get_mut(pid).inject = t;
             self.stats.packets_injected += 1;
             let s = InjStream { pkt: pid, vc, next_seq: 0 };
@@ -617,6 +919,7 @@ impl Network {
             if size > 1 {
                 self.nis[node].inj_busy[vc as usize] = true;
                 self.nis[node].stream[c] = Some(s);
+                self.inj_backlog += 1;
             }
             self.emit_flit(node, c, s, t)?;
             self.nis[node].class_rr = (c + 1) % classes;
@@ -638,7 +941,8 @@ impl Network {
         if self.nis[node].inj_credits[s.vc as usize] == 0 {
             return Err(SimError::CreditUnderflow { node, vc: s.vc as usize });
         }
-        self.routers[node].deposit(LOCAL_PORT, flit)?;
+        self.routers.router_mut(node).deposit(LOCAL_PORT, flit)?;
+        bit_set(&mut self.active_r, node);
         self.nis[node].inj_credits[s.vc as usize] -= 1;
         self.stats.flits_injected += 1;
         self.stats.node_injected[node] += 1;
@@ -647,6 +951,7 @@ impl Network {
             if size > 1 {
                 self.nis[node].inj_busy[s.vc as usize] = false;
                 self.nis[node].stream[class] = None;
+                self.inj_backlog -= 1;
             }
         } else if size > 1 {
             self.nis[node].stream[class] =
@@ -655,90 +960,180 @@ impl Network {
         Ok(())
     }
 
-    /// Run VC allocation and switch allocation on every router, then move
+    /// Run VC allocation and switch allocation on routers in the active
+    /// set (ascending id, matching the reference full scan), then move
     /// winning flits onto links (or into ejection) and return credits.
+    /// Routers that went idle are dropped from the set.
     fn route_and_switch(&mut self, t: Cycle) -> Result<(), SimError> {
         let tr = self.cfg.router_delay as Cycle;
-        let n = self.num_nodes();
+        let ports1 = self.topo.num_ports() - 1;
         // the context and the winner scratch buffer are shared by every
         // router this cycle; building/taking them once keeps the
         // per-router loop free of setup cost
         let ctx = RouterCtx {
             topo: self.topo.as_ref(),
-            routing: self.routing.as_ref(),
+            routing: &self.routing,
             lut: &self.lut,
             book: &self.book,
             arb: self.cfg.arbitration,
             survivors: self.survivors.as_deref(),
         };
         let mut wins = std::mem::take(&mut self.win_buf);
-        for r in 0..n {
-            if self.routers[r].is_idle() {
-                continue; // no buffered flit: nothing to allocate
-            }
-            if let Err(e) = self.routers[r].vc_allocate(&ctx, &mut self.packets) {
-                self.win_buf = wins;
-                return Err(e);
-            }
-            wins.clear();
-            if let Err(e) = self.routers[r].switch_allocate(&ctx, &self.packets, &mut wins) {
-                self.win_buf = wins;
-                return Err(e);
-            }
-            for wi in 0..wins.len() {
-                let w = wins[wi];
-                // forward the flit
-                if w.out_port as usize == LOCAL_PORT {
-                    self.nis[r].eject_q.push_back((t + tr, w.flit));
-                } else {
-                    let li = self.link_idx(r, w.out_port as usize);
-                    // a faulty channel may swallow the flit instead of
-                    // carrying it (the credit is refunded inside)
-                    let swallowed = match self.fault.as_deref_mut() {
-                        Some(f) => {
-                            let r2 = &mut self.routers[r];
-                            match f.swallow(&mut self.stats, &mut self.packets, r2, li, &w) {
-                                Ok(s) => s,
-                                Err(e) => {
-                                    self.win_buf = wins;
-                                    return Err(e);
-                                }
-                            }
-                        }
-                        None => false,
-                    };
-                    if !swallowed {
-                        let Some(link) = self.links[li].as_mut() else {
-                            self.win_buf = wins;
-                            return Err(SimError::DeadPort {
-                                router: r,
-                                port: w.out_port as usize,
-                            });
-                        };
-                        let ready = t + tr + link.delay as Cycle;
-                        link.push_flit(ready, w.flit);
-                        Self::mark_link(&mut self.link_busy, &mut self.active_links, li);
-                    }
+        for wi in 0..self.active_r.len() {
+            // a copied word is safe to iterate: processing router r only
+            // ever clears r's own bit, and bits set during this cycle
+            // (arrival/injection deposits) happened before this phase
+            let mut word = self.active_r[wi];
+            while word != 0 {
+                let r = (wi << 6) + word.trailing_zeros() as usize;
+                word &= word - 1;
+                if self.routers.is_idle(r) {
+                    bit_clear(&mut self.active_r, r);
+                    continue;
                 }
-                // return the credit for the freed input slot
-                if w.in_port as usize == LOCAL_PORT {
-                    self.nis[r].credit_q.push_back((t + 1, w.in_vc));
-                } else {
-                    let li = self.up_link[self.link_idx(r, w.in_port as usize)] as usize;
-                    let Some(link) = self.links.get_mut(li).and_then(Option::as_mut) else {
-                        self.win_buf = wins;
-                        return Err(SimError::NoUpstreamLink {
-                            router: r,
-                            port: w.in_port as usize,
-                        });
-                    };
-                    let ready = t + link.delay as Cycle;
-                    link.push_credit(ready, w.in_vc);
-                    Self::mark_link(&mut self.link_busy, &mut self.active_links, li);
+                if let Err(e) = Self::process_router(
+                    r,
+                    t,
+                    tr,
+                    ports1,
+                    &ctx,
+                    &mut self.routers,
+                    &mut self.packets,
+                    &mut self.links,
+                    &mut self.nis,
+                    &mut self.stats,
+                    self.fault.as_deref_mut(),
+                    &self.up_link,
+                    &mut self.link_busy,
+                    &mut self.active_links,
+                    &mut self.ni_pending,
+                    &mut self.ni_work,
+                    &mut wins,
+                ) {
+                    self.win_buf = wins;
+                    return Err(e);
+                }
+                if self.routers.is_idle(r) {
+                    bit_clear(&mut self.active_r, r);
                 }
             }
         }
         self.win_buf = wins;
+        Ok(())
+    }
+
+    /// Reference twin of [`Network::route_and_switch`]: scan all routers
+    /// in ascending order, skipping idle ones, with no set maintenance.
+    fn route_and_switch_reference(&mut self, t: Cycle) -> Result<(), SimError> {
+        let tr = self.cfg.router_delay as Cycle;
+        let ports1 = self.topo.num_ports() - 1;
+        let ctx = RouterCtx {
+            topo: self.topo.as_ref(),
+            routing: &self.routing,
+            lut: &self.lut,
+            book: &self.book,
+            arb: self.cfg.arbitration,
+            survivors: self.survivors.as_deref(),
+        };
+        let mut wins = std::mem::take(&mut self.win_buf);
+        for r in 0..self.routers.len() {
+            if self.routers.is_idle(r) {
+                continue; // no buffered flit: nothing to allocate
+            }
+            if let Err(e) = Self::process_router(
+                r,
+                t,
+                tr,
+                ports1,
+                &ctx,
+                &mut self.routers,
+                &mut self.packets,
+                &mut self.links,
+                &mut self.nis,
+                &mut self.stats,
+                self.fault.as_deref_mut(),
+                &self.up_link,
+                &mut self.link_busy,
+                &mut self.active_links,
+                &mut self.ni_pending,
+                &mut self.ni_work,
+                &mut wins,
+            ) {
+                self.win_buf = wins;
+                return Err(e);
+            }
+        }
+        self.win_buf = wins;
+        Ok(())
+    }
+
+    /// One router's allocation cycle: VC allocation, switch allocation,
+    /// then forwarding of the winners (flits onto links or ejection
+    /// queues, credits upstream). An associated function taking the
+    /// engine's fields as disjoint borrows so the worklist and reference
+    /// sweeps share it verbatim.
+    #[allow(clippy::too_many_arguments)]
+    fn process_router(
+        r: usize,
+        t: Cycle,
+        tr: Cycle,
+        ports1: usize,
+        ctx: &RouterCtx<'_>,
+        routers: &mut RouterSlab,
+        packets: &mut PacketSlab,
+        links: &mut [Option<Link>],
+        nis: &mut [Ni],
+        stats: &mut NetStats,
+        mut fault: Option<&mut fault::FaultState>,
+        up_link: &[u32],
+        link_busy: &mut [bool],
+        active_links: &mut Vec<u32>,
+        ni_pending: &mut [u64],
+        ni_work: &mut [u64],
+        wins: &mut Vec<SaWin>,
+    ) -> Result<(), SimError> {
+        {
+            let mut router = routers.router_mut(r);
+            router.vc_allocate(ctx, packets)?;
+            wins.clear();
+            router.switch_allocate(ctx, packets, wins)?;
+        }
+        for &w in wins.iter() {
+            // forward the flit
+            if w.out_port as usize == LOCAL_PORT {
+                nis[r].eject_q.push_back((t + tr, w.flit));
+                bit_set(ni_pending, r);
+            } else {
+                let li = r * ports1 + (w.out_port as usize - 1);
+                // a faulty channel may swallow the flit instead of
+                // carrying it (the credit is refunded inside)
+                let swallowed = match fault.as_deref_mut() {
+                    Some(f) => f.swallow(stats, packets, &mut routers.router_mut(r), li, &w)?,
+                    None => false,
+                };
+                if !swallowed {
+                    let Some(link) = links[li].as_mut() else {
+                        return Err(SimError::DeadPort { router: r, port: w.out_port as usize });
+                    };
+                    let ready = t + tr + link.delay as Cycle;
+                    link.push_flit(ready, w.flit);
+                    Self::mark_link(link_busy, active_links, li);
+                }
+            }
+            // return the credit for the freed input slot
+            if w.in_port as usize == LOCAL_PORT {
+                nis[r].credit_q.push_back((t + 1, w.in_vc));
+                bit_set(ni_work, r);
+            } else {
+                let li = up_link[r * ports1 + (w.in_port as usize - 1)] as usize;
+                let Some(link) = links.get_mut(li).and_then(Option::as_mut) else {
+                    return Err(SimError::NoUpstreamLink { router: r, port: w.in_port as usize });
+                };
+                let ready = t + link.delay as Cycle;
+                link.push_credit(ready, w.in_vc);
+                Self::mark_link(link_busy, active_links, li);
+            }
+        }
         Ok(())
     }
 }
@@ -1033,5 +1428,102 @@ mod tests {
         let used: Vec<_> = loads.iter().filter(|(_, c)| *c > 0).collect();
         // 0 -> 1 -> 2 under DOR: exactly two links carry the flit
         assert_eq!(used.len(), 2);
+    }
+
+    // ---- quiescent-cycle fast-forward ---------------------------------
+
+    /// With a large router delay the lone packet spends most of its
+    /// flight on links with every router idle; fast-forward must cover
+    /// those stretches in one step each while delivery timing stays
+    /// cycle-exact.
+    #[test]
+    fn fast_forward_skips_quiescent_cycles_exactly() {
+        let mut net = Network::new(mesh_cfg().with_router_delay(8)).unwrap();
+        let mut b = Script::new(vec![(0, 0, 3, 1)]);
+        let mut steps = 0usize;
+        while b.delivered.is_empty() {
+            net.step(&mut b);
+            steps += 1;
+            assert!(steps < 100, "packet never delivered");
+        }
+        let (_, d, t) = &b.delivered[0];
+        assert_eq!(t - d.birth, 35, "same latency as the no-skip path (tr=8 analytic)");
+        assert!(
+            steps < 36,
+            "fast-forward must use fewer steps than cycles (took {steps} steps for 36 cycles)"
+        );
+        assert_eq!(net.cycle(), t + 1, "delivery step ends one past the delivery cycle");
+    }
+
+    /// Fast-forward lands exactly on the next link or NI ready time —
+    /// every observable (deliveries, digest, final cycle) matches a
+    /// reference run stepped one cycle at a time.
+    #[test]
+    fn fast_forward_matches_reference_observables() {
+        let run = |reference: bool| {
+            let mut net = Network::new(mesh_cfg().with_router_delay(4)).unwrap();
+            let mut b = Script::new(vec![(0, 0, 3, 2), (3, 1, 2, 1), (9, 5, 5, 1)]);
+            let mut steps = 0;
+            while !(net.is_idle() && b.quiescent()) {
+                if reference {
+                    net.try_step_reference(&mut b).unwrap();
+                } else {
+                    net.step(&mut b);
+                }
+                steps += 1;
+                assert!(steps < 10_000);
+            }
+            let log: Vec<(usize, u64, Cycle)> =
+                b.delivered.iter().map(|(n, d, t)| (*n, d.uid, *t)).collect();
+            (net.stats().delivery_digest, net.cycle(), log)
+        };
+        let (fast_digest, fast_cycle, fast_log) = run(false);
+        let (ref_digest, ref_cycle, ref_log) = run(true);
+        assert_eq!(fast_log, ref_log, "same deliveries at the same cycles");
+        assert_eq!(fast_digest, ref_digest, "bit-identical digest");
+        assert_eq!(fast_cycle, ref_cycle, "drain ends on the same cycle");
+    }
+
+    /// A drained network with no scheduled event must not jump: each
+    /// step advances exactly one cycle (there is nothing to jump to).
+    #[test]
+    fn drained_network_steps_one_cycle_at_a_time() {
+        let mut net = Network::new(mesh_cfg()).unwrap();
+        let mut b = Script::new(vec![]);
+        net.step(&mut b);
+        assert_eq!(net.cycle(), 1);
+        net.step(&mut b);
+        assert_eq!(net.cycle(), 2);
+    }
+
+    /// `run(cycles)` must advance exactly `cycles` even when
+    /// fast-forward is active mid-run (the jump is capped at the
+    /// target).
+    #[test]
+    fn run_lands_exactly_on_target_with_fast_forward() {
+        let mut net = Network::new(mesh_cfg().with_router_delay(8)).unwrap();
+        let mut b = Script::new(vec![(0, 0, 3, 1)]);
+        net.run(500, &mut b);
+        assert_eq!(net.cycle(), 500);
+        assert!(net.is_idle());
+        net.run(7, &mut b);
+        assert_eq!(net.cycle(), 507);
+    }
+
+    /// The metrics collector observes every cycle, so enabling it must
+    /// disable the skip: delivering the same packet takes one step per
+    /// cycle.
+    #[test]
+    fn metrics_disable_fast_forward() {
+        let mut net = Network::new(mesh_cfg().with_router_delay(8).with_metrics(64)).unwrap();
+        let mut b = Script::new(vec![(0, 0, 3, 1)]);
+        let mut steps = 0u64;
+        while b.delivered.is_empty() {
+            net.step(&mut b);
+            steps += 1;
+            assert!(steps < 100);
+        }
+        let (_, _, t) = &b.delivered[0];
+        assert_eq!(steps, t + 1, "metrics-on path steps every cycle");
     }
 }

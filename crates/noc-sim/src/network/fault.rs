@@ -65,7 +65,7 @@ use std::collections::{HashMap, HashSet};
 use crate::error::SimError;
 use crate::flit::{Cycle, Packet, PacketId, PacketSlab, PacketSpec};
 use crate::rng::SimRng;
-use crate::router::{Router, SaWin};
+use crate::router::{RouterMut, SaWin};
 use crate::routing::PortSet;
 use crate::topology::Topology;
 
@@ -324,7 +324,7 @@ impl FaultState {
         &mut self,
         stats: &mut NetStats,
         packets: &mut PacketSlab,
-        router: &mut Router,
+        router: &mut RouterMut<'_>,
         li: usize,
         w: &SaWin,
     ) -> Result<bool, SimError> {
@@ -528,6 +528,7 @@ impl Network {
         // transfers are abandoned — nobody is left to retransmit them
         for c in 0..self.cfg.classes {
             while let Some(pid) = self.nis[router].class_q[c].pop_front() {
+                self.inj_backlog -= 1;
                 self.packets.remove(pid);
                 let f = self.fault.as_mut().expect("fault state present");
                 f.stats.packets_dropped += 1;
@@ -594,6 +595,8 @@ impl Network {
                 payload: spec.payload,
             });
             self.nis[node].class_q[spec.class as usize].push_back(pid);
+            self.inj_backlog += 1;
+            super::bit_set(&mut self.ni_work, node);
             let f = self.fault.as_mut().expect("fault state present");
             f.xfer_of.insert(pid, xfer);
             f.stats.retransmissions += 1;

@@ -105,7 +105,8 @@ impl Network {
     /// Injected flits = ejected + buffered + in flight + awaiting
     /// ejection.
     fn check_flit_conservation(&mut self, t: Cycle) -> Result<(), SimError> {
-        let buffered: u64 = self.routers.iter().map(|r| r.buffered_flits() as u64).sum();
+        let buffered: u64 =
+            (0..self.routers.len()).map(|r| self.routers.router(r).buffered_flits() as u64).sum();
         let in_flight: u64 = self.links.iter().flatten().map(|l| l.in_flight() as u64).sum();
         let ejecting: u64 = self.nis.iter().map(|ni| ni.eject_q.len() as u64).sum();
         let accounted =
@@ -139,12 +140,12 @@ impl Network {
                 let Some(link) = self.links[li].as_ref() else { continue };
                 let (dr, dp) = (link.dst_router, link.dst_port);
                 for v in 0..vcs {
-                    let held = self.routers[r].out_vc(p, v).credits as u64;
+                    let held = self.routers.router(r).out_vc(p, v).credits as u64;
                     let credits_in_flight =
                         link.iter_credits().filter(|&&(_, cv)| cv as usize == v).count() as u64;
                     let flits_in_flight =
                         link.iter_flits().filter(|&&(_, f)| f.vc as usize == v).count() as u64;
-                    let downstream = self.routers[dr].q_len(dp, v) as u64;
+                    let downstream = self.routers.router(dr).q_len(dp, v) as u64;
                     let total = held + credits_in_flight + flits_in_flight + downstream;
                     self.san.stats.credit_checks += 1;
                     if total != vc_buf {
@@ -168,7 +169,7 @@ impl Network {
                 let held = ni.inj_credits[v] as u64;
                 let credits_in_flight =
                     ni.credit_q.iter().filter(|&&(_, cv)| cv as usize == v).count() as u64;
-                let buffered = self.routers[r].q_len(LOCAL_PORT, v) as u64;
+                let buffered = self.routers.router(r).q_len(LOCAL_PORT, v) as u64;
                 let total = held + credits_in_flight + buffered;
                 self.san.stats.credit_checks += 1;
                 if total != vc_buf {
@@ -192,12 +193,13 @@ impl Network {
     /// un-allocated VCs start with a head flit.
     fn check_framing(&mut self, t: Cycle) -> Result<(), SimError> {
         // router input buffers
-        for r in &self.routers {
+        for ri in 0..self.routers.len() {
+            let r = self.routers.router(ri);
             for p in 0..r.ports() {
                 for v in 0..r.vcs() {
                     let ivc = r.input(p, v);
                     self.san.stats.framing_checks += 1;
-                    let where_ = || format!("router {} in[{p}][{v}]", r.id);
+                    let where_ = || format!("router {ri} in[{p}][{v}]");
                     self.check_queue_framing(t, r.q_iter(p, v), &where_())?;
                     if ivc.state != VcState::Active {
                         if let Some(front) = r.q_front(p, v) {
@@ -275,7 +277,8 @@ impl Network {
     /// Active input VCs and the output VCs they claimed must agree on
     /// the owning packet, one input per output VC.
     fn check_allocation_consistency(&mut self, t: Cycle) -> Result<(), SimError> {
-        for r in &self.routers {
+        for ri in 0..self.routers.len() {
+            let r = self.routers.router(ri);
             let mut claimed: HashSet<(usize, usize)> = HashSet::new();
             for p in 0..r.ports() {
                 for v in 0..r.vcs() {
@@ -290,9 +293,9 @@ impl Network {
                             cycle: t,
                             check: "allocation consistency",
                             detail: format!(
-                                "router {}: in[{p}][{v}] streams pkt {} through \
+                                "router {ri}: in[{p}][{v}] streams pkt {} through \
                                  out[{op}][{ov}] owned by pkt {owner}",
-                                r.id, ivc.pkt
+                                ivc.pkt
                             ),
                         });
                     }
@@ -301,8 +304,7 @@ impl Network {
                             cycle: t,
                             check: "allocation consistency",
                             detail: format!(
-                                "router {}: out[{op}][{ov}] claimed by two input VCs",
-                                r.id
+                                "router {ri}: out[{op}][{ov}] claimed by two input VCs"
                             ),
                         });
                     }
@@ -347,9 +349,9 @@ impl Network {
         let mut best = String::new();
         let mut best_is_cycle = false;
         for start_r in 0..self.routers.len() {
-            for p in 0..self.routers[start_r].ports() {
-                for v in 0..self.routers[start_r].vcs() {
-                    let ivc = self.routers[start_r].input(p, v);
+            for p in 0..self.routers.ports() {
+                for v in 0..self.routers.vcs() {
+                    let ivc = self.routers.router(start_r).input(p, v);
                     if ivc.state != VcState::Active || ivc.is_empty() {
                         continue;
                     }
@@ -380,7 +382,7 @@ impl Network {
                 let _ = writeln!(out, "  router {r} in[{p}][{v}]  <- cycle closes here");
                 return (out, true);
             }
-            let ivc = self.routers[r].input(p, v);
+            let ivc = self.routers.router(r).input(p, v);
             if ivc.state != VcState::Active {
                 let _ = writeln!(
                     out,
@@ -391,7 +393,7 @@ impl Network {
                 return (out, false);
             }
             let (op, ov) = (ivc.out_port as usize, ivc.out_vc as usize);
-            let credits = self.routers[r].out_vc(op, ov).credits;
+            let credits = self.routers.router(r).out_vc(op, ov).credits;
             let _ = writeln!(
                 out,
                 "  router {r} in[{p}][{v}] (pkt {}, qlen {}) -> out[{op}][{ov}] \

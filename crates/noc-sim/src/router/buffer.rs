@@ -1,11 +1,12 @@
 //! Per-VC input buffers and output-side VC state.
 //!
-//! Flit storage itself lives in one flat ring store owned by the
-//! [`Router`](super::Router) (`ports * vcs * vc_buf` slots, contiguous),
-//! so an `InputVc` is pure metadata: ring head/length plus allocation
-//! state. This keeps the whole per-router buffer state in a handful of
-//! cache lines instead of one small heap allocation per VC, which is
-//! what the allocator scans touch every cycle.
+//! Flit storage itself lives in one flat network-wide ring store owned
+//! by the [`RouterSlab`](super::RouterSlab) (`n * ports * vcs * vc_buf`
+//! slots, contiguous), so an `InputVc` is pure metadata: ring
+//! head/length plus allocation state. This keeps all per-router buffer
+//! state in a handful of cache lines instead of one small heap
+//! allocation per VC, which is what the allocator scans touch every
+//! cycle.
 
 use crate::flit::{PacketId, NO_PACKET};
 

@@ -1,4 +1,5 @@
-//! Input-queued virtual-channel router.
+//! Input-queued virtual-channel routers, stored as one network-wide
+//! struct-of-arrays slab.
 //!
 //! Each cycle a router performs two logical stages:
 //!
@@ -17,6 +18,21 @@
 //! The physical buffer depth is enforced end-to-end by credits: a flit
 //! may only be granted toward an output VC holding credits, and credits
 //! return upstream when flits depart the downstream buffer.
+//!
+//! # Memory layout
+//!
+//! [`RouterSlab`] owns every router's state in flat network-wide arrays
+//! (input VC metadata, flit rings, output VC credits, rotating arbiter
+//! pointers, occupancy counters, pipeline statistics) indexed by router
+//! id, so per-cycle sweeps touch contiguous memory instead of chasing a
+//! `Vec` of per-router heap objects, and O(1) per-router facts (is this
+//! router idle? what is its occupancy?) live in dense arrays the engine
+//! and the metrics collector can scan 64 routers per cache line. The
+//! per-router view types [`RouterMut`] / [`RouterRef`] carry the router
+//! id plus a slab borrow and expose the same method API a standalone
+//! router struct would. Arbitration scratch buffers are shared by the
+//! whole slab — one allocation for the network instead of three per
+//! router.
 
 mod arbiter;
 mod buffer;
@@ -28,7 +44,7 @@ use crate::config::Arbitration;
 use crate::error::SimError;
 use crate::flit::{Flit, PacketSlab, NO_PACKET};
 use crate::network::fault::SurvivorTable;
-use crate::routing::{PortSet, RouteLut, RoutingAlgorithm, VcBook};
+use crate::routing::{PortSet, RouteLut, Routing, VcBook};
 use crate::topology::{Topology, LOCAL_PORT};
 
 /// A switch-allocation winner: one flit leaving the router this cycle.
@@ -73,8 +89,8 @@ pub struct PipelineStats {
 pub struct RouterCtx<'a> {
     /// Topology, for routing and neighbor lookups.
     pub topo: &'a dyn Topology,
-    /// Routing algorithm.
-    pub routing: &'a dyn RoutingAlgorithm,
+    /// Routing algorithm (statically dispatched for the built-ins).
+    pub routing: &'a Routing,
     /// Precomputed route tables for the hot allocation path.
     pub lut: &'a RouteLut,
     /// VC partition.
@@ -87,192 +103,189 @@ pub struct RouterCtx<'a> {
     pub survivors: Option<&'a SurvivorTable>,
 }
 
-/// One router: input VC and output VC state in flat, router-level
-/// arrays (`port * vcs + vc` indexing) so the per-cycle scans walk
-/// contiguous memory instead of chasing per-port heap allocations.
+/// All routers of one network in struct-of-arrays form.
+///
+/// Every array is indexed by router id times a per-router stride; the
+/// fabric is homogeneous, so `ports`/`vcs`/`vc_buf` are stored once.
 #[derive(Debug)]
-pub struct Router {
-    /// Node/router id.
-    pub id: usize,
+pub struct RouterSlab {
+    n: usize,
     ports: usize,
     vcs: usize,
-    /// Input VCs, flattened `[port * vcs + vc]`.
-    pub inputs: Vec<InputVc>,
-    /// Flit storage for every input VC: `vc_buf` ring slots per VC,
-    /// flattened `[(port * vcs + vc) * vc_buf + slot]`. One contiguous
-    /// allocation per router — at default configs the whole store fits
-    /// in a few cache lines, so the per-cycle allocator scans never
-    /// chase per-VC heap queues.
-    flit_buf: Vec<Flit>,
-    /// Output VC state, flattened `[port * vcs + vc]`.
-    pub out_vcs: Vec<OutputVc>,
-    /// Per-output-port rotating pointer for the switch-output arbiter.
-    sa_rr: Vec<usize>,
-    /// Per-output-port rotating pointer for free-VC selection.
-    vc_rr: Vec<usize>,
-    va_ptr: usize,
-    sa_in_ptr: Vec<usize>,
     vc_buf: usize,
-    /// Flits currently buffered across all input VCs; lets the engine
-    /// skip allocation entirely on idle routers (the common case at low
-    /// load) and keeps the hot path allocation-free.
-    occupancy: usize,
-    /// Input VCs currently waiting for VC allocation, maintained
-    /// incrementally so `vc_allocate` can skip its scan when zero.
-    va_wait: usize,
-    /// Input VCs in `Active` state, maintained incrementally so
-    /// `switch_allocate` can skip its scan when zero.
-    active: usize,
-    /// Pipeline event counters for bottleneck analysis.
-    pub pipeline: PipelineStats,
+    /// Input VCs, flattened `[router][port][vc]`.
+    inputs: Vec<InputVc>,
+    /// Flit ring storage, flattened `[router][port][vc][slot]`.
+    flit_buf: Vec<Flit>,
+    /// Output VC state, flattened `[router][port][vc]`.
+    out_vcs: Vec<OutputVc>,
+    /// Per-output-port rotating pointer for the switch-output arbiter,
+    /// flattened `[router][port]`.
+    sa_rr: Vec<u32>,
+    /// Per-output-port rotating pointer for free-VC selection.
+    vc_rr: Vec<u32>,
+    /// Per-input-port rotating pointer for the switch-input arbiter.
+    sa_in_ptr: Vec<u32>,
+    /// Per-router rotating pointer for VC-allocation priority.
+    va_ptr: Vec<u32>,
+    /// Flits buffered per router (O(1) idle checks and occupancy
+    /// sampling sweep a dense array).
+    occupancy: Vec<u32>,
+    /// Input VCs waiting for VC allocation, per router.
+    va_wait: Vec<u32>,
+    /// Input VCs in `Active` state, per router.
+    active: Vec<u32>,
+    /// Bitmask twin of `va_wait`: bit `port * vcs + vc` is set iff that
+    /// input VC awaits allocation. Lets the allocator visit only
+    /// waiting VCs instead of scanning all `ports * vcs` each cycle.
+    wants_mask: Vec<u64>,
+    /// Bitmask twin of `active`: bit `port * vcs + vc` is set iff that
+    /// input VC is in `Active` state (switch-allocation bidders).
+    active_mask: Vec<u64>,
+    /// Pipeline event counters, per router.
+    pipeline: Vec<PipelineStats>,
+    /// Allocator scratch, shared by every router (only one router runs
+    /// its pipeline at a time).
     scratch_eligible: Vec<(usize, u64)>,
     scratch_requests: Vec<(usize, usize, u64)>,
     scratch_cands: Vec<(usize, u64)>,
 }
 
-impl Router {
-    /// Build a router with `ports` ports of `vcs` VCs, `vc_buf`-deep
-    /// input buffers, and matching initial output credits. The ejection
-    /// port (output 0) is an infinite sink.
-    pub fn new(id: usize, ports: usize, vcs: usize, vc_buf: usize) -> Self {
+impl RouterSlab {
+    /// Build `n` routers of `ports` ports, `vcs` VCs per port, and
+    /// `vc_buf`-deep input buffers with matching initial output
+    /// credits. The ejection port (output 0) is an infinite sink.
+    pub fn new(n: usize, ports: usize, vcs: usize, vc_buf: usize) -> Self {
         assert!(
             (1..=u8::MAX as usize).contains(&vc_buf),
             "vc_buf must be in 1..=255 (ring cursors are u8)"
         );
-        let inputs = (0..ports * vcs).map(|_| InputVc::new()).collect();
-        let flit_buf =
-            vec![Flit { pkt: NO_PACKET, seq: 0, vc: 0, tail: false }; ports * vcs * vc_buf];
-        let out_vcs = (0..ports * vcs)
+        assert!(
+            ports * vcs <= 64,
+            "ports * vcs must be <= 64 (input-VC worklists are u64 bitmasks)"
+        );
+        let pv = ports * vcs;
+        let inputs = (0..n * pv).map(|_| InputVc::new()).collect();
+        let flit_buf = vec![Flit { pkt: NO_PACKET, seq: 0, vc: 0, tail: false }; n * pv * vc_buf];
+        let out_vcs = (0..n * pv)
             .map(|f| {
-                let credits = if f / vcs == LOCAL_PORT { u32::MAX } else { vc_buf as u32 };
+                let credits = if (f % pv) / vcs == LOCAL_PORT { u32::MAX } else { vc_buf as u32 };
                 OutputVc::new(credits)
             })
             .collect();
         Self {
-            id,
+            n,
             ports,
             vcs,
+            vc_buf,
             inputs,
             flit_buf,
             out_vcs,
-            sa_rr: vec![0; ports],
-            vc_rr: vec![0; ports],
-            va_ptr: 0,
-            sa_in_ptr: vec![0; ports],
-            vc_buf,
-            occupancy: 0,
-            va_wait: 0,
-            active: 0,
-            pipeline: PipelineStats::default(),
+            sa_rr: vec![0; n * ports],
+            vc_rr: vec![0; n * ports],
+            sa_in_ptr: vec![0; n * ports],
+            va_ptr: vec![0; n],
+            occupancy: vec![0; n],
+            va_wait: vec![0; n],
+            active: vec![0; n],
+            wants_mask: vec![0; n],
+            active_mask: vec![0; n],
+            pipeline: vec![PipelineStats::default(); n],
             scratch_eligible: Vec::new(),
             scratch_requests: Vec::new(),
             scratch_cands: Vec::new(),
         }
     }
 
-    /// True when no flit is buffered anywhere in this router.
-    #[inline]
-    pub fn is_idle(&self) -> bool {
-        self.occupancy == 0
+    /// Number of routers.
+    pub fn len(&self) -> usize {
+        self.n
     }
 
-    /// Flits currently buffered across all input VCs (O(1), maintained
-    /// incrementally — same value as [`Router::buffered_flits`]).
-    #[inline]
-    pub fn occupancy(&self) -> usize {
-        self.occupancy
+    /// True when the slab holds no routers.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
     }
 
-    /// Number of ports.
+    /// Ports per router.
     pub fn ports(&self) -> usize {
         self.ports
     }
 
-    /// Number of VCs per port.
+    /// VCs per port.
     pub fn vcs(&self) -> usize {
         self.vcs
     }
 
-    /// Input VC at (`port`, `vc`).
+    /// True when router `r` buffers no flit anywhere.
     #[inline]
-    pub fn input(&self, port: usize, vc: usize) -> &InputVc {
-        &self.inputs[port * self.vcs + vc]
+    pub fn is_idle(&self, r: usize) -> bool {
+        self.occupancy[r] == 0
     }
 
-    /// Mutable input VC at (`port`, `vc`).
+    /// Per-router buffered-flit counts (dense, for contiguous metric
+    /// sweeps).
     #[inline]
-    pub fn input_mut(&mut self, port: usize, vc: usize) -> &mut InputVc {
-        &mut self.inputs[port * self.vcs + vc]
+    pub fn occupancies(&self) -> &[u32] {
+        &self.occupancy
     }
 
-    /// Output VC state at (`port`, `vc`).
+    /// Per-router pipeline counters (dense).
     #[inline]
-    pub fn out_vc(&self, port: usize, vc: usize) -> &OutputVc {
-        &self.out_vcs[port * self.vcs + vc]
+    pub fn pipelines(&self) -> &[PipelineStats] {
+        &self.pipeline
     }
 
-    /// Mutable output VC state at (`port`, `vc`).
+    /// Immutable view of router `r`.
     #[inline]
-    pub fn out_vc_mut(&mut self, port: usize, vc: usize) -> &mut OutputVc {
-        &mut self.out_vcs[port * self.vcs + vc]
+    pub fn router(&self, r: usize) -> RouterRef<'_> {
+        debug_assert!(r < self.n);
+        RouterRef { slab: self, r }
     }
 
-    /// Front flit of input VC `flat` (`port * vcs + vc`), if any.
+    /// Mutable view of router `r`.
     #[inline]
-    fn q_front_flat(&self, flat: usize) -> Option<&Flit> {
-        let ivc = &self.inputs[flat];
+    pub fn router_mut(&mut self, r: usize) -> RouterMut<'_> {
+        debug_assert!(r < self.n);
+        RouterMut { slab: self, r }
+    }
+
+    // -- internal indexing ------------------------------------------------
+
+    /// Network-flat input/output VC index of router `r`'s `(port, vc)`
+    /// pair given as a router-flat `port * vcs + vc` index.
+    #[inline]
+    fn io(&self, r: usize, flat: usize) -> usize {
+        r * self.ports * self.vcs + flat
+    }
+
+    /// Network-flat per-port index.
+    #[inline]
+    fn pp(&self, r: usize, port: usize) -> usize {
+        r * self.ports + port
+    }
+
+    #[inline]
+    fn q_front_flat(&self, r: usize, flat: usize) -> Option<&Flit> {
+        let gi = self.io(r, flat);
+        let ivc = &self.inputs[gi];
         if ivc.len == 0 {
             None
         } else {
-            Some(&self.flit_buf[flat * self.vc_buf + ivc.head as usize])
+            Some(&self.flit_buf[gi * self.vc_buf + ivc.head as usize])
         }
     }
 
-    /// Append a flit to input VC `flat`. Caller enforces the depth bound.
     #[inline]
-    fn q_push_flat(&mut self, flat: usize, flit: Flit) {
-        let ivc = &mut self.inputs[flat];
-        debug_assert!((ivc.len as usize) < self.vc_buf);
-        let mut slot = ivc.head as usize + ivc.len as usize;
-        if slot >= self.vc_buf {
-            slot -= self.vc_buf;
-        }
-        ivc.len += 1;
-        self.flit_buf[flat * self.vc_buf + slot] = flit;
+    fn q_len_at(&self, r: usize, port: usize, vc: usize) -> usize {
+        self.inputs[self.io(r, port * self.vcs + vc)].qlen()
     }
 
-    /// Pop the front flit of input VC `flat`, if any.
-    #[inline]
-    fn q_pop_flat(&mut self, flat: usize) -> Option<Flit> {
-        let ivc = &mut self.inputs[flat];
-        if ivc.len == 0 {
-            return None;
-        }
-        let slot = ivc.head as usize;
-        ivc.head = if slot + 1 >= self.vc_buf { 0 } else { slot as u8 + 1 };
-        ivc.len -= 1;
-        Some(self.flit_buf[flat * self.vc_buf + slot])
-    }
-
-    /// Buffered flit count of input VC (`port`, `vc`).
-    #[inline]
-    pub fn q_len(&self, port: usize, vc: usize) -> usize {
-        self.inputs[port * self.vcs + vc].qlen()
-    }
-
-    /// Front flit of input VC (`port`, `vc`), if any.
-    #[inline]
-    pub fn q_front(&self, port: usize, vc: usize) -> Option<&Flit> {
-        self.q_front_flat(port * self.vcs + vc)
-    }
-
-    /// Iterate the buffered flits of input VC (`port`, `vc`) front to
-    /// back (sanitizer/debug use; not on the hot path).
-    pub fn q_iter(&self, port: usize, vc: usize) -> impl Iterator<Item = &Flit> + '_ {
-        let flat = port * self.vcs + vc;
-        let ivc = &self.inputs[flat];
+    fn q_iter_at(&self, r: usize, port: usize, vc: usize) -> impl Iterator<Item = &Flit> + '_ {
+        let gi = self.io(r, port * self.vcs + vc);
+        let ivc = &self.inputs[gi];
         let (head, len) = (ivc.head as usize, ivc.len as usize);
-        let base = flat * self.vc_buf;
+        let base = gi * self.vc_buf;
         let cap = self.vc_buf;
         (0..len).map(move |i| {
             let mut slot = head + i;
@@ -283,6 +296,183 @@ impl Router {
         })
     }
 
+    fn buffered_flits_of(&self, r: usize) -> usize {
+        let base = r * self.ports * self.vcs;
+        self.inputs[base..base + self.ports * self.vcs].iter().map(|vc| vc.qlen()).sum()
+    }
+}
+
+/// Immutable per-router view over the slab (sanitizer, metrics, debug
+/// dumps).
+#[derive(Clone, Copy)]
+pub struct RouterRef<'a> {
+    slab: &'a RouterSlab,
+    r: usize,
+}
+
+impl<'a> RouterRef<'a> {
+    /// Router/node id.
+    #[inline]
+    pub fn id(&self) -> usize {
+        self.r
+    }
+
+    /// Number of ports.
+    pub fn ports(&self) -> usize {
+        self.slab.ports
+    }
+
+    /// Number of VCs per port.
+    pub fn vcs(&self) -> usize {
+        self.slab.vcs
+    }
+
+    /// True when no flit is buffered anywhere in this router.
+    #[inline]
+    pub fn is_idle(&self) -> bool {
+        self.slab.occupancy[self.r] == 0
+    }
+
+    /// Flits currently buffered across all input VCs (O(1), maintained
+    /// incrementally — same value as [`RouterRef::buffered_flits`]).
+    #[inline]
+    pub fn occupancy(&self) -> usize {
+        self.slab.occupancy[self.r] as usize
+    }
+
+    /// Input VC at (`port`, `vc`).
+    #[inline]
+    pub fn input(&self, port: usize, vc: usize) -> &'a InputVc {
+        &self.slab.inputs[self.slab.io(self.r, port * self.slab.vcs + vc)]
+    }
+
+    /// Output VC state at (`port`, `vc`).
+    #[inline]
+    pub fn out_vc(&self, port: usize, vc: usize) -> &'a OutputVc {
+        &self.slab.out_vcs[self.slab.io(self.r, port * self.slab.vcs + vc)]
+    }
+
+    /// Buffered flit count of input VC (`port`, `vc`).
+    #[inline]
+    pub fn q_len(&self, port: usize, vc: usize) -> usize {
+        self.slab.q_len_at(self.r, port, vc)
+    }
+
+    /// Front flit of input VC (`port`, `vc`), if any.
+    #[inline]
+    pub fn q_front(&self, port: usize, vc: usize) -> Option<&'a Flit> {
+        self.slab.q_front_flat(self.r, port * self.slab.vcs + vc)
+    }
+
+    /// Iterate the buffered flits of input VC (`port`, `vc`) front to
+    /// back (sanitizer/debug use; not on the hot path).
+    pub fn q_iter(&self, port: usize, vc: usize) -> impl Iterator<Item = &'a Flit> + 'a {
+        self.slab.q_iter_at(self.r, port, vc)
+    }
+
+    /// Total flits buffered across all input VCs, re-derived from the
+    /// queues (the sanitizer's independent recount).
+    pub fn buffered_flits(&self) -> usize {
+        self.slab.buffered_flits_of(self.r)
+    }
+
+    /// Pipeline counters of this router.
+    pub fn pipeline(&self) -> &'a PipelineStats {
+        &self.slab.pipeline[self.r]
+    }
+}
+
+/// Mutable per-router view over the slab — the engine's handle for one
+/// router's cycle work.
+pub struct RouterMut<'a> {
+    slab: &'a mut RouterSlab,
+    r: usize,
+}
+
+impl RouterMut<'_> {
+    /// Router/node id.
+    #[inline]
+    pub fn id(&self) -> usize {
+        self.r
+    }
+
+    /// Number of ports.
+    pub fn ports(&self) -> usize {
+        self.slab.ports
+    }
+
+    /// Number of VCs per port.
+    pub fn vcs(&self) -> usize {
+        self.slab.vcs
+    }
+
+    /// True when no flit is buffered anywhere in this router.
+    #[inline]
+    pub fn is_idle(&self) -> bool {
+        self.slab.occupancy[self.r] == 0
+    }
+
+    /// Flits currently buffered across all input VCs (O(1)).
+    #[inline]
+    pub fn occupancy(&self) -> usize {
+        self.slab.occupancy[self.r] as usize
+    }
+
+    /// Input VC at (`port`, `vc`).
+    #[inline]
+    pub fn input(&self, port: usize, vc: usize) -> &InputVc {
+        &self.slab.inputs[self.slab.io(self.r, port * self.slab.vcs + vc)]
+    }
+
+    /// Output VC state at (`port`, `vc`).
+    #[inline]
+    pub fn out_vc(&self, port: usize, vc: usize) -> &OutputVc {
+        &self.slab.out_vcs[self.slab.io(self.r, port * self.slab.vcs + vc)]
+    }
+
+    /// Mutable output VC state at (`port`, `vc`).
+    #[inline]
+    pub fn out_vc_mut(&mut self, port: usize, vc: usize) -> &mut OutputVc {
+        let gi = self.slab.io(self.r, port * self.slab.vcs + vc);
+        &mut self.slab.out_vcs[gi]
+    }
+
+    /// Front flit of input VC (`port`, `vc`), if any.
+    #[inline]
+    pub fn q_front(&self, port: usize, vc: usize) -> Option<&Flit> {
+        self.slab.q_front_flat(self.r, port * self.slab.vcs + vc)
+    }
+
+    /// Append a flit to input VC `flat`. Caller enforces the depth bound.
+    #[inline]
+    fn q_push_flat(&mut self, flat: usize, flit: Flit) {
+        let gi = self.slab.io(self.r, flat);
+        let vc_buf = self.slab.vc_buf;
+        let ivc = &mut self.slab.inputs[gi];
+        debug_assert!((ivc.len as usize) < vc_buf);
+        let mut slot = ivc.head as usize + ivc.len as usize;
+        if slot >= vc_buf {
+            slot -= vc_buf;
+        }
+        ivc.len += 1;
+        self.slab.flit_buf[gi * vc_buf + slot] = flit;
+    }
+
+    /// Pop the front flit of input VC `flat`, if any.
+    #[inline]
+    fn q_pop_flat(&mut self, flat: usize) -> Option<Flit> {
+        let gi = self.slab.io(self.r, flat);
+        let vc_buf = self.slab.vc_buf;
+        let ivc = &mut self.slab.inputs[gi];
+        if ivc.len == 0 {
+            return None;
+        }
+        let slot = ivc.head as usize;
+        ivc.head = if slot + 1 >= vc_buf { 0 } else { slot as u8 + 1 };
+        ivc.len -= 1;
+        Some(self.slab.flit_buf[gi * vc_buf + slot])
+    }
+
     /// Deposit an arriving flit into its input buffer.
     ///
     /// # Errors
@@ -290,24 +480,25 @@ impl Router {
     /// the upstream router spent a credit it did not have.
     #[inline]
     pub fn deposit(&mut self, port: usize, flit: Flit) -> Result<(), SimError> {
-        let flat = port * self.vcs + flit.vc as usize;
-        let vc = &self.inputs[flat];
-        if vc.qlen() >= self.vc_buf {
+        let flat = port * self.slab.vcs + flit.vc as usize;
+        let vc = &self.slab.inputs[self.slab.io(self.r, flat)];
+        if vc.qlen() >= self.slab.vc_buf {
             return Err(SimError::BufferOverflow {
-                router: self.id,
+                router: self.r,
                 port,
                 vc: flit.vc as usize,
-                depth: self.vc_buf,
+                depth: self.slab.vc_buf,
             });
         }
         // wormhole ordering: an empty, unallocated VC only ever receives
         // a packet head, so this deposit creates an allocation request
         if vc.state == VcState::Idle && vc.is_empty() {
             debug_assert_eq!(flit.seq, 0, "body flit into empty idle VC");
-            self.va_wait += 1;
+            self.slab.va_wait[self.r] += 1;
+            self.slab.wants_mask[self.r] |= 1 << flat;
         }
         self.q_push_flat(flat, flit);
-        self.occupancy += 1;
+        self.slab.occupancy[self.r] += 1;
         Ok(())
     }
 
@@ -318,14 +509,15 @@ impl Router {
     /// downstream buffer depth.
     #[inline]
     pub fn credit(&mut self, port: usize, vc: usize) -> Result<(), SimError> {
-        let out = &mut self.out_vcs[port * self.vcs + vc];
+        let gi = self.slab.io(self.r, port * self.slab.vcs + vc);
+        let out = &mut self.slab.out_vcs[gi];
         if port != LOCAL_PORT {
-            if out.credits >= self.vc_buf as u32 {
+            if out.credits >= self.slab.vc_buf as u32 {
                 return Err(SimError::CreditOverflow {
-                    router: self.id,
+                    router: self.r,
                     port,
                     vc,
-                    depth: self.vc_buf,
+                    depth: self.slab.vc_buf,
                 });
             }
             out.credits += 1;
@@ -333,18 +525,13 @@ impl Router {
         Ok(())
     }
 
-    /// Total flits buffered across all input VCs.
-    pub fn buffered_flits(&self) -> usize {
-        self.inputs.iter().map(|vc| vc.qlen()).sum()
-    }
-
     /// Total credits across VCs of `port` allowed by `mask` that are
     /// currently unowned — the local congestion metric used for adaptive
     /// routing.
     fn free_credit_score(&self, port: usize, mask: u64) -> u64 {
-        let base = port * self.vcs;
+        let base = self.slab.io(self.r, port * self.slab.vcs);
         let mut score = 0;
-        for (v, vc) in self.out_vcs[base..base + self.vcs].iter().enumerate() {
+        for (v, vc) in self.slab.out_vcs[base..base + self.slab.vcs].iter().enumerate() {
             if mask & (1 << v) != 0 && vc.is_free() {
                 score += vc.credits as u64;
             }
@@ -355,8 +542,8 @@ impl Router {
     /// Non-destructive check: does `mask` contain a claimable VC
     /// (unowned with credits) on `port`?
     fn pick_probe(&self, port: usize, mask: u64) -> bool {
-        let base = port * self.vcs;
-        self.out_vcs[base..base + self.vcs]
+        let base = self.slab.io(self.r, port * self.slab.vcs);
+        self.slab.out_vcs[base..base + self.slab.vcs]
             .iter()
             .enumerate()
             .any(|(v, vc)| mask & (1 << v) != 0 && vc.is_free() && vc.credits > 0)
@@ -371,13 +558,14 @@ impl Router {
     /// unallocated, retrying each cycle, until a VC they can actually
     /// enter is available).
     fn pick_free_vc(&mut self, port: usize, mask: u64) -> Option<usize> {
-        let n = self.vcs;
-        let base = port * n;
-        let mut v = self.vc_rr[port];
+        let n = self.slab.vcs;
+        let base = self.slab.io(self.r, port * n);
+        let pp = self.slab.pp(self.r, port);
+        let mut v = self.slab.vc_rr[pp] as usize;
         for _ in 0..n {
-            let ovc = &self.out_vcs[base + v];
+            let ovc = &self.slab.out_vcs[base + v];
             if mask & (1 << v) != 0 && ovc.is_free() && ovc.credits > 0 {
-                self.vc_rr[port] = if v + 1 == n { 0 } else { v + 1 };
+                self.slab.vc_rr[pp] = if v + 1 == n { 0 } else { (v + 1) as u32 };
                 return Some(v);
             }
             v += 1;
@@ -398,13 +586,15 @@ impl Router {
         ctx: &RouterCtx<'_>,
         packets: &mut PacketSlab,
     ) -> Result<(), SimError> {
-        let vcs = self.vcs;
-        let space = self.ports * vcs;
+        let vcs = self.slab.vcs;
+        let space = self.slab.ports * vcs;
+        let r = self.r;
 
         // no VC is waiting for allocation (all buffered flits belong to
         // already-allocated packets): just advance the rotating pointer
-        if self.va_wait == 0 {
-            self.va_ptr = if self.va_ptr + 1 >= space.max(1) { 0 } else { self.va_ptr + 1 };
+        if self.slab.va_wait[r] == 0 {
+            let p = self.slab.va_ptr[r] as usize;
+            self.slab.va_ptr[r] = if p + 1 >= space.max(1) { 0 } else { (p + 1) as u32 };
             return Ok(());
         }
 
@@ -412,23 +602,31 @@ impl Router {
         // only matter to the age-based policy, so round-robin skips the
         // packet-slab lookup entirely (a likely cache miss per VC)
         let age_based = matches!(ctx.arb, Arbitration::AgeBased);
-        let mut eligible = std::mem::take(&mut self.scratch_eligible);
+        let base = self.slab.io(r, 0);
+        let vc_buf = self.slab.vc_buf;
+        let mut eligible = std::mem::take(&mut self.slab.scratch_eligible);
         eligible.clear();
-        for flat in 0..space {
-            let ivc = &self.inputs[flat];
-            if ivc.wants_allocation() {
-                let age = if age_based {
-                    let head = self.flit_buf[flat * self.vc_buf + ivc.head as usize];
-                    packets.get(head.pkt).birth
-                } else {
-                    0
-                };
-                eligible.push((flat, age));
-            }
+        // visit only the waiting VCs (bit i of `wants_mask` ⇔
+        // `inputs[base + i].wants_allocation()`), in the same ascending
+        // order as a full scan
+        let mut wm = self.slab.wants_mask[r];
+        while wm != 0 {
+            let flat = wm.trailing_zeros() as usize;
+            wm &= wm - 1;
+            let ivc = &self.slab.inputs[base + flat];
+            debug_assert!(ivc.wants_allocation());
+            let age = if age_based {
+                let head = self.slab.flit_buf[(base + flat) * vc_buf + ivc.head as usize];
+                packets.get(head.pkt).birth
+            } else {
+                0
+            };
+            eligible.push((flat, age));
         }
         if eligible.is_empty() {
-            self.scratch_eligible = eligible;
-            self.va_ptr = if self.va_ptr + 1 >= space.max(1) { 0 } else { self.va_ptr + 1 };
+            self.slab.scratch_eligible = eligible;
+            let p = self.slab.va_ptr[r] as usize;
+            self.slab.va_ptr[r] = if p + 1 >= space.max(1) { 0 } else { (p + 1) as u32 };
             return Ok(());
         }
         // order by priority, then grant greedily (later grants see
@@ -437,7 +635,7 @@ impl Router {
         if eligible.len() > 1 {
             match ctx.arb {
                 Arbitration::RoundRobin => {
-                    let ptr = self.va_ptr;
+                    let ptr = self.slab.va_ptr[r] as usize;
                     eligible.sort_by_key(|&(idx, _)| {
                         let d = idx + space - ptr;
                         if d >= space {
@@ -455,12 +653,13 @@ impl Router {
         for i in 0..eligible.len() {
             let (flat, _) = eligible[i];
             if let Err(e) = self.try_allocate_one(ctx, packets, flat) {
-                self.scratch_eligible = eligible;
+                self.slab.scratch_eligible = eligible;
                 return Err(e);
             }
         }
-        self.scratch_eligible = eligible;
-        self.va_ptr = if self.va_ptr + 1 >= space { 0 } else { self.va_ptr + 1 };
+        self.slab.scratch_eligible = eligible;
+        let p = self.slab.va_ptr[r] as usize;
+        self.slab.va_ptr[r] = if p + 1 >= space { 0 } else { (p + 1) as u32 };
         Ok(())
     }
 
@@ -472,32 +671,35 @@ impl Router {
         packets: &mut PacketSlab,
         flat: usize,
     ) -> Result<(), SimError> {
+        let id = self.r;
+        let vcs = self.slab.vcs;
         let pid = self
-            .q_front_flat(flat)
+            .slab
+            .q_front_flat(id, flat)
             .ok_or(SimError::MissingFlit {
-                router: self.id,
-                port: flat / self.vcs,
-                vc: flat % self.vcs,
+                router: id,
+                port: flat / vcs,
+                vc: flat % vcs,
                 stage: "VC allocation",
             })?
             .pkt;
         let pkt = packets.get(pid);
         let (class, dst, route) = (pkt.class as usize, pkt.dst, pkt.route);
         let cands = match ctx.survivors {
-            Some(s) if self.id != dst => {
-                let sp = s.ports(self.id, dst);
+            Some(s) if id != dst => {
+                let sp = s.ports(id, dst);
                 if sp.is_empty() {
                     // unreachable in the surviving topology: route as if
                     // healthy — every original path crosses a dead
                     // element, so the packet terminates by being
                     // swallowed there instead of wedging a buffer here
-                    ctx.routing.candidates_lut(ctx.topo, ctx.lut, self.id, dst, &route)
+                    ctx.routing.candidates_lut(ctx.topo, ctx.lut, id, dst, &route)
                 } else {
                     sp
                 }
             }
             Some(_) => PortSet::new(), // at the destination: eject
-            None => ctx.routing.candidates_lut(ctx.topo, ctx.lut, self.id, dst, &route),
+            None => ctx.routing.candidates_lut(ctx.topo, ctx.lut, id, dst, &route),
         };
 
         let claim = if cands.is_empty() {
@@ -508,7 +710,7 @@ impl Router {
             // adaptive: best candidate port by free downstream credits
             let mut best: Option<(usize, u64, crate::routing::RouteState, u64)> = None;
             for port in cands.iter() {
-                let ns = ctx.routing.advance_lut(ctx.topo, ctx.lut, self.id, port, dst, &route);
+                let ns = ctx.routing.advance_lut(ctx.topo, ctx.lut, id, port, dst, &route);
                 let mask = ctx.book.allowed(class, ns.phase as usize, ns.dateline, false);
                 let score = self.free_credit_score(port, mask);
                 let has_free = self.pick_probe(port, mask);
@@ -521,24 +723,28 @@ impl Router {
                 None => {
                     // escape: DOR port, escape VC
                     let port = cands.get(0);
-                    let ns = ctx.routing.advance_lut(ctx.topo, ctx.lut, self.id, port, dst, &route);
+                    let ns = ctx.routing.advance_lut(ctx.topo, ctx.lut, id, port, dst, &route);
                     let mask = ctx.book.allowed(class, ns.phase as usize, ns.dateline, true);
                     self.pick_free_vc(port, mask).map(|vc| (port, vc, ns))
                 }
             }
         } else {
             let port = cands.get(0);
-            let ns = ctx.routing.advance_lut(ctx.topo, ctx.lut, self.id, port, dst, &route);
+            let ns = ctx.routing.advance_lut(ctx.topo, ctx.lut, id, port, dst, &route);
             let mask = ctx.book.allowed(class, ns.phase as usize, ns.dateline, false);
             self.pick_free_vc(port, mask).map(|vc| (port, vc, ns))
         };
 
         if let Some((port, vc, ns)) = claim {
-            self.pipeline.va_grants += 1;
-            self.out_vcs[port * self.vcs + vc].owner = pid;
-            self.va_wait -= 1;
-            self.active += 1;
-            let ivc = &mut self.inputs[flat];
+            self.slab.pipeline[id].va_grants += 1;
+            let gi = self.slab.io(id, port * vcs + vc);
+            self.slab.out_vcs[gi].owner = pid;
+            self.slab.va_wait[id] -= 1;
+            self.slab.wants_mask[id] &= !(1 << flat);
+            self.slab.active[id] += 1;
+            self.slab.active_mask[id] |= 1 << flat;
+            let ii = self.slab.io(id, flat);
+            let ivc = &mut self.slab.inputs[ii];
             ivc.state = VcState::Active;
             ivc.out_port = port as u8;
             ivc.out_vc = vc as u8;
@@ -547,7 +753,7 @@ impl Router {
                 packets.get_mut(pid).route = ns;
             }
         } else {
-            self.pipeline.va_blocked += 1;
+            self.slab.pipeline[id].va_blocked += 1;
         }
         Ok(())
     }
@@ -564,12 +770,14 @@ impl Router {
         packets: &PacketSlab,
         wins: &mut Vec<SaWin>,
     ) -> Result<(), SimError> {
-        let ports = self.ports;
-        let vcs = self.vcs;
+        let ports = self.slab.ports;
+        let vcs = self.slab.vcs;
+        let id = self.r;
+        let base = self.slab.io(id, 0);
 
         // no active VC ⇒ nothing can bid, and the barren scan below
         // would touch no state
-        if self.active == 0 {
+        if self.slab.active[id] == 0 {
             return Ok(());
         }
 
@@ -577,28 +785,41 @@ impl Router {
         // allocation, packet ages are only fetched for the age-based
         // policy
         let age_based = matches!(ctx.arb, Arbitration::AgeBased);
-        let mut requests = std::mem::take(&mut self.scratch_requests); // (in_port, in_vc, age)
-        let mut cands = std::mem::take(&mut self.scratch_cands);
+        let mut requests = std::mem::take(&mut self.slab.scratch_requests); // (in_port, in_vc, age)
+        let mut cands = std::mem::take(&mut self.slab.scratch_cands);
         requests.clear();
+        // per-port slices of `active_mask` visit only Active VCs, in the
+        // same ascending (port, vc) order as a full scan
+        let amask = self.slab.active_mask[id];
+        let vc_bits = (1u64 << vcs) - 1;
         for p in 0..ports {
+            let pmask = (amask >> (p * vcs)) & vc_bits;
+            if pmask == 0 {
+                continue;
+            }
             cands.clear();
-            let base = p * vcs;
-            for v in 0..vcs {
-                let ivc = &self.inputs[base + v];
-                if ivc.state != VcState::Active || ivc.is_empty() {
-                    continue;
+            let mut m = pmask;
+            while m != 0 {
+                let v = m.trailing_zeros() as usize;
+                m &= m - 1;
+                let ivc = &self.slab.inputs[base + p * vcs + v];
+                debug_assert_eq!(ivc.state, VcState::Active);
+                if ivc.is_empty() {
+                    continue; // allocated, but the next body flit is in flight
                 }
                 let op = ivc.out_port as usize;
-                let has_credit =
-                    op == LOCAL_PORT || self.out_vcs[op * vcs + ivc.out_vc as usize].credits > 0;
+                let has_credit = op == LOCAL_PORT
+                    || self.slab.out_vcs[base + op * vcs + ivc.out_vc as usize].credits > 0;
                 if has_credit {
                     let age = if age_based { packets.get(ivc.pkt).birth } else { 0 };
                     cands.push((v, age));
                 } else {
-                    self.pipeline.sa_credit_starved += 1;
+                    self.slab.pipeline[id].sa_credit_starved += 1;
                 }
             }
-            if let Some(pos) = arbitrate(ctx.arb, &cands, self.sa_in_ptr[p], vcs) {
+            if let Some(pos) =
+                arbitrate(ctx.arb, &cands, self.slab.sa_in_ptr[self.slab.pp(id, p)] as usize, vcs)
+            {
                 let (v, age) = cands[pos];
                 requests.push((p, v, age));
             }
@@ -606,30 +827,42 @@ impl Router {
         if requests.is_empty() {
             // nothing bid (e.g. all active VCs credit-starved): the
             // output stage would grant nothing and touch no state
-            self.scratch_requests = requests;
-            self.scratch_cands = cands;
+            self.slab.scratch_requests = requests;
+            self.slab.scratch_cands = cands;
             return Ok(());
         }
 
-        // output stage: one grant per output port
+        // output stage: one grant per output port; only ports someone
+        // requested can grant, so iterate those (ascending, as a full
+        // port scan would)
+        let mut omask = 0u64;
+        for &(p, v, _) in &requests {
+            omask |= 1 << self.slab.inputs[base + p * vcs + v].out_port;
+        }
         let mut granted = 0u64;
-        for o in 0..ports {
+        while omask != 0 {
+            let o = omask.trailing_zeros() as usize;
+            omask &= omask - 1;
             cands.clear();
             cands.extend(
                 requests
                     .iter()
-                    .filter(|&&(p, v, _)| self.inputs[p * vcs + v].out_port as usize == o)
+                    .filter(|&&(p, v, _)| {
+                        self.slab.inputs[base + p * vcs + v].out_port as usize == o
+                    })
                     .map(|&(p, _, age)| (p, age)),
             );
-            let Some(pos) = arbitrate(ctx.arb, &cands, self.sa_rr[o], ports) else {
+            let Some(pos) =
+                arbitrate(ctx.arb, &cands, self.slab.sa_rr[self.slab.pp(id, o)] as usize, ports)
+            else {
                 continue;
             };
             let in_port = cands[pos].0;
             let Some(&(_, in_vc, _)) = requests.iter().find(|&&(p, _, _)| p == in_port) else {
-                self.scratch_requests = requests;
-                self.scratch_cands = cands;
+                self.slab.scratch_requests = requests;
+                self.slab.scratch_cands = cands;
                 return Err(SimError::MissingFlit {
-                    router: self.id,
+                    router: id,
                     port: in_port,
                     vc: 0,
                     stage: "switch allocation (granted port never requested)",
@@ -638,18 +871,18 @@ impl Router {
 
             // commit
             let in_flat = in_port * vcs + in_vc;
-            let out_vc = self.inputs[in_flat].out_vc as usize;
+            let out_vc = self.slab.inputs[base + in_flat].out_vc as usize;
             let Some(mut flit) = self.q_pop_flat(in_flat) else {
-                self.scratch_requests = requests;
-                self.scratch_cands = cands;
+                self.slab.scratch_requests = requests;
+                self.slab.scratch_cands = cands;
                 return Err(SimError::MissingFlit {
-                    router: self.id,
+                    router: id,
                     port: in_port,
                     vc: in_vc,
                     stage: "switch traversal",
                 });
             };
-            self.occupancy -= 1;
+            self.slab.occupancy[id] -= 1;
             flit.vc = out_vc as u8;
             let is_tail = flit.tail;
             debug_assert_eq!(
@@ -658,23 +891,27 @@ impl Router {
                 "flit tail bit disagrees with packet size"
             );
             if o != LOCAL_PORT {
-                self.out_vcs[o * vcs + out_vc].credits -= 1;
+                self.slab.out_vcs[base + o * vcs + out_vc].credits -= 1;
             }
             if is_tail {
-                self.out_vcs[o * vcs + out_vc].owner = NO_PACKET;
-                self.active -= 1;
-                let ivc = &mut self.inputs[in_flat];
+                self.slab.out_vcs[base + o * vcs + out_vc].owner = NO_PACKET;
+                self.slab.active[id] -= 1;
+                self.slab.active_mask[id] &= !(1 << in_flat);
+                let ivc = &mut self.slab.inputs[base + in_flat];
                 ivc.release();
                 // the next packet's head may already be queued behind
                 // the departed tail
                 if !ivc.is_empty() {
-                    self.va_wait += 1;
+                    self.slab.va_wait[id] += 1;
+                    self.slab.wants_mask[id] |= 1 << in_flat;
                 }
             }
-            self.pipeline.sa_grants += 1;
+            self.slab.pipeline[id].sa_grants += 1;
             granted += 1;
-            self.sa_in_ptr[in_port] = if in_vc + 1 == vcs { 0 } else { in_vc + 1 };
-            self.sa_rr[o] = if in_port + 1 == ports { 0 } else { in_port + 1 };
+            let in_pp = self.slab.pp(id, in_port);
+            self.slab.sa_in_ptr[in_pp] = if in_vc + 1 == vcs { 0 } else { (in_vc + 1) as u32 };
+            let out_pp = self.slab.pp(id, o);
+            self.slab.sa_rr[out_pp] = if in_port + 1 == ports { 0 } else { (in_port + 1) as u32 };
             wins.push(SaWin {
                 out_port: o as u8,
                 out_vc: out_vc as u8,
@@ -686,9 +923,9 @@ impl Router {
         }
         // every nomination either won an output grant or collided with
         // one that did
-        self.pipeline.sa_conflicts += requests.len() as u64 - granted;
-        self.scratch_requests = requests;
-        self.scratch_cands = cands;
+        self.slab.pipeline[id].sa_conflicts += requests.len() as u64 - granted;
+        self.slab.scratch_requests = requests;
+        self.slab.scratch_cands = cands;
         Ok(())
     }
 }
@@ -696,9 +933,11 @@ impl Router {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::flit::{Packet, PacketId};
+    use crate::flit::{Packet, PacketId, PacketSlab};
     use crate::routing::{Dor, RouteState, VcBook};
     use crate::topology::{port_plus, KAryNCube};
+
+    static DOR_ROUTING: Routing = Routing::Dor(Dor);
 
     fn mk_packet(src: usize, dst: usize, size: u16, birth: u64) -> Packet {
         Packet {
@@ -745,7 +984,7 @@ mod tests {
         book: &'a VcBook,
         arb: Arbitration,
     ) -> RouterCtx<'a> {
-        RouterCtx { topo, routing: &Dor, lut, book, arb, survivors: None }
+        RouterCtx { topo, routing: &DOR_ROUTING, lut, book, arb, survivors: None }
     }
 
     #[test]
@@ -753,7 +992,8 @@ mod tests {
         let mut fx = Fixture::new();
         // router 0, packet heading to node 3 (straight +x)
         let pid = fx.packets.insert(mk_packet(0, 3, 1, 0));
-        let mut r = Router::new(0, 5, 2, 4);
+        let mut slab = RouterSlab::new(1, 5, 2, 4);
+        let mut r = slab.router_mut(0);
         r.deposit(0, flit_of(&fx.packets, pid, 0, 0)).unwrap();
 
         let ctx = ctx_of(&fx.topo, &fx.lut, &fx.book, Arbitration::RoundRobin);
@@ -779,7 +1019,8 @@ mod tests {
     fn ejection_at_destination() {
         let mut fx = Fixture::new();
         let pid = fx.packets.insert(mk_packet(3, 0, 1, 0));
-        let mut r = Router::new(0, 5, 2, 4);
+        let mut slab = RouterSlab::new(1, 5, 2, 4);
+        let mut r = slab.router_mut(0);
         r.deposit(port_plus(0), flit_of(&fx.packets, pid, 0, 0)).unwrap();
         let ctx = ctx_of(&fx.topo, &fx.lut, &fx.book, Arbitration::RoundRobin);
         r.vc_allocate(&ctx, &mut fx.packets).unwrap();
@@ -794,7 +1035,8 @@ mod tests {
     fn no_credit_blocks_switch() {
         let mut fx = Fixture::new();
         let pid = fx.packets.insert(mk_packet(0, 3, 1, 0));
-        let mut r = Router::new(0, 5, 2, 1);
+        let mut slab = RouterSlab::new(1, 5, 2, 1);
+        let mut r = slab.router_mut(0);
         r.deposit(0, flit_of(&fx.packets, pid, 0, 0)).unwrap();
         let ctx = ctx_of(&fx.topo, &fx.lut, &fx.book, Arbitration::RoundRobin);
         r.vc_allocate(&ctx, &mut fx.packets).unwrap();
@@ -817,7 +1059,8 @@ mod tests {
         // two packets from different input ports both heading +x
         let a = fx.packets.insert(mk_packet(0, 3, 1, 0));
         let b = fx.packets.insert(mk_packet(0, 3, 1, 1));
-        let mut r = Router::new(0, 5, 2, 4);
+        let mut slab = RouterSlab::new(1, 5, 2, 4);
+        let mut r = slab.router_mut(0);
         r.deposit(0, flit_of(&fx.packets, a, 0, 0)).unwrap();
         r.deposit(port_plus(1), flit_of(&fx.packets, b, 0, 0)).unwrap();
         let ctx = ctx_of(&fx.topo, &fx.lut, &fx.book, Arbitration::RoundRobin);
@@ -836,7 +1079,8 @@ mod tests {
         // a 2-flit packet holds its output VC until the tail departs
         let a = fx.packets.insert(mk_packet(0, 3, 2, 0));
         let b = fx.packets.insert(mk_packet(0, 3, 1, 1));
-        let mut r = Router::new(0, 5, 2, 4);
+        let mut slab = RouterSlab::new(1, 5, 2, 4);
+        let mut r = slab.router_mut(0);
         r.deposit(0, flit_of(&fx.packets, a, 0, 0)).unwrap();
         r.deposit(0, flit_of(&fx.packets, b, 0, 1)).unwrap();
         let ctx = ctx_of(&fx.topo, &fx.lut, &fx.book, Arbitration::RoundRobin);
@@ -861,7 +1105,8 @@ mod tests {
         // both want the only VC (mask 0b11 but we fill vc 1 with an owner)
         let young = fx.packets.insert(mk_packet(0, 3, 1, 100));
         let old = fx.packets.insert(mk_packet(0, 3, 1, 5));
-        let mut r = Router::new(0, 5, 2, 4);
+        let mut slab = RouterSlab::new(1, 5, 2, 4);
+        let mut r = slab.router_mut(0);
         // leave just one free output VC on port +x
         r.out_vc_mut(port_plus(0), 1).owner = 999;
         r.deposit(0, flit_of(&fx.packets, young, 0, 0)).unwrap();
@@ -870,5 +1115,21 @@ mod tests {
         r.vc_allocate(&ctx, &mut fx.packets).unwrap();
         assert_eq!(r.out_vc(port_plus(0), 0).owner, old, "oldest packet wins VA");
         assert_eq!(r.input(0, 0).state, VcState::Idle, "young packet must retry");
+    }
+
+    #[test]
+    fn slab_views_address_distinct_routers() {
+        let mut fx = Fixture::new();
+        let pid = fx.packets.insert(mk_packet(0, 3, 1, 0));
+        let mut slab = RouterSlab::new(3, 5, 2, 4);
+        slab.router_mut(1).deposit(0, flit_of(&fx.packets, pid, 0, 0)).unwrap();
+        assert!(slab.is_idle(0) && !slab.is_idle(1) && slab.is_idle(2));
+        assert_eq!(slab.occupancies(), &[0, 1, 0]);
+        assert_eq!(slab.router(1).buffered_flits(), 1);
+        assert_eq!(slab.router(0).buffered_flits(), 0);
+        // output credits are per router: spending one leaves neighbors alone
+        slab.router_mut(2).out_vc_mut(port_plus(0), 0).credits = 1;
+        assert_eq!(slab.router(0).out_vc(port_plus(0), 0).credits, 4);
+        assert_eq!(slab.router(1).out_vc(port_plus(0), 0).credits, 4);
     }
 }

@@ -29,7 +29,7 @@ pub use valiant::Valiant;
 
 use crate::error::ConfigError;
 use crate::rng::SimRng;
-use crate::topology::Topology;
+use crate::topology::{Topology, MAX_DIMS};
 
 /// Per-packet routing state carried on the head flit.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -205,6 +205,200 @@ pub trait RoutingAlgorithm: Send + Sync {
     }
 }
 
+/// The engine's statically dispatched routing algorithm.
+///
+/// The per-cycle allocation path calls the routing function once per
+/// waiting head flit; through an `Arc<dyn RoutingAlgorithm>` every one
+/// of those calls is a vtable jump the compiler cannot inline. The four
+/// built-in algorithms are therefore carried as enum variants — the
+/// `match` below compiles to a jump table over concrete, inlinable
+/// method bodies. External [`RoutingAlgorithm`] implementations still
+/// plug in through [`Routing::Custom`], which keeps the old virtual
+/// dispatch as an escape hatch.
+#[derive(Clone)]
+pub enum Routing {
+    /// Dimension-ordered routing.
+    Dor(Dor),
+    /// Valiant randomized two-phase routing.
+    Valiant(Valiant),
+    /// Randomized two-phase minimal routing.
+    Romm(Romm),
+    /// Minimal adaptive with DOR escape VCs.
+    MinAdaptive(MinAdaptive),
+    /// Escape hatch for external implementations (virtual dispatch).
+    Custom(std::sync::Arc<dyn RoutingAlgorithm>),
+}
+
+impl std::fmt::Debug for Routing {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Dispatch one method call to the concrete variant.
+macro_rules! routing_dispatch {
+    ($self:expr, $m:ident ( $($arg:expr),* )) => {
+        match $self {
+            Routing::Dor(a) => a.$m($($arg),*),
+            Routing::Valiant(a) => a.$m($($arg),*),
+            Routing::Romm(a) => a.$m($($arg),*),
+            Routing::MinAdaptive(a) => a.$m($($arg),*),
+            Routing::Custom(a) => a.$m($($arg),*),
+        }
+    };
+}
+
+impl Routing {
+    /// Short name (`"DOR"`, `"VAL"`, ...).
+    #[inline]
+    pub fn name(&self) -> &'static str {
+        routing_dispatch!(self, name())
+    }
+
+    /// Number of routing phases (1 or 2).
+    #[inline]
+    pub fn num_phases(&self) -> usize {
+        routing_dispatch!(self, num_phases())
+    }
+
+    /// True if the algorithm routes adaptively.
+    #[inline]
+    pub fn is_adaptive(&self) -> bool {
+        routing_dispatch!(self, is_adaptive())
+    }
+
+    /// Initialize per-packet state at injection.
+    #[inline]
+    pub fn init(
+        &self,
+        topo: &dyn Topology,
+        src: usize,
+        dst: usize,
+        rng: &mut SimRng,
+    ) -> RouteState {
+        routing_dispatch!(self, init(topo, src, dst, rng))
+    }
+
+    /// Candidate output ports at `cur` (see
+    /// [`RoutingAlgorithm::candidates`]).
+    #[inline]
+    pub fn candidates(
+        &self,
+        topo: &dyn Topology,
+        cur: usize,
+        dst: usize,
+        state: &RouteState,
+    ) -> PortSet {
+        routing_dispatch!(self, candidates(topo, cur, dst, state))
+    }
+
+    /// State after taking `port` out of `cur` (see
+    /// [`RoutingAlgorithm::advance`]).
+    #[inline]
+    pub fn advance(
+        &self,
+        topo: &dyn Topology,
+        cur: usize,
+        port: usize,
+        dst: usize,
+        state: &RouteState,
+    ) -> RouteState {
+        routing_dispatch!(self, advance(topo, cur, port, dst, state))
+    }
+
+    /// LUT-backed candidates — the per-cycle engine path.
+    #[inline]
+    pub fn candidates_lut(
+        &self,
+        topo: &dyn Topology,
+        lut: &RouteLut,
+        cur: usize,
+        dst: usize,
+        state: &RouteState,
+    ) -> PortSet {
+        routing_dispatch!(self, candidates_lut(topo, lut, cur, dst, state))
+    }
+
+    /// LUT-backed advance — the per-cycle engine path.
+    #[inline]
+    pub fn advance_lut(
+        &self,
+        topo: &dyn Topology,
+        lut: &RouteLut,
+        cur: usize,
+        port: usize,
+        dst: usize,
+        state: &RouteState,
+    ) -> RouteState {
+        routing_dispatch!(self, advance_lut(topo, lut, cur, port, dst, state))
+    }
+}
+
+/// The enum is itself a [`RoutingAlgorithm`], so analysis code written
+/// against the trait (`noc-verify`, `noc-analytic`, [`VcBook::new`])
+/// accepts it unchanged.
+impl RoutingAlgorithm for Routing {
+    fn name(&self) -> &'static str {
+        Routing::name(self)
+    }
+
+    fn num_phases(&self) -> usize {
+        Routing::num_phases(self)
+    }
+
+    fn is_adaptive(&self) -> bool {
+        Routing::is_adaptive(self)
+    }
+
+    fn init(&self, topo: &dyn Topology, src: usize, dst: usize, rng: &mut SimRng) -> RouteState {
+        Routing::init(self, topo, src, dst, rng)
+    }
+
+    fn candidates(
+        &self,
+        topo: &dyn Topology,
+        cur: usize,
+        dst: usize,
+        state: &RouteState,
+    ) -> PortSet {
+        Routing::candidates(self, topo, cur, dst, state)
+    }
+
+    fn advance(
+        &self,
+        topo: &dyn Topology,
+        cur: usize,
+        port: usize,
+        dst: usize,
+        state: &RouteState,
+    ) -> RouteState {
+        Routing::advance(self, topo, cur, port, dst, state)
+    }
+
+    fn candidates_lut(
+        &self,
+        topo: &dyn Topology,
+        lut: &RouteLut,
+        cur: usize,
+        dst: usize,
+        state: &RouteState,
+    ) -> PortSet {
+        Routing::candidates_lut(self, topo, lut, cur, dst, state)
+    }
+
+    fn advance_lut(
+        &self,
+        topo: &dyn Topology,
+        lut: &RouteLut,
+        cur: usize,
+        port: usize,
+        dst: usize,
+        state: &RouteState,
+    ) -> RouteState {
+        Routing::advance_lut(self, topo, lut, cur, port, dst, state)
+    }
+}
+
 /// Dimension-ordered next port toward `target`, or `None` if `cur ==
 /// target`. On wrap dimensions ties (distance exactly k/2) break toward
 /// the positive direction for determinism.
@@ -344,56 +538,59 @@ pub(crate) fn advance_common_lut(
     next
 }
 
-/// Precomputed routing tables for one fixed topology.
+/// Precomputed routing geometry for one fixed topology.
 ///
 /// Route computation (`dor_port`, `minimal_ports`, `crosses_dateline`)
 /// runs on every VC-allocation attempt — at saturation that is more than
 /// one call per router per cycle, each a cascade of virtual topology
-/// lookups with per-dimension division. The tables here are pure
-/// functions of the topology, so the engine computes them once at
-/// network construction and the hot path reduces to flat array loads.
-/// Built by [`crate::network::Network::new`]; handed to routers through
-/// [`crate::router::RouterCtx`].
+/// lookups with per-dimension division. The cache here devirtualizes
+/// that: per-node coordinates and per-dimension radix/wrap flags are
+/// materialized once at network construction, and each query becomes a
+/// few subtractions over two `u16` coordinate rows. Compared to full
+/// `n x n` port tables this is O(n) memory (8 KiB of coordinates for a
+/// 1k-node network vs a megabyte of table), so the whole structure stays
+/// L1-resident under random traffic, and construction is O(n) instead of
+/// O(n^2). Built by [`crate::network::Network::new`]; handed to routers
+/// through [`crate::router::RouterCtx`].
 #[derive(Debug, Clone)]
 pub struct RouteLut {
-    n: usize,
-    /// `dor[cur * n + target]`: DOR output port (0 where `cur == target`,
-    /// which callers must treat as "eject here", never index blindly).
-    dor: Vec<u8>,
-    /// `minimal[cur * n + target]`: all minimal productive ports, DOR
-    /// port first. Empty unless built for adaptive routing (the only
-    /// consumer), as it costs O(n^2) `PortSet`s.
-    minimal: Vec<PortSet>,
+    dims: usize,
+    /// `coords[node * dims + d]`: coordinate of `node` in dimension `d`.
+    coords: Vec<u16>,
+    /// Radix per dimension (slots past `dims` are zero).
+    radix: [u16; MAX_DIMS],
+    /// Wraparound flag per dimension.
+    wraps: [bool; MAX_DIMS],
     /// `dateline[node]` bit `port`: the hop `node --port-->` crosses the
     /// wraparound link of the port's dimension.
     dateline: Vec<u16>,
 }
 
 impl RouteLut {
-    /// Precompute the tables for `topo`. `adaptive` additionally builds
-    /// the minimal-port table used by adaptive routing.
-    pub fn new(topo: &dyn Topology, adaptive: bool) -> Self {
+    /// Precompute the geometry cache for `topo`. The `adaptive` flag is
+    /// accepted for construction-site symmetry but no longer changes
+    /// what is built: minimal-port queries are computed on the fly, so
+    /// there is no O(n^2) adaptive table to opt into.
+    pub fn new(topo: &dyn Topology, _adaptive: bool) -> Self {
         let n = topo.num_nodes();
         let ports = topo.num_ports();
-        let mut dor = vec![0u8; n * n];
-        for cur in 0..n {
-            for target in 0..n {
-                if let Some(p) = dor_port(topo, cur, target) {
-                    dor[cur * n + target] = p as u8;
-                }
+        let dims = topo.dims();
+        assert!(dims <= MAX_DIMS);
+        let mut radix = [0u16; MAX_DIMS];
+        let mut wraps = [false; MAX_DIMS];
+        for d in 0..dims {
+            let k = topo.radix(d);
+            assert!(k <= u16::MAX as usize, "per-dimension radix must fit u16");
+            radix[d] = k as u16;
+            wraps[d] = topo.wraps(d);
+        }
+        let mut coords = vec![0u16; n * dims];
+        for v in 0..n {
+            let c = topo.coords_of(v);
+            for d in 0..dims {
+                coords[v * dims + d] = c[d] as u16;
             }
         }
-        let minimal = if adaptive {
-            let mut m = Vec::with_capacity(n * n);
-            for cur in 0..n {
-                for target in 0..n {
-                    m.push(minimal_ports(topo, cur, target));
-                }
-            }
-            m
-        } else {
-            Vec::new()
-        };
         let mut dateline = vec![0u16; n];
         for (node, mask) in dateline.iter_mut().enumerate() {
             for port in 1..ports {
@@ -402,26 +599,69 @@ impl RouteLut {
                 }
             }
         }
-        Self { n, dor, minimal, dateline }
+        Self { dims, coords, radix, wraps, dateline }
     }
 
-    /// Table-backed [`dor_port`].
+    /// Coordinate rows of `cur` and `target`.
     #[inline]
-    pub fn dor_port(&self, cur: usize, target: usize) -> Option<usize> {
-        if cur == target {
-            None
+    fn rows(&self, cur: usize, target: usize) -> (&[u16], &[u16]) {
+        let d = self.dims;
+        (&self.coords[cur * d..cur * d + d], &self.coords[target * d..target * d + d])
+    }
+
+    /// Whether the productive direction in dimension `d` is `+` when
+    /// moving from coordinate `cc` to `ct` (callers guarantee they
+    /// differ). Matches [`dor_port`]'s tie-break: on a wraparound
+    /// dimension equidistant targets go `+`.
+    #[inline]
+    fn go_plus(&self, d: usize, cc: u16, ct: u16) -> bool {
+        if self.wraps[d] {
+            let k = self.radix[d];
+            let plus_dist = if ct >= cc { ct - cc } else { ct + k - cc };
+            // minus_dist == k - plus_dist (coordinates are in-range and
+            // differ), so the modulo chain of the generic path reduces
+            // to one comparison
+            plus_dist <= k - plus_dist
         } else {
-            Some(self.dor[cur * self.n + target] as usize)
+            ct > cc
         }
     }
 
-    /// Table-backed [`minimal_ports`].
-    ///
-    /// # Panics
-    /// If the table was built with `adaptive == false`.
+    /// Cache-backed [`dor_port`]: identical result, no virtual calls.
+    #[inline]
+    pub fn dor_port(&self, cur: usize, target: usize) -> Option<usize> {
+        use crate::topology::{port_minus, port_plus};
+        if cur == target {
+            return None;
+        }
+        let (cc, ct) = self.rows(cur, target);
+        for d in 0..self.dims {
+            if cc[d] == ct[d] {
+                continue;
+            }
+            let p = if self.go_plus(d, cc[d], ct[d]) { port_plus(d) } else { port_minus(d) };
+            return Some(p);
+        }
+        None
+    }
+
+    /// Cache-backed [`minimal_ports`]: all productive ports, DOR port
+    /// first; empty when `cur == target`.
     #[inline]
     pub fn minimal_ports(&self, cur: usize, target: usize) -> PortSet {
-        self.minimal[cur * self.n + target]
+        use crate::topology::{port_minus, port_plus};
+        let mut set = PortSet::new();
+        if cur == target {
+            return set;
+        }
+        let (cc, ct) = self.rows(cur, target);
+        for d in 0..self.dims {
+            if cc[d] == ct[d] {
+                continue;
+            }
+            set.push(if self.go_plus(d, cc[d], ct[d]) { port_plus(d) } else { port_minus(d) });
+        }
+        set
     }
 
     /// Table-backed [`crosses_dateline`].

@@ -1,0 +1,191 @@
+//! The event-driven hot path (active-router worklists, NI bitsets,
+//! quiescent-cycle fast-forward) must be observationally invisible:
+//! property tests pin the delivery digest — a cycle-exact FNV-1a
+//! fingerprint of the full delivery stream — of [`Network::try_step`]
+//! against the naive full-scan reference sweep
+//! (`Network::try_step_reference`) across topologies, routings, loads,
+//! and the fault/metrics toggles.
+//!
+//! The CI matrix also runs this file with `--features sanitize`, so the
+//! per-cycle conservation sanitizer watches both sweeps too.
+
+use proptest::prelude::*;
+
+use noc_sim::config::{NetConfig, RoutingKind, TopologyKind};
+use noc_sim::flit::{Cycle, Delivered, PacketSpec};
+use noc_sim::network::fault::{FaultEvent, FaultPlan, RetxPolicy};
+use noc_sim::network::{Network, NodeBehavior};
+use noc_sim::rng::SimRng;
+
+/// Bernoulli uniform-random injector with a hard generation cutoff,
+/// deterministic in its seed — both sweeps build identical copies.
+struct Injector {
+    rng: SimRng,
+    p: f64,
+    size: u16,
+    nodes: usize,
+    cutoff: Cycle,
+    done: bool,
+    polled: Vec<Cycle>,
+    delivered: Vec<(usize, u64, Cycle)>,
+}
+
+impl Injector {
+    fn new(nodes: usize, p: f64, size: u16, cutoff: Cycle, seed: u64) -> Self {
+        Self {
+            rng: SimRng::new(seed),
+            p,
+            size,
+            nodes,
+            cutoff,
+            done: false,
+            polled: vec![Cycle::MAX; nodes],
+            delivered: Vec::new(),
+        }
+    }
+}
+
+impl NodeBehavior for Injector {
+    fn pull(&mut self, node: usize, cycle: Cycle) -> Option<PacketSpec> {
+        if cycle >= self.cutoff {
+            self.done = true;
+            return None;
+        }
+        // one Bernoulli draw per node per cycle, like the open-loop driver
+        if self.polled[node] == cycle {
+            return None;
+        }
+        self.polled[node] = cycle;
+        if !self.rng.chance(self.p) {
+            return None;
+        }
+        let dst = self.rng.below(self.nodes);
+        Some(PacketSpec { dst, size: self.size, class: 0, payload: 0 })
+    }
+
+    fn deliver(&mut self, node: usize, d: &Delivered, cycle: Cycle) {
+        self.delivered.push((node, d.uid, cycle));
+    }
+
+    fn quiescent(&self) -> bool {
+        self.done
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Scenario {
+    cfg_topo: TopologyKind,
+    cfg_routing: RoutingKind,
+    seed: u64,
+    load: f64,
+    size: u16,
+    with_fault: bool,
+    with_metrics: bool,
+}
+
+fn scenario_strategy() -> impl Strategy<Value = Scenario> {
+    let topo =
+        prop_oneof![Just(TopologyKind::Mesh2D { k: 4 }), Just(TopologyKind::Torus2D { k: 4 })];
+    let routing = prop_oneof![
+        Just(RoutingKind::Dor),
+        Just(RoutingKind::Valiant),
+        Just(RoutingKind::Romm),
+        Just(RoutingKind::MinAdaptive),
+    ];
+    (topo, routing, 0u64..1000, 1u64..5, 1u16..4, prop::bool::ANY, prop::bool::ANY).prop_map(
+        |(cfg_topo, cfg_routing, seed, load, size, with_fault, with_metrics)| Scenario {
+            cfg_topo,
+            cfg_routing,
+            seed,
+            load: load as f64 * 0.04,
+            size,
+            with_fault,
+            with_metrics,
+        },
+    )
+}
+
+/// `(node, uid, cycle)` delivery log entries as observed by the behavior.
+type DeliveryLog = Vec<(usize, u64, Cycle)>;
+
+/// Run one scenario with either the event-driven or the reference
+/// sweep; return the digest, the behavior-observed delivery log, the
+/// final cycle, and the headline counters.
+fn run(s: &Scenario, reference: bool) -> (u64, DeliveryLog, Cycle, u64, u64) {
+    let mut cfg = NetConfig::baseline()
+        .with_topology(s.cfg_topo)
+        .with_routing(s.cfg_routing)
+        .with_vcs(4)
+        .with_seed(s.seed);
+    if s.with_metrics {
+        cfg = cfg.with_metrics(64);
+    }
+    let mut net = Network::new(cfg).unwrap();
+    if s.with_fault {
+        net.set_fault_plan(FaultPlan {
+            events: vec![
+                FaultEvent::LinkFail { cycle: 40, router: 5, port: 1 },
+                FaultEvent::RouterFail { cycle: 90, router: 10 },
+            ],
+            corrupt_rate: 0.01,
+            corrupt_seed: s.seed ^ 0xfa11,
+            retx: Some(RetxPolicy { timeout: 64, backoff_cap: 256, max_attempts: 3 }),
+        });
+    }
+    let cutoff = 200;
+    let mut b = Injector::new(net.num_nodes(), s.load / s.size as f64, s.size, cutoff, s.seed ^ 1);
+    let mut guard = 0u64;
+    while !(net.is_idle() && b.quiescent()) || net.cycle() < cutoff {
+        if reference {
+            net.try_step_reference(&mut b).unwrap();
+        } else {
+            net.try_step(&mut b).unwrap();
+        }
+        guard += 1;
+        assert!(guard < 100_000, "run did not settle");
+        if s.with_fault && net.cycle() > 20_000 {
+            break; // abandoned retransmissions can wait out long timeouts
+        }
+    }
+    let stats = net.stats();
+    (stats.delivery_digest, b.delivered, net.cycle(), stats.flits_injected, stats.flits_ejected)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// The worklist sweep and the full-scan reference sweep are
+    /// bit-identical in every observable: digest, per-delivery log,
+    /// final cycle, and flit counters.
+    #[test]
+    fn hot_path_matches_reference_sweep(s in scenario_strategy()) {
+        let fast = run(&s, false);
+        let slow = run(&s, true);
+        prop_assert_eq!(fast.0, slow.0, "delivery digest diverged for {:?}", s);
+        prop_assert_eq!(&fast.1, &slow.1, "delivery log diverged for {:?}", s);
+        prop_assert_eq!(fast.2, slow.2, "final cycle diverged for {:?}", s);
+        prop_assert_eq!(fast.3, slow.3, "flits_injected diverged for {:?}", s);
+        prop_assert_eq!(fast.4, slow.4, "flits_ejected diverged for {:?}", s);
+    }
+}
+
+/// Deterministic spot check (always runs, even when proptest shrinks
+/// its case budget): the highest-contrast scenario — torus, adaptive
+/// routing, faults and metrics both on.
+#[test]
+fn hot_path_identity_smoke() {
+    let s = Scenario {
+        cfg_topo: TopologyKind::Torus2D { k: 4 },
+        cfg_routing: RoutingKind::MinAdaptive,
+        seed: 7,
+        load: 0.12,
+        size: 3,
+        with_fault: true,
+        with_metrics: true,
+    };
+    let fast = run(&s, false);
+    let slow = run(&s, true);
+    assert_eq!(fast.0, slow.0, "delivery digest diverged");
+    assert_eq!(fast.1, slow.1, "delivery log diverged");
+    assert_eq!(fast.2, slow.2, "final cycle diverged");
+}

@@ -45,6 +45,10 @@ impl NodeBehavior for Injector {
     }
 
     fn deliver(&mut self, _node: usize, _d: &Delivered, _cycle: Cycle) {}
+
+    fn quiescent(&self) -> bool {
+        false // an open-loop source never stops by itself
+    }
 }
 
 fn cfg_strategy() -> impl Strategy<Value = (NetConfig, u64, f64)> {

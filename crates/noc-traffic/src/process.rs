@@ -9,6 +9,16 @@ pub trait InjectionProcess: Send {
 
     /// Mean packet generation rate (packets/cycle), for reporting.
     fn rate(&self) -> f64;
+
+    /// If every [`fire`](Self::fire) call is exactly `rng.chance(p)` for
+    /// a fixed `p` — no internal state, no history dependence — return
+    /// that `p`. Batched generation sweeps use this to replace one
+    /// virtual call per node per cycle with an inlined coin flip drawing
+    /// the *identical* RNG stream. Processes with memory (burst state,
+    /// accumulators) must return `None`.
+    fn fixed_bernoulli(&self) -> Option<f64> {
+        None
+    }
 }
 
 /// Bernoulli process: independent per-cycle coin flip — the standard
@@ -26,6 +36,10 @@ impl InjectionProcess for Bernoulli {
 
     fn rate(&self) -> f64 {
         self.p
+    }
+
+    fn fixed_bernoulli(&self) -> Option<f64> {
+        Some(self.p)
     }
 }
 

@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Thread-scaling smoke: build the bench crate and sweep the fixed
+# open-loop grid at 1/2/4/8 worker threads (see
+# crates/bench/src/bin/scalability.rs). Emits BENCH_scalability.json
+# (override with BENCH_JSON). Exits nonzero if parallel results ever
+# diverge from serial — that is a determinism bug, not noise.
+#
+# Usage: scripts/scalability.sh [quick|paper|full]   (default: quick)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+effort="${1:-quick}"
+cargo build --release -p noc-bench --bin scalability
+exec ./target/release/scalability "$effort"

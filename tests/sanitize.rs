@@ -56,6 +56,10 @@ impl NodeBehavior for Bernoulli {
     fn deliver(&mut self, _node: usize, _d: &Delivered, _cycle: Cycle) {
         self.delivered += 1;
     }
+
+    fn quiescent(&self) -> bool {
+        false // an open-loop source never stops by itself
+    }
 }
 
 /// Closed-loop batch workload (request/reply with MSHR backpressure)

@@ -50,6 +50,10 @@ impl NodeBehavior for Bernoulli {
     fn deliver(&mut self, _node: usize, _d: &Delivered, _cycle: Cycle) {
         self.delivered += 1;
     }
+
+    fn quiescent(&self) -> bool {
+        false // an open-loop source never stops by itself
+    }
 }
 
 fn certified_config_strategy() -> impl Strategy<Value = NetConfig> {
