@@ -10,6 +10,7 @@ mod correlation;
 mod extensions;
 mod metrics;
 mod openloop;
+mod resilience;
 mod system;
 
 pub(crate) use system::extract_num;
@@ -19,6 +20,7 @@ pub use correlation::*;
 pub use extensions::*;
 pub use metrics::*;
 pub use openloop::*;
+pub use resilience::*;
 pub use system::*;
 
 use serde::{Deserialize, Serialize};

@@ -1,0 +1,314 @@
+//! The resilience figure: delivered fraction and recovery latency vs.
+//! link availability under intermittent fault-and-repair timelines,
+//! with one curve per [`RecoveryMode`] — so the link-level-retry vs.
+//! end-to-end-retransmission trade-off is a single picture.
+//!
+//! Export follows the `noc-eval/metrics/v1` discipline: a
+//! schema-versioned header (`noc-eval/resilience/v1`), one point
+//! record per line, hand-rolled emission (the in-tree serde_json shim
+//! does not serialize), and a tolerant line-scanning parse that
+//! degrades with a reason instead of panicking.
+
+use noc_exp::PointOutcome;
+use noc_fault::{resilience_sweep, RecoveryMode, ResilienceConfig, ResiliencePoint};
+use noc_openloop::OpenLoopConfig;
+use noc_sim::config::{NetConfig, TopologyKind};
+use serde::{Deserialize, Serialize};
+
+use super::system::extract_num;
+use super::{render_curves, Curve};
+use crate::effort::Effort;
+
+/// Schema tag emitted and required by this module.
+pub const RESILIENCE_SCHEMA: &str = "noc-eval/resilience/v1";
+
+/// One recovery mode's resilience curve.
+#[derive(Debug, Clone)]
+pub struct ResilienceCurve {
+    /// Stable mode label (`none`, `e2e`, `link`, `combined`).
+    pub mode: String,
+    /// Successful sweep points, one per `(mtbf, mttr)` axis entry.
+    pub points: Vec<ResiliencePoint>,
+    /// Axis entries that diverged or panicked instead of settling.
+    pub failed_points: usize,
+}
+
+/// The resilience showcase: all four recovery modes swept over the
+/// same MTBF axis on the same flapping 8x8 mesh.
+#[derive(Debug, Clone)]
+pub struct ResilienceFigure {
+    /// One curve per recovery mode, in [`RecoveryMode::ALL`] order.
+    pub curves: Vec<ResilienceCurve>,
+    /// The `(mtbf, mttr)` axis shared by every curve.
+    pub axis: Vec<(u64, u64)>,
+}
+
+/// Run the resilience figure: a mesh with flapping links, MTBF swept
+/// from frequent to rare outages at a fixed MTBF/MTTR ratio, each
+/// recovery mode measured over the identical traffic and flap seeds
+/// (the mode only changes the recovery machinery, never the workload).
+pub fn resilience_figure(effort: &Effort) -> ResilienceFigure {
+    let k = if effort.warmup < 5_000 { 4 } else { 8 };
+    let base = OpenLoopConfig {
+        net: NetConfig::baseline().with_topology(TopologyKind::Mesh2D { k }),
+        load: 0.1,
+        warmup: effort.warmup,
+        measure: effort.measure,
+        drain_max: effort.drain,
+        ..OpenLoopConfig::default()
+    };
+    let horizon = base.warmup + base.measure;
+    // MTBF from one outage per ~tenth of the window up to ~one per
+    // window; MTTR pinned at an eighth of MTBF
+    let steps = effort.sweep_points.clamp(3, 8) as u64;
+    let axis: Vec<(u64, u64)> = (1..=steps)
+        .map(|i| {
+            let mtbf = (horizon / 10 * i).max(8);
+            (mtbf, (mtbf / 8).max(1))
+        })
+        .collect();
+
+    let curves = RecoveryMode::ALL
+        .iter()
+        .map(|&mode| {
+            let cfg = ResilienceConfig::new(base.clone(), axis.clone()).with_recovery(mode);
+            let mut points = Vec::new();
+            let mut failed_points = 0;
+            for o in resilience_sweep(&cfg) {
+                match o {
+                    PointOutcome::Ok(p) => points.push(p),
+                    _ => failed_points += 1,
+                }
+            }
+            ResilienceCurve { mode: mode.label().into(), points, failed_points }
+        })
+        .collect();
+    ResilienceFigure { curves, axis }
+}
+
+impl ResilienceFigure {
+    /// Delivered-fraction-vs-MTBF curves, one per mode.
+    pub fn delivered_curves(&self) -> Vec<Curve> {
+        self.curves
+            .iter()
+            .map(|c| Curve {
+                label: c.mode.clone(),
+                points: c.points.iter().map(|p| (p.mtbf as f64, p.delivered.fraction())).collect(),
+            })
+            .collect()
+    }
+
+    /// Recovery-latency-vs-MTBF curves (cycles from the last repair to
+    /// full settlement), one per mode.
+    pub fn recovery_curves(&self) -> Vec<Curve> {
+        self.curves
+            .iter()
+            .map(|c| Curve {
+                label: c.mode.clone(),
+                points: c
+                    .points
+                    .iter()
+                    .map(|p| (p.mtbf as f64, p.recovery_cycles as f64))
+                    .collect(),
+            })
+            .collect()
+    }
+
+    /// Text report: the delivered and recovery plots plus a per-mode
+    /// table of the headline counters.
+    pub fn render(&self) -> String {
+        let mut out = render_curves(
+            "resilience: delivered fraction vs link MTBF (cycles)",
+            &self.delivered_curves(),
+        );
+        out.push_str(&render_curves(
+            "resilience: recovery latency after last repair vs link MTBF",
+            &self.recovery_curves(),
+        ));
+        out.push_str("mode      mtbf    avail   delivered  retx  replays  epochs  recovery\n");
+        for c in &self.curves {
+            for p in &c.points {
+                out.push_str(&format!(
+                    "{:<9} {:<7} {:.4}  {:<9} {:<5} {:<8} {:<7} {}\n",
+                    c.mode,
+                    p.mtbf,
+                    p.availability,
+                    format!("{}", p.delivered),
+                    p.retransmissions,
+                    p.link_replays,
+                    p.epochs,
+                    p.recovery_cycles,
+                ));
+            }
+            if c.failed_points > 0 {
+                out.push_str(&format!(
+                    "{:<9} {} point(s) diverged or panicked\n",
+                    c.mode, c.failed_points
+                ));
+            }
+        }
+        out
+    }
+}
+
+/// Serialize a figure to the `noc-eval/resilience/v1` schema: one
+/// point record per line so the parser (and humans with grep) can scan
+/// it line by line.
+pub fn resilience_to_json(fig: &ResilienceFigure) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"schema\": \"{RESILIENCE_SCHEMA}\",\n"));
+    out.push_str(&format!("  \"axis_points\": {},\n", fig.axis.len()));
+    out.push_str("  \"curves\": [\n");
+    for (ci, c) in fig.curves.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"mode\": \"{}\", \"failed_points\": {}, \"points\": [\n",
+            c.mode, c.failed_points
+        ));
+        for (i, p) in c.points.iter().enumerate() {
+            out.push_str(&format!(
+                "      {{\"mtbf\": {}, \"mttr\": {}, \"availability\": {:.6}, \
+                 \"delivered_num\": {}, \"delivered_den\": {}, \"retransmissions\": {}, \
+                 \"link_replays\": {}, \"replay_drops\": {}, \"epochs\": {}, \
+                 \"recovery_cycles\": {}, \"avg_latency\": {:.4}, \"digest\": {}, \
+                 \"cycles\": {}}}{}\n",
+                p.mtbf,
+                p.mttr,
+                p.availability,
+                p.delivered.num,
+                p.delivered.den,
+                p.retransmissions,
+                p.link_replays,
+                p.replay_drops,
+                p.epochs,
+                p.recovery_cycles,
+                p.avg_latency,
+                p.digest,
+                p.cycles,
+                if i + 1 == c.points.len() { "" } else { "," },
+            ));
+        }
+        out.push_str(&format!("    ]}}{}\n", if ci + 1 == fig.curves.len() { "" } else { "," }));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// The subset of a resilience file the tolerant parser recovers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ParsedResilience {
+    /// `(mode, mtbf, availability, delivered fraction, recovery_cycles)`
+    /// per point record, in file order.
+    pub points: Vec<(String, u64, f64, f64, u64)>,
+}
+
+/// Tolerant parse of the `noc-eval/resilience/v1` schema: requires the
+/// schema header, then scans line by line. Any structural problem
+/// returns an error string, never a panic.
+pub fn parse_resilience_json(text: &str) -> Result<ParsedResilience, String> {
+    if !text.contains(&format!("\"schema\": \"{RESILIENCE_SCHEMA}\"")) {
+        return Err(format!("unrecognized schema (expected {RESILIENCE_SCHEMA})"));
+    }
+    let mut mode = String::new();
+    let mut points = Vec::new();
+    for line in text.lines() {
+        if let Some(rest) = line.trim().strip_prefix("{\"mode\": \"") {
+            mode = rest.chars().take_while(|&c| c != '"').collect();
+            continue;
+        }
+        let Some(mtbf) = extract_num(line, "\"mtbf\": ") else { continue };
+        let (Some(avail), Some(num), Some(den), Some(recovery)) = (
+            extract_num(line, "\"availability\": "),
+            extract_num(line, "\"delivered_num\": "),
+            extract_num(line, "\"delivered_den\": "),
+            extract_num(line, "\"recovery_cycles\": "),
+        ) else {
+            return Err(format!("malformed point record: {}", line.trim()));
+        };
+        if mode.is_empty() {
+            return Err("point record before any curve header".into());
+        }
+        let delivered = if den == 0.0 { 1.0 } else { num / den };
+        points.push((mode.clone(), mtbf as u64, avail, delivered, recovery as u64));
+    }
+    if points.is_empty() {
+        return Err("schema header found but no point records parsed".into());
+    }
+    Ok(ParsedResilience { points })
+}
+
+/// Parse and check plausibility: availability and delivered fraction
+/// must both be probabilities.
+pub fn validate_resilience_json(text: &str) -> Result<ParsedResilience, String> {
+    let parsed = parse_resilience_json(text)?;
+    for (mode, mtbf, avail, delivered, _) in &parsed.points {
+        if !(0.0..=1.0).contains(avail) || !(0.0..=1.0).contains(delivered) {
+            return Err(format!(
+                "implausible point ({mode}, mtbf {mtbf}): availability {avail}, delivered {delivered}"
+            ));
+        }
+    }
+    Ok(parsed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_figure() -> ResilienceFigure {
+        let mut effort = Effort::quick();
+        effort.sweep_points = 3;
+        resilience_figure(&effort)
+    }
+
+    #[test]
+    fn figure_runs_and_recovers_with_retransmission() {
+        let fig = quick_figure();
+        assert_eq!(fig.curves.len(), 4);
+        for c in &fig.curves {
+            assert_eq!(c.points.len() + c.failed_points, fig.axis.len(), "{}", c.mode);
+        }
+        // every point's availability is a probability and < 1 (it flaps)
+        for c in &fig.curves {
+            for p in &c.points {
+                assert!((0.0..1.0).contains(&p.availability), "{}: {}", c.mode, p.availability);
+            }
+        }
+        // modes with an end-to-end ledger deliver everything after heal
+        for mode in ["e2e", "combined"] {
+            let c = fig.curves.iter().find(|c| c.mode == mode).unwrap();
+            assert!(
+                c.points.iter().all(|p| p.delivered.is_complete()),
+                "{mode} must fully recover on a connected flapping mesh"
+            );
+        }
+        let r = fig.render();
+        assert!(r.contains("delivered fraction vs link MTBF"));
+        assert!(r.contains("combined"));
+    }
+
+    #[test]
+    fn json_round_trips_and_validates() {
+        let fig = quick_figure();
+        let json = resilience_to_json(&fig);
+        assert!(json.contains(RESILIENCE_SCHEMA));
+        let parsed = validate_resilience_json(&json).unwrap();
+        let expect: usize = fig.curves.iter().map(|c| c.points.len()).sum();
+        assert_eq!(parsed.points.len(), expect);
+        // modes arrive in figure order with the right point counts
+        for c in &fig.curves {
+            assert_eq!(parsed.points.iter().filter(|(m, ..)| m == &c.mode).count(), c.points.len());
+        }
+    }
+
+    #[test]
+    fn foreign_or_corrupt_json_degrades_without_panicking() {
+        assert!(parse_resilience_json("{}").is_err());
+        assert!(parse_resilience_json("{\"schema\": \"noc-eval/metrics/v1\"}").is_err());
+        let hollow = format!("{{\"schema\": \"{RESILIENCE_SCHEMA}\"}}");
+        assert!(parse_resilience_json(&hollow).is_err());
+        let fig = quick_figure();
+        let doctored =
+            resilience_to_json(&fig).replacen("\"availability\": 0.", "\"availability\": 7.", 1);
+        assert!(validate_resilience_json(&doctored).is_err());
+    }
+}

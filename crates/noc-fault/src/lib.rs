@@ -9,13 +9,22 @@
 //!   and routers fail (SplitMix64-derived sub-seeds per decision
 //!   family, so link choice, router choice, and transient corruption
 //!   draw from independent deterministic streams). Same seed, same
-//!   topology ⇒ bit-identical events, always.
+//!   topology ⇒ bit-identical events, always. Besides permanent
+//!   fail-stop scenarios ([`FaultSchedule::generate`]), it samples
+//!   *intermittent* fault-and-repair timelines
+//!   ([`FaultSchedule::generate_intermittent`]): a set of flapping
+//!   links, each cycling down/up from an independent per-link
+//!   sub-seed, with every outage repaired before the horizon.
 //! * [`sweep::degradation_sweep`]: the degradation curve — delivered
 //!   fraction, retransmissions, and post-fault latency/throughput as a
 //!   function of the number of failed links — evaluated through
 //!   `noc-exp`'s crash-proof grid so a pathological fault scenario
 //!   reports [`noc_exp::PointOutcome::Diverged`] instead of hanging
 //!   the sweep.
+//! * [`resilience::resilience_sweep`]: the resilience curve —
+//!   availability, delivered fraction, and recovery latency vs.
+//!   MTBF/MTTR under a selectable [`resilience::RecoveryMode`]
+//!   (end-to-end retransmission, link-level retry, both, or neither).
 //!
 //! The simulator-side fault semantics (what a dead channel does to
 //! flits, credits, and the sanitizer's conservation laws) live in
@@ -25,13 +34,18 @@
 
 #![warn(missing_docs)]
 
+pub mod resilience;
 pub mod sweep;
 
+pub use resilience::{
+    resilience_sweep, resilience_sweep_serial, RecoveryMode, ResilienceConfig, ResiliencePoint,
+};
 pub use sweep::{
     degradation_sweep, degradation_sweep_serial, run_faulted, DegradationConfig, DegradationPoint,
 };
 
-use noc_sim::network::fault::{FaultEvent, FaultPlan, RetxPolicy};
+use noc_sim::error::ConfigError;
+use noc_sim::network::fault::{FaultEvent, FaultPlan, LinkRetryPolicy, RetxPolicy};
 use noc_sim::rng::SimRng;
 use noc_sim::topology::Topology;
 
@@ -53,6 +67,72 @@ pub struct FaultConfig {
 impl Default for FaultConfig {
     fn default() -> Self {
         Self { seed: 1, link_failures: 0, router_failures: 0, fail_at: 0, corrupt_rate: 0.0 }
+    }
+}
+
+/// An intermittent ("flapping") fault scenario: which links flap, how
+/// often, and for how long.
+///
+/// Each flapping link cycles down/up from its own SplitMix64-derived
+/// sub-seed. Down/up interval lengths are uniform on `1..=2*mtbf` and
+/// `1..=2*mttr` respectively (so the configured values are the means),
+/// and a link only goes down when its repair also lands strictly
+/// before `horizon` — every generated timeline ends with the fabric
+/// fully healed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlapConfig {
+    /// Seed of the fault scenario (independent of the traffic seed).
+    pub seed: u64,
+    /// Number of physical (bidirectional) links that flap.
+    pub links: usize,
+    /// Mean up-time between outages, in cycles (≥ 1).
+    pub mtbf: u64,
+    /// Mean time to repair an outage, in cycles (≥ 1).
+    pub mttr: u64,
+    /// No link goes down before this cycle.
+    pub start: u64,
+    /// Every repair lands strictly before this cycle (> `start`).
+    pub horizon: u64,
+    /// Transient per-head-per-channel corruption probability.
+    pub corrupt_rate: f64,
+}
+
+impl Default for FlapConfig {
+    fn default() -> Self {
+        Self {
+            seed: 1,
+            links: 1,
+            mtbf: 2_000,
+            mttr: 200,
+            start: 100,
+            horizon: 20_000,
+            corrupt_rate: 0.0,
+        }
+    }
+}
+
+impl FlapConfig {
+    /// Reject parameter values that cannot describe a timeline.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.mtbf == 0 {
+            return Err(ConfigError::Parameter { name: "mtbf", why: "must be >= 1 cycle".into() });
+        }
+        if self.mttr == 0 {
+            return Err(ConfigError::Parameter { name: "mttr", why: "must be >= 1 cycle".into() });
+        }
+        if self.horizon <= self.start {
+            return Err(ConfigError::Parameter {
+                name: "horizon",
+                why: format!("horizon {} must exceed start {}", self.horizon, self.start),
+            });
+        }
+        if !self.corrupt_rate.is_finite() || !(0.0..=1.0).contains(&self.corrupt_rate) {
+            return Err(ConfigError::Parameter {
+                name: "corrupt_rate",
+                why: format!("{} is not a probability", self.corrupt_rate),
+            });
+        }
+        Ok(())
     }
 }
 
@@ -124,14 +204,142 @@ impl FaultSchedule {
         }
     }
 
+    /// Sample an intermittent fault-and-repair timeline for `topo`.
+    ///
+    /// Flapping links are picked by the same partial Fisher–Yates
+    /// sampling as [`FaultSchedule::generate`] (from its own sub-seed),
+    /// then each link's down/up timeline is drawn from an independent
+    /// per-link sub-seed — so adding a flapping link never perturbs the
+    /// timelines of the others. Events cover both directions of each
+    /// physical link and come out stably sorted by cycle.
+    pub fn try_generate_intermittent(
+        cfg: &FlapConfig,
+        topo: &dyn Topology,
+    ) -> Result<Self, ConfigError> {
+        cfg.validate()?;
+        let n = topo.num_nodes();
+        let ports = topo.num_ports();
+
+        let mut edges: Vec<(usize, usize, usize, usize)> = Vec::new();
+        for r in 0..n {
+            for p in 1..ports {
+                if let Some((v, vp)) = topo.neighbor(r, p) {
+                    if (r, p) <= (v, vp) {
+                        edges.push((r, p, v, vp));
+                    }
+                }
+            }
+        }
+        let mut rng = SimRng::new(noc_exp::derive_seed(cfg.seed, 3));
+        let picks = cfg.links.min(edges.len());
+        for i in 0..picks {
+            let j = i + rng.below(edges.len() - i);
+            edges.swap(i, j);
+        }
+
+        let mut events = Vec::new();
+        for (i, &(r, p, v, vp)) in edges[..picks].iter().enumerate() {
+            let mut rng = SimRng::new(noc_exp::derive_seed(cfg.seed, 0x100 + i as u64));
+            let mut t = cfg.start;
+            loop {
+                let down = t + 1 + rng.below(2 * cfg.mtbf as usize) as u64;
+                let up = down + 1 + rng.below(2 * cfg.mttr as usize) as u64;
+                if up >= cfg.horizon {
+                    break; // an outage only happens if its repair fits
+                }
+                events.push(FaultEvent::LinkFail { cycle: down, router: r, port: p });
+                events.push(FaultEvent::LinkFail { cycle: down, router: v, port: vp });
+                events.push(FaultEvent::LinkRepair { cycle: up, router: r, port: p });
+                events.push(FaultEvent::LinkRepair { cycle: up, router: v, port: vp });
+                t = up;
+            }
+        }
+        events.sort_by_key(FaultEvent::cycle);
+
+        Ok(Self {
+            events,
+            corrupt_rate: cfg.corrupt_rate,
+            corrupt_seed: noc_exp::derive_seed(cfg.seed, 2),
+        })
+    }
+
+    /// Panicking convenience wrapper over
+    /// [`FaultSchedule::try_generate_intermittent`].
+    pub fn generate_intermittent(cfg: &FlapConfig, topo: &dyn Topology) -> Self {
+        Self::try_generate_intermittent(cfg, topo).expect("invalid FlapConfig")
+    }
+
+    /// The cycle of the last repair event, if the scenario has any.
+    pub fn last_repair_cycle(&self) -> Option<u64> {
+        self.events.iter().filter(|e| e.is_repair()).map(FaultEvent::cycle).max()
+    }
+
+    /// Scheduled downtime summed over *directed* channels, clipped to
+    /// `horizon`: the denominator-free half of a link-availability
+    /// figure. Outages still open at `horizon` (only possible for
+    /// permanent scenarios) count until `horizon`.
+    pub fn scheduled_downtime(&self, horizon: u64) -> u64 {
+        let mut open: std::collections::HashMap<(usize, usize), u64> =
+            std::collections::HashMap::new();
+        let mut down = 0u64;
+        for e in &self.events {
+            match *e {
+                FaultEvent::LinkFail { cycle, router, port } => {
+                    open.entry((router, port)).or_insert(cycle.min(horizon));
+                }
+                FaultEvent::LinkRepair { cycle, router, port } => {
+                    if let Some(from) = open.remove(&(router, port)) {
+                        down += cycle.min(horizon).saturating_sub(from);
+                    }
+                }
+                _ => {}
+            }
+        }
+        for (_, from) in open {
+            down += horizon.saturating_sub(from);
+        }
+        down
+    }
+
+    /// Fraction of directed-channel-cycles up over `[0, horizon)` —
+    /// the "availability" axis of the resilience figures.
+    pub fn link_availability(&self, topo: &dyn Topology, horizon: u64) -> f64 {
+        let n = topo.num_nodes();
+        let ports = topo.num_ports();
+        let mut channels = 0u64;
+        for r in 0..n {
+            for p in 1..ports {
+                if topo.neighbor(r, p).is_some() {
+                    channels += 1;
+                }
+            }
+        }
+        if channels == 0 || horizon == 0 {
+            return 1.0;
+        }
+        1.0 - self.scheduled_downtime(horizon) as f64 / (channels * horizon) as f64
+    }
+
     /// Package the scenario as a simulator [`FaultPlan`], optionally
     /// with end-to-end retransmission.
     pub fn plan(&self, retx: Option<RetxPolicy>) -> FaultPlan {
+        self.plan_with(retx, None)
+    }
+
+    /// Package the scenario as a simulator [`FaultPlan`] with both
+    /// recovery knobs explicit: end-to-end retransmission and/or
+    /// link-level retry.
+    pub fn plan_with(
+        &self,
+        retx: Option<RetxPolicy>,
+        link_retry: Option<LinkRetryPolicy>,
+    ) -> FaultPlan {
         FaultPlan {
             events: self.events.clone(),
             corrupt_rate: self.corrupt_rate,
             corrupt_seed: self.corrupt_seed,
             retx,
+            link_retry,
         }
     }
 }
@@ -187,6 +395,68 @@ mod tests {
                 panic!("expected paired LinkFail events, got {pair:?}");
             };
             assert_eq!(topo.neighbor(*r, *p), Some((*v, *vp)), "reverse direction of same link");
+        }
+    }
+
+    #[test]
+    fn intermittent_same_seed_same_timeline() {
+        let topo = mesh4();
+        let cfg = FlapConfig { seed: 9, links: 3, mtbf: 300, mttr: 40, ..FlapConfig::default() };
+        let a = FaultSchedule::generate_intermittent(&cfg, topo.as_ref());
+        let b = FaultSchedule::generate_intermittent(&cfg, topo.as_ref());
+        assert_eq!(a, b);
+        assert!(!a.events.is_empty(), "a 20k-cycle horizon at mtbf 300 must flap");
+    }
+
+    #[test]
+    fn intermittent_timelines_end_healed_and_sorted() {
+        let topo = mesh4();
+        let cfg = FlapConfig { seed: 5, links: 4, mtbf: 500, mttr: 60, ..FlapConfig::default() };
+        let s = FaultSchedule::generate_intermittent(&cfg, topo.as_ref());
+
+        // sorted by cycle, all within (start, horizon)
+        let cycles: Vec<u64> = s.events.iter().map(FaultEvent::cycle).collect();
+        assert!(cycles.windows(2).all(|w| w[0] <= w[1]), "events not sorted");
+        assert!(cycles.iter().all(|&c| c > cfg.start && c < cfg.horizon));
+
+        // every directed channel's fails and repairs alternate and balance
+        use std::collections::HashMap;
+        let mut state: HashMap<(usize, usize), bool> = HashMap::new();
+        for e in &s.events {
+            match *e {
+                FaultEvent::LinkFail { router, port, .. } => {
+                    let down = state.entry((router, port)).or_insert(false);
+                    assert!(!*down, "double fail on {router}/{port}");
+                    *down = true;
+                }
+                FaultEvent::LinkRepair { router, port, .. } => {
+                    let down = state.entry((router, port)).or_insert(false);
+                    assert!(*down, "repair of a healthy link {router}/{port}");
+                    *down = false;
+                }
+                ref other => panic!("unexpected event {other:?}"),
+            }
+        }
+        assert!(state.values().all(|&d| !d), "a link is still down at the horizon");
+        assert_eq!(s.scheduled_downtime(cfg.horizon) > 0, !s.events.is_empty());
+        let avail = s.link_availability(topo.as_ref(), cfg.horizon);
+        assert!((0.0..1.0).contains(&avail), "availability {avail} out of range");
+    }
+
+    #[test]
+    fn flap_validation_rejects_nonsense() {
+        let topo = mesh4();
+        for bad in [
+            FlapConfig { mtbf: 0, ..FlapConfig::default() },
+            FlapConfig { mttr: 0, ..FlapConfig::default() },
+            FlapConfig { start: 100, horizon: 100, ..FlapConfig::default() },
+            FlapConfig { corrupt_rate: f64::NAN, ..FlapConfig::default() },
+            FlapConfig { corrupt_rate: 1.5, ..FlapConfig::default() },
+        ] {
+            assert!(
+                FaultSchedule::try_generate_intermittent(&bad, topo.as_ref()).is_err(),
+                "accepted {bad:?}"
+            );
         }
     }
 

@@ -1,0 +1,333 @@
+//! Resilience sweeps: availability, delivered fraction, and recovery
+//! latency vs. link MTBF/MTTR under intermittent fault-and-repair
+//! timelines.
+//!
+//! Where [`crate::sweep`] asks *how much is permanently lost* when k
+//! links die, this module asks *how well the fabric rides through
+//! outages that heal*: each point runs one gated open-loop measurement
+//! against a [`FlapConfig`]-sampled flapping timeline and a selectable
+//! [`RecoveryMode`] — end-to-end retransmission, link-level retry,
+//! both, or neither — then settles until every transfer is delivered
+//! or abandoned.
+//!
+//! Points run through [`noc_exp::run_grid_robust`] with the same seed
+//! discipline as every other grid in the workspace: point `k` derives
+//! its traffic seed from `derive_seed(base.net.seed, k)` and its flap
+//! seed from an independent family, so output is bit-identical across
+//! runs and worker thread counts (regression-tested against
+//! [`resilience_sweep_serial`]).
+
+use noc_exp::{derive_seed, run_grid_robust, Diverged, PointOutcome};
+use noc_openloop::{OpenLoopBehavior, OpenLoopConfig};
+use noc_sim::network::fault::{LinkRetryPolicy, RetxPolicy};
+use noc_sim::network::Network;
+use noc_stats::Ratio;
+use noc_traffic::Bernoulli;
+
+use crate::sweep::GatedSource;
+use crate::{FaultSchedule, FlapConfig};
+
+/// Which loss-recovery machinery a run arms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoveryMode {
+    /// No recovery: losses stay lost (measures raw damage).
+    None,
+    /// End-to-end retransmission from the source NI ledger only.
+    EndToEnd,
+    /// Link-level retry (bounded replay from the per-link retry
+    /// buffer) only; drops that exhaust the replay budget stay lost.
+    LinkLevel,
+    /// Both: link-level retry absorbs transient corruption, end-to-end
+    /// retransmission covers replay exhaustion and outage swallows.
+    Combined,
+}
+
+impl RecoveryMode {
+    /// All modes, in presentation order.
+    pub const ALL: [RecoveryMode; 4] = [
+        RecoveryMode::None,
+        RecoveryMode::EndToEnd,
+        RecoveryMode::LinkLevel,
+        RecoveryMode::Combined,
+    ];
+
+    /// Short stable label for tables and JSON.
+    pub fn label(&self) -> &'static str {
+        match self {
+            RecoveryMode::None => "none",
+            RecoveryMode::EndToEnd => "e2e",
+            RecoveryMode::LinkLevel => "link",
+            RecoveryMode::Combined => "combined",
+        }
+    }
+
+    /// Split the mode into the two plan knobs it arms.
+    pub fn split(
+        &self,
+        retx: RetxPolicy,
+        link_retry: LinkRetryPolicy,
+    ) -> (Option<RetxPolicy>, Option<LinkRetryPolicy>) {
+        match self {
+            RecoveryMode::None => (None, None),
+            RecoveryMode::EndToEnd => (Some(retx), None),
+            RecoveryMode::LinkLevel => (None, Some(link_retry)),
+            RecoveryMode::Combined => (Some(retx), Some(link_retry)),
+        }
+    }
+}
+
+/// Configuration of a resilience sweep.
+#[derive(Debug, Clone)]
+pub struct ResilienceConfig {
+    /// The measurement each point runs (traffic pattern, load,
+    /// warmup/measure windows, base seed).
+    pub base: OpenLoopConfig,
+    /// Template flap scenario; each point overrides `seed`, `mtbf`,
+    /// and `mttr` but keeps `links`, `start`, `horizon`, and
+    /// `corrupt_rate` from here.
+    pub flap: FlapConfig,
+    /// The sweep axis: `(mtbf, mttr)` pairs, one point each.
+    pub axis: Vec<(u64, u64)>,
+    /// Which recovery machinery every point arms.
+    pub recovery: RecoveryMode,
+    /// End-to-end retransmission policy (used by `EndToEnd`/`Combined`).
+    pub retx: RetxPolicy,
+    /// Link-level retry policy (used by `LinkLevel`/`Combined`).
+    pub link_retry: LinkRetryPolicy,
+    /// Settling budget past the measurement window before a point is
+    /// declared diverged.
+    pub settle_max: u64,
+}
+
+impl ResilienceConfig {
+    /// A sweep over `(mtbf, mttr)` pairs with combined recovery, two
+    /// flapping links, and the flap horizon pinned to the end of the
+    /// measurement window (so every point ends healed before it
+    /// settles).
+    pub fn new(base: OpenLoopConfig, axis: Vec<(u64, u64)>) -> Self {
+        let settle_max = base.drain_max;
+        let flap = FlapConfig {
+            links: 2,
+            start: 16,
+            horizon: base.warmup + base.measure,
+            corrupt_rate: 1e-3,
+            ..FlapConfig::default()
+        };
+        Self {
+            base,
+            flap,
+            axis,
+            recovery: RecoveryMode::Combined,
+            retx: RetxPolicy::default(),
+            link_retry: LinkRetryPolicy::default(),
+            settle_max,
+        }
+    }
+
+    /// Switch the recovery mode.
+    pub fn with_recovery(mut self, recovery: RecoveryMode) -> Self {
+        self.recovery = recovery;
+        self
+    }
+}
+
+/// One point of a resilience curve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResiliencePoint {
+    /// Mean cycles between outages of a flapping link (the axis).
+    pub mtbf: u64,
+    /// Mean cycles to repair an outage (the axis).
+    pub mttr: u64,
+    /// Scheduled fraction of directed-channel-cycles up over the flap
+    /// horizon (1.0 = no outage ever).
+    pub availability: f64,
+    /// Transfers delivered / transfers started, exact after settling.
+    pub delivered: Ratio,
+    /// End-to-end retransmissions performed.
+    pub retransmissions: u64,
+    /// Transfers abandoned (attempts exhausted, or unreachable with no
+    /// repair left to wait for).
+    pub abandoned: u64,
+    /// Link-level replay rounds performed.
+    pub link_replays: u64,
+    /// Head flits lost even after exhausting the replay budget.
+    pub replay_drops: u64,
+    /// Topology epochs closed (fault/repair batches that changed the
+    /// surviving graph).
+    pub epochs: u64,
+    /// Cycles from the last repair event until the run fully settled
+    /// (0 when it settled before the last repair landed).
+    pub recovery_cycles: u64,
+    /// Average latency of marked (in-window) delivered packets.
+    pub avg_latency: f64,
+    /// Cycle-exact delivery digest of the run (determinism
+    /// fingerprint; must not depend on worker thread count).
+    pub digest: u64,
+    /// Total cycles simulated, including settling.
+    pub cycles: u64,
+}
+
+/// Evaluate resilience point `k` (one `(mtbf, mttr)` pair).
+fn eval_point(cfg: &ResilienceConfig, k: usize) -> Result<ResiliencePoint, Diverged> {
+    let (mtbf, mttr) = cfg.axis[k];
+    let mut base = cfg.base.clone();
+    base.net.seed = derive_seed(cfg.base.net.seed, k as u64);
+
+    // flap scenarios draw from their own seed family, so the traffic
+    // stream of point k is unchanged by the recovery mode or the axis
+    let flap = FlapConfig {
+        seed: derive_seed(cfg.base.net.seed, 0xf1a9_0000 + k as u64),
+        mtbf,
+        mttr,
+        ..cfg.flap
+    };
+    let topo = base.net.topology.build();
+    let schedule = FaultSchedule::try_generate_intermittent(&flap, topo.as_ref())
+        .expect("resilience sweep flap config must be valid");
+    let last_repair = schedule.last_repair_cycle();
+    let availability = schedule.link_availability(topo.as_ref(), flap.horizon);
+
+    let (retx, link_retry) = cfg.recovery.split(cfg.retx, cfg.link_retry);
+    let mut net =
+        Network::new(base.net.clone()).expect("resilience sweep base config must be valid");
+    let nodes = net.num_nodes();
+    let radix = net.topo().radix(0);
+    net.set_fault_plan(schedule.plan_with(retx, link_retry));
+
+    let p = base.load / base.size.mean();
+    assert!((0.0..=1.0).contains(&p), "offered load implies generation probability {p} > 1");
+    let cutoff = base.warmup + base.measure;
+    let mut b = GatedSource {
+        inner: OpenLoopBehavior::new(
+            nodes,
+            base.pattern.build(nodes, radix),
+            base.size.build(),
+            || Box::new(Bernoulli { p }),
+            base.net.seed,
+            base.warmup,
+            cutoff,
+        ),
+        cutoff,
+        done: false,
+    };
+
+    net.run(cutoff, &mut b);
+    let budget = cutoff + cfg.settle_max;
+    while !(net.is_idle() && net.fault_settled()) {
+        if net.cycle() >= budget {
+            return Err(Diverged { budget });
+        }
+        net.step(&mut b);
+    }
+
+    let fs = net.fault_stats().expect("fault plan installed above").clone();
+    Ok(ResiliencePoint {
+        mtbf,
+        mttr,
+        availability,
+        delivered: Ratio::new(fs.transfers_delivered, fs.transfers_started),
+        retransmissions: fs.retransmissions,
+        abandoned: fs.transfers_abandoned,
+        link_replays: fs.link_replays,
+        replay_drops: fs.replay_drops,
+        epochs: fs.epochs,
+        recovery_cycles: last_repair.map_or(0, |r| net.cycle().saturating_sub(r)),
+        avg_latency: b.inner.latency.mean(),
+        digest: net.stats().delivery_digest,
+        cycles: net.cycle(),
+    })
+}
+
+/// Measure the resilience curve: one point per `(mtbf, mttr)` pair, in
+/// parallel, each isolated by the robust grid. Output is bit-identical
+/// across runs and thread counts.
+pub fn resilience_sweep(cfg: &ResilienceConfig) -> Vec<PointOutcome<ResiliencePoint>> {
+    let ks: Vec<usize> = (0..cfg.axis.len()).collect();
+    run_grid_robust(&ks, |_, &k| eval_point(cfg, k))
+}
+
+/// Serial reference implementation of [`resilience_sweep`], used to
+/// regression-test that parallel output is bit-identical.
+pub fn resilience_sweep_serial(cfg: &ResilienceConfig) -> Vec<PointOutcome<ResiliencePoint>> {
+    (0..cfg.axis.len())
+        .map(|k| match eval_point(cfg, k) {
+            Ok(p) => PointOutcome::Ok(p),
+            Err(d) => PointOutcome::Diverged { budget: d.budget },
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noc_sim::config::{NetConfig, TopologyKind};
+
+    fn quick_cfg(recovery: RecoveryMode) -> ResilienceConfig {
+        let base = OpenLoopConfig {
+            net: NetConfig::baseline().with_topology(TopologyKind::Mesh2D { k: 4 }),
+            ..OpenLoopConfig::default()
+        }
+        .quick()
+        .with_load(0.1);
+        ResilienceConfig { settle_max: 60_000, ..ResilienceConfig::new(base, vec![(400, 60)]) }
+            .with_recovery(recovery)
+    }
+
+    #[test]
+    fn parallel_sweep_is_bit_identical_to_serial_and_replayable() {
+        let mut cfg = quick_cfg(RecoveryMode::Combined);
+        cfg.axis = vec![(300, 40), (600, 80), (1200, 160)];
+        let par = resilience_sweep(&cfg);
+        let ser = resilience_sweep_serial(&cfg);
+        assert_eq!(par, ser);
+        assert_eq!(par, resilience_sweep(&cfg));
+    }
+
+    #[test]
+    fn recovery_modes_arm_the_machinery_they_claim() {
+        let outcomes: Vec<_> = RecoveryMode::ALL
+            .iter()
+            .map(|&m| {
+                let out = resilience_sweep(&quick_cfg(m));
+                let PointOutcome::Ok(p) = out.into_iter().next().unwrap() else {
+                    panic!("point must succeed for {m:?}")
+                };
+                (m, p)
+            })
+            .collect();
+        for (m, p) in &outcomes {
+            match m {
+                RecoveryMode::None => {
+                    assert_eq!(p.retransmissions, 0);
+                    assert_eq!(p.link_replays, 0);
+                }
+                RecoveryMode::EndToEnd => assert_eq!(p.link_replays, 0),
+                RecoveryMode::LinkLevel => assert_eq!(p.retransmissions, 0),
+                RecoveryMode::Combined => {}
+            }
+            assert!(p.availability < 1.0, "the timeline must actually flap");
+            assert!(p.epochs >= 2, "every outage closes at least two epochs");
+        }
+        // end-to-end recovery must deliver everything the no-recovery
+        // run lost (survivor paths exist on a flapping 4x4 mesh)
+        let by = |m: RecoveryMode| &outcomes.iter().find(|(x, _)| *x == m).unwrap().1;
+        assert!(by(RecoveryMode::Combined).delivered.is_complete());
+        assert!(by(RecoveryMode::EndToEnd).delivered.is_complete());
+        assert!(
+            by(RecoveryMode::Combined).delivered.fraction()
+                >= by(RecoveryMode::None).delivered.fraction()
+        );
+    }
+
+    #[test]
+    fn flap_points_end_healed_with_full_delivery() {
+        // the CI acceptance shape: an intermittent scenario with
+        // combined recovery reaches delivered == started after the
+        // final repair epoch
+        let cfg = quick_cfg(RecoveryMode::Combined);
+        let out = resilience_sweep(&cfg);
+        let PointOutcome::Ok(p) = &out[0] else { panic!("point must succeed: {out:?}") };
+        assert!(p.delivered.is_complete(), "delivered {} after final repair", p.delivered);
+        assert!(p.epochs > 0, "the scenario must actually change the graph");
+    }
+}

@@ -99,14 +99,14 @@ pub struct DegradationPoint {
 
 /// An open-loop source with a hard generation cutoff, so a degraded
 /// run can settle: past `cutoff` no new packets are pulled and the
-/// behavior reports quiescent.
-struct GatedSource {
-    inner: OpenLoopBehavior,
-    cutoff: Cycle,
+/// behavior reports quiescent. Shared with the resilience sweep.
+pub(crate) struct GatedSource {
+    pub(crate) inner: OpenLoopBehavior,
+    pub(crate) cutoff: Cycle,
     /// Set by the first pull at or past the cutoff; until then the
     /// behavior must not report quiescent (the engine's quiescent-cycle
     /// fast-forward would skip generation cycles otherwise).
-    done: bool,
+    pub(crate) done: bool,
 }
 
 impl NodeBehavior for GatedSource {

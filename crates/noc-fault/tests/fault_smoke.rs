@@ -1,9 +1,15 @@
-//! CI fault smoke test: a small mesh with failed links must degrade
+//! CI fault smoke tests: a small mesh with failed links must degrade
 //! gracefully — every transfer delivered via retransmission, exact
 //! ledger accounting, and (under `--features sanitize`) all simulator
-//! conservation invariants intact while links are dead.
+//! conservation invariants intact while links are dead. The
+//! intermittent scenario additionally rides through a fault-and-repair
+//! timeline and must reach full delivery once the final repair epoch
+//! has healed the fabric.
 
-use noc_fault::{run_faulted, FaultConfig, FaultSchedule};
+use noc_exp::PointOutcome;
+use noc_fault::{
+    resilience_sweep, run_faulted, FaultConfig, FaultSchedule, RecoveryMode, ResilienceConfig,
+};
 use noc_openloop::OpenLoopConfig;
 use noc_sim::config::{NetConfig, TopologyKind};
 
@@ -48,6 +54,44 @@ fn fault_smoke_two_dead_links_full_delivery() {
     assert_eq!(p.abandoned, 0);
     assert!(p.packets_dropped > 0, "the corruption rate must actually swallow packets");
     assert!(p.retransmissions > 0, "recovering dropped packets requires retransmission");
+}
+
+/// The robustness acceptance scenario: links flap up and down through
+/// the measurement window (every outage repaired before it ends), and
+/// with end-to-end retransmission armed — alone or combined with
+/// link-level retry — the run must settle with *every* transfer
+/// delivered after the final repair epoch. Runs under
+/// `--features sanitize` in CI, so the per-cycle conservation laws and
+/// the fault-consistency law watch the whole timeline.
+#[test]
+fn fault_smoke_intermittent_full_delivery_after_final_repair() {
+    let base = base();
+    for mode in [RecoveryMode::EndToEnd, RecoveryMode::Combined] {
+        let cfg = ResilienceConfig {
+            settle_max: 100_000,
+            ..ResilienceConfig::new(base.clone(), vec![(500, 80)])
+        }
+        .with_recovery(mode);
+        let out = resilience_sweep(&cfg);
+        let PointOutcome::Ok(p) = &out[0] else {
+            panic!("intermittent smoke point must settle ({mode:?}): {out:?}")
+        };
+        assert!(p.availability < 1.0, "the timeline must actually flap ({mode:?})");
+        assert!(p.epochs >= 2, "outage + repair must each close an epoch ({mode:?})");
+        assert!(
+            p.delivered.is_complete(),
+            "{mode:?}: delivered {} with {} abandoned after the final repair epoch",
+            p.delivered,
+            p.abandoned
+        );
+        assert_eq!(p.abandoned, 0, "{mode:?}: nothing may be abandoned once the fabric heals");
+        if mode == RecoveryMode::Combined {
+            assert!(
+                p.link_replays > 0,
+                "combined recovery must exercise the link-level replay path"
+            );
+        }
+    }
 }
 
 #[test]

@@ -67,6 +67,7 @@ fn refuted_fault_set_simulates_to_partial_delivery() {
         corrupt_rate: 0.0,
         corrupt_seed: 0,
         retx: Some(Default::default()),
+        link_retry: None,
     };
     let p = run_faulted(&base, plan, 3, 200_000).expect("partitioned scenario must still settle");
     assert!(!p.delivered.is_complete(), "traffic across the cut cannot be delivered");

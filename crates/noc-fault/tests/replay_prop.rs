@@ -1,8 +1,16 @@
-//! Property tests for fault-scenario replay and crash-proof grids.
+//! Property tests for fault-scenario replay and crash-proof grids:
+//! permanent schedules, intermittent fault-and-repair timelines, and
+//! full resilience measurements must all be bit-identical functions of
+//! their seeds, independent of run count or worker thread count.
 
 use noc_exp::{run_grid_robust, PointOutcome};
-use noc_fault::{FaultConfig, FaultSchedule};
-use noc_sim::config::TopologyKind;
+use noc_fault::{
+    resilience_sweep, resilience_sweep_serial, FaultConfig, FaultSchedule, FlapConfig,
+    RecoveryMode, ResilienceConfig,
+};
+use noc_openloop::OpenLoopConfig;
+use noc_sim::config::{NetConfig, TopologyKind};
+use noc_sim::FaultEvent;
 use proptest::prelude::*;
 
 proptest! {
@@ -39,6 +47,48 @@ proptest! {
         prop_assert_eq!(link_events % 2, 0);
     }
 
+    /// Same (seed, topology, flap parameters) -> bit-identical
+    /// intermittent timeline, and every generated timeline is
+    /// well-formed: sorted by cycle, confined to `(start, horizon)`,
+    /// alternating fail/repair per directed channel, fully healed at
+    /// the end.
+    #[test]
+    fn intermittent_timeline_replays_bit_identically(
+        seed in 0u64..u64::MAX,
+        links in 0usize..8,
+        mtbf in 1u64..3_000,
+        mttr in 1u64..500,
+        kind in prop_oneof![
+            Just(TopologyKind::Mesh2D { k: 4 }),
+            Just(TopologyKind::Torus2D { k: 4 }),
+            Just(TopologyKind::Ring { n: 9 }),
+        ],
+    ) {
+        let cfg = FlapConfig { seed, links, mtbf, mttr, start: 64, horizon: 16_384, corrupt_rate: 1e-4 };
+        let topo = kind.build();
+        let a = FaultSchedule::try_generate_intermittent(&cfg, topo.as_ref()).unwrap();
+        let b = FaultSchedule::try_generate_intermittent(&cfg, topo.as_ref()).unwrap();
+        prop_assert_eq!(&a, &b);
+
+        let cycles: Vec<u64> = a.events.iter().map(FaultEvent::cycle).collect();
+        prop_assert!(cycles.windows(2).all(|w| w[0] <= w[1]));
+        prop_assert!(cycles.iter().all(|&c| c > cfg.start && c < cfg.horizon));
+        let mut down = std::collections::HashMap::new();
+        for e in &a.events {
+            match *e {
+                FaultEvent::LinkFail { router, port, .. } => {
+                    prop_assert!(!down.insert((router, port), true).unwrap_or(false));
+                }
+                FaultEvent::LinkRepair { router, port, .. } => {
+                    prop_assert_eq!(down.insert((router, port), false), Some(true));
+                }
+                ref other => prop_assert!(false, "unexpected event {:?}", other),
+            }
+        }
+        prop_assert!(down.values().all(|&d| !d), "timeline must end healed");
+        prop_assert!(a.last_repair_cycle().is_none() == a.events.is_empty());
+    }
+
     /// A grid with one panicking point reports `Panicked` for exactly
     /// that point and clean results for every other — and the parallel
     /// engine agrees with a serial evaluation of the same closure.
@@ -67,5 +117,46 @@ proptest! {
             })
             .collect();
         prop_assert_eq!(par, ser);
+    }
+}
+
+proptest! {
+    // full simulations per case: keep the case budget small
+    #![proptest_config(ProptestConfig { cases: 6, ..ProptestConfig::default() })]
+
+    /// A full resilience measurement — flap timeline, recovery
+    /// machinery, settling — is a bit-identical function of its seeds:
+    /// re-running the sweep reproduces every point exactly, and the
+    /// parallel grid agrees with the serial reference regardless of
+    /// which worker evaluates which point.
+    #[test]
+    fn resilience_points_replay_bit_identically(
+        seed in 0u64..10_000,
+        mtbf in 200u64..1_500,
+        mttr in 20u64..200,
+        mode in prop_oneof![
+            Just(RecoveryMode::None),
+            Just(RecoveryMode::EndToEnd),
+            Just(RecoveryMode::LinkLevel),
+            Just(RecoveryMode::Combined),
+        ],
+    ) {
+        let base = OpenLoopConfig {
+            net: NetConfig::baseline()
+                .with_topology(TopologyKind::Mesh2D { k: 4 })
+                .with_seed(seed),
+            ..OpenLoopConfig::default()
+        }
+        .quick()
+        .with_load(0.08);
+        let cfg = ResilienceConfig {
+            settle_max: 60_000,
+            ..ResilienceConfig::new(base, vec![(mtbf, mttr), (2 * mtbf, mttr)])
+        }
+        .with_recovery(mode);
+        let par = resilience_sweep(&cfg);
+        let ser = resilience_sweep_serial(&cfg);
+        prop_assert_eq!(&par, &ser, "parallel vs serial diverged for {:?}", mode);
+        prop_assert_eq!(&par, &resilience_sweep(&cfg), "replay diverged for {:?}", mode);
     }
 }

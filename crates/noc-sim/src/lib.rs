@@ -57,6 +57,8 @@ pub use config::{Arbitration, NetConfig, RoutingKind, TopologyKind};
 pub use error::ConfigError;
 pub use flit::{Cycle, Delivered, PacketSpec};
 pub use metrics::{ChannelMetrics, MetricsSnapshot, RouterMetrics};
-pub use network::fault::{FaultEvent, FaultPlan, FaultStats, RetxPolicy, SurvivorTable};
+pub use network::fault::{
+    FaultEvent, FaultPlan, FaultStats, LinkRetryPolicy, RetxPolicy, SurvivorTable,
+};
 pub use network::{NetStats, Network, NodeBehavior};
 pub use trace::{trace_route, TraceError};

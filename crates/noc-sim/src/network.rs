@@ -476,11 +476,14 @@ impl Network {
     /// [`NodeBehavior::quiescent`] — but links or NI queues hold
     /// future-ready events, the cycle counter jumps directly to the
     /// earliest such event before the sweep runs, so dead time between
-    /// events costs one step instead of one step per cycle. The skip is
-    /// disabled while a fault plan or the metrics collector is
-    /// installed (both observe individual cycles), and every observable
-    /// (delivery times, digests, counters) is bit-identical to stepping
-    /// through the skipped cycles one by one.
+    /// events costs one step instead of one step per cycle. With a
+    /// fault plan installed the jump target additionally respects the
+    /// fault timeline — the next unapplied fault/repair event and the
+    /// next retransmission deadline — so degraded runs keep the
+    /// event-driven speed; the skip is disabled only while the metrics
+    /// collector is installed (it observes individual cycles). Every
+    /// observable (delivery times, digests, counters) is bit-identical
+    /// to stepping through the skipped cycles one by one.
     ///
     /// # Errors
     /// Any [`SimError`]: structural faults (buffer/credit accounting,
@@ -498,21 +501,33 @@ impl Network {
         limit: Cycle,
     ) -> Result<(), SimError> {
         let mut t = self.cycle;
-        if self.fault.is_some() {
-            self.fault_pre_step(t);
-        } else if self.metrics.is_none()
+        if self.metrics.is_none()
             && self.inj_backlog == 0
             && self.active_r.iter().all(|&w| w == 0)
             && behavior.quiescent()
         {
             // quiescent-cycle fast-forward: nothing can change state
-            // before the next scheduled event, so jump straight to it
-            if let Some(next) = self.next_event_cycle() {
+            // before the next scheduled event, so jump straight to it.
+            // With a fault plan the jump also stops at the next fault
+            // timeline action (unapplied event or retransmission
+            // deadline): in the skipped stretch the pre-step would have
+            // applied no event and every ledger scan would have hit its
+            // early-return gate, and the corruption RNG is only drawn
+            // at link entries — of which a quiescent network has none —
+            // so the digest is identical to the per-cycle scan.
+            let mut next = self.next_event_cycle();
+            if let Some(fw) = self.fault_next_wake() {
+                next = Some(next.map_or(fw, |n| n.min(fw)));
+            }
+            if let Some(next) = next {
                 if next > t {
                     t = next.min(limit);
                     self.cycle = t;
                 }
             }
+        }
+        if self.fault.is_some() {
+            self.fault_pre_step(t);
         }
         self.arrivals(t)?;
         self.ejections(t, behavior);
@@ -1106,16 +1121,27 @@ impl Network {
             } else {
                 let li = r * ports1 + (w.out_port as usize - 1);
                 // a faulty channel may swallow the flit instead of
-                // carrying it (the credit is refunded inside)
-                let swallowed = match fault.as_deref_mut() {
-                    Some(f) => f.swallow(stats, packets, &mut routers.router_mut(r), li, &w)?,
-                    None => false,
+                // carrying it (the credit is refunded inside), or —
+                // under link-level retry — carry it late after replays
+                let forward_at = match fault.as_deref_mut() {
+                    Some(f) => {
+                        let info = links[li].as_ref().map(|l| (l.delay as Cycle, l.in_flight()));
+                        f.on_link_entry(
+                            stats,
+                            packets,
+                            &mut routers.router_mut(r),
+                            li,
+                            info,
+                            t + tr,
+                            &w,
+                        )?
+                    }
+                    None => Some(t + tr + links[li].as_ref().map_or(0, |l| l.delay as Cycle)),
                 };
-                if !swallowed {
+                if let Some(ready) = forward_at {
                     let Some(link) = links[li].as_mut() else {
                         return Err(SimError::DeadPort { router: r, port: w.out_port as usize });
                     };
-                    let ready = t + tr + link.delay as Cycle;
                     link.push_flit(ready, w.flit);
                     Self::mark_link(link_busy, active_links, li);
                 }

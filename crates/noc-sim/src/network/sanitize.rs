@@ -19,6 +19,11 @@
 //! - **Allocation consistency** — an active input VC and the output VC
 //!   it claimed agree on the owning packet, and no output VC is
 //!   claimed by two inputs.
+//! - **Fault consistency** (only with a fault plan installed) — every
+//!   effective dead-channel bit re-derives from its cause ledger
+//!   (direct failure OR a dead endpoint router), the cached dead-set
+//!   population counts match the bit vectors, and the survivor table
+//!   is present exactly while some fault is active.
 //! - **Progress watchdog** — if no flit moves for a configurable
 //!   number of cycles while packets are live, the sanitizer fails the
 //!   step with a pretty-printed wait-for chain (the deadlock cycle,
@@ -97,6 +102,7 @@ impl Network {
         self.check_credit_conservation(t)?;
         self.check_framing(t)?;
         self.check_allocation_consistency(t)?;
+        self.sanitize_fault_consistency(t)?;
         self.check_watchdog(t)?;
         self.san.stats.cycles_checked += 1;
         Ok(())

@@ -1,10 +1,12 @@
 //! Static connectivity analysis of faulted topologies.
 //!
-//! Given a network configuration and a list of permanent fault events
+//! Given a network configuration and a list of fault-and-repair events
 //! (the same [`FaultEvent`]s a simulation would replay),
 //! [`check_fault_connectivity`] decides — without simulating — whether
 //! every live node can still reach every other live node over the
-//! surviving directed channel graph. The graph construction mirrors
+//! surviving directed channel graph *at the end of the timeline*:
+//! events are applied in cycle order, so a repair un-kills what an
+//! earlier fault killed. The graph construction mirrors
 //! `noc_sim::network::fault::SurvivorTable` exactly: a router failure
 //! kills all its incident channels in both directions, a link failure
 //! kills one directed channel, and the analysis walks the same
@@ -91,19 +93,28 @@ impl fmt::Display for FaultReport {
 /// all-pairs connectivity of live nodes over surviving directed
 /// channels, or refute it with a [`PartitionWitness`].
 ///
-/// Event cycles are ignored — the analysis looks at the end state with
-/// every permanent fault applied.
+/// Events are applied in cycle order (ties broken by list position,
+/// matching the simulator's stable event sort), so the analysis sees
+/// the *net end state* of a fault-and-repair timeline: a link or
+/// router failed and later repaired does not count against
+/// connectivity, and `channels_failed` counts only channels still dead
+/// at the end.
 pub fn check_fault_connectivity(cfg: &NetConfig, events: &[FaultEvent]) -> FaultReport {
     let topo = cfg.topology.build();
     let n = topo.num_nodes();
     let ports = topo.num_ports();
 
+    let mut order: Vec<usize> = (0..events.len()).collect();
+    order.sort_by_key(|&i| events[i].cycle());
+
     let mut dead_router = vec![false; n];
     let mut dead_chan = vec![false; n * ports]; // [router * ports + port]
-    for ev in events {
-        match *ev {
+    for &i in &order {
+        match events[i] {
             FaultEvent::LinkFail { router, port, .. } => dead_chan[router * ports + port] = true,
+            FaultEvent::LinkRepair { router, port, .. } => dead_chan[router * ports + port] = false,
             FaultEvent::RouterFail { router, .. } => dead_router[router] = true,
+            FaultEvent::RouterRepair { router, .. } => dead_router[router] = false,
         }
     }
     // a dead router kills its incident channels in both directions
@@ -238,6 +249,48 @@ mod tests {
         assert!(witness.src == 0 || witness.dst == 0);
         assert_eq!(witness.reachable + witness.cut_off, 16);
         assert!(witness.reachable == 1 || witness.cut_off == 1);
+    }
+
+    #[test]
+    fn repaired_timeline_certifies_as_healthy() {
+        // isolate a corner, then repair everything: the end state is
+        // the intact mesh, so the verdict must be Certified with no
+        // failed channels left
+        let cfg = mesh4();
+        let topo = cfg.topology.build();
+        let mut events = isolate_node_events(topo.as_ref(), 0, 10);
+        let repairs: Vec<FaultEvent> = events
+            .iter()
+            .map(|e| match *e {
+                FaultEvent::LinkFail { router, port, .. } => {
+                    FaultEvent::LinkRepair { cycle: 50, router, port }
+                }
+                ref other => panic!("unexpected event {other:?}"),
+            })
+            .collect();
+        events.extend(repairs);
+        events.push(FaultEvent::RouterFail { cycle: 20, router: 9 });
+        events.push(FaultEvent::RouterRepair { cycle: 60, router: 9 });
+        let r = check_fault_connectivity(&cfg, &events);
+        assert_eq!(r.verdict, FaultVerdict::Certified { live_routers: 16 });
+        assert_eq!(r.channels_failed, 0);
+    }
+
+    #[test]
+    fn partial_repair_leaves_the_net_end_state() {
+        // fail two links of node 0's corner, repair only one: the end
+        // state has one dead bidirectional link and stays connected
+        let cfg = mesh4();
+        let topo = cfg.topology.build();
+        let mut events = isolate_node_events(topo.as_ref(), 0, 10); // 2 links, 4 events
+        assert_eq!(events.len(), 4);
+        let FaultEvent::LinkFail { router, port, .. } = events[0] else { panic!() };
+        let (v, vp) = topo.neighbor(router, port).unwrap();
+        events.push(FaultEvent::LinkRepair { cycle: 50, router, port });
+        events.push(FaultEvent::LinkRepair { cycle: 50, router: v, port: vp });
+        let r = check_fault_connectivity(&cfg, &events);
+        assert!(r.is_certified(), "{r}");
+        assert_eq!(r.channels_failed, 2, "one bidirectional link still down");
     }
 
     #[test]
