@@ -1,0 +1,353 @@
+//! `serve_replay` — the CI gate for `noc-serve`'s crash tolerance.
+//!
+//! Drives the real `noc-serve` binary through four lives:
+//!
+//! 1. **Reference** — an uninterrupted run of a scripted batch.
+//! 2. **Kill and resume** — the same script against a WAL-backed
+//!    service that is `SIGKILL`ed right after its first result line;
+//!    a restarted service replaying the same script must produce a
+//!    *complete* result set *bit-identical* to the reference.
+//! 3. **Overload** — a queue-capacity-2 service fed 8 points: every
+//!    point must get a typed answer (`Shed` with a reason, or a
+//!    `degraded: true` analytic prediction) — no hangs, no drops.
+//! 4. **Chaos retry** — `--chaos 2` injects two evaluation panics;
+//!    with 3 attempts the final results must still be bit-identical
+//!    to the reference.
+//! 5. **Graceful drain** — `SIGTERM` with points queued must evaluate
+//!    them, emit a final `status` record, and exit 0.
+//!
+//! Usage: `cargo run --release -p noc-bench --bin serve_replay -- [quick|full] [--serve-bin PATH]`
+
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, Write};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+
+use noc_eval::serve::{parse_response, PointRequest, ServeOutcome, ServeRequest, ServeResponse};
+use noc_sim::config::{NetConfig, TopologyKind};
+use noc_traffic::PatternKind;
+
+fn fail(msg: &str) -> ! {
+    eprintln!("FAIL: {msg}");
+    std::process::exit(1);
+}
+
+fn script_points(quick: bool) -> Vec<PointRequest> {
+    let n = if quick { 12 } else { 24 };
+    (0..n)
+        .map(|i| PointRequest {
+            batch: "replay".into(),
+            net: NetConfig::baseline()
+                .with_topology(TopologyKind::Mesh2D { k: 8 })
+                .with_seed(0xA5E5_0000 + i as u64),
+            pattern: PatternKind::Uniform,
+            packet_size: 1,
+            load: 0.05 + 0.02 * (i % 10) as f64,
+            warmup: if quick { 2_000 } else { 5_000 },
+            measure: if quick { 4_000 } else { 10_000 },
+            drain_max: 40_000,
+            budget: Some(5_000_000),
+            allow_degraded: false,
+        })
+        .collect()
+}
+
+fn script_lines(points: &[PointRequest]) -> Vec<String> {
+    points
+        .iter()
+        .map(|p| p.to_json())
+        .chain([ServeRequest::Run {
+            batch: "replay".into(),
+            max_attempts: None,
+            deadline_ms: None,
+        }
+        .to_json()])
+        .collect()
+}
+
+fn spawn(bin: &PathBuf, extra: &[String]) -> Child {
+    Command::new(bin)
+        .args(extra)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .spawn()
+        .unwrap_or_else(|e| fail(&format!("cannot spawn {}: {e}", bin.display())))
+}
+
+fn send_lines(child: &mut Child, lines: &[String]) {
+    let stdin = child.stdin.as_mut().expect("piped stdin");
+    for l in lines {
+        writeln!(stdin, "{l}").unwrap_or_else(|e| fail(&format!("writing to service: {e}")));
+    }
+    stdin.flush().unwrap();
+}
+
+/// Send the script, close stdin (EOF triggers a graceful drain), and
+/// collect every response line until the service exits.
+fn run_to_completion(bin: &PathBuf, extra: &[String], lines: &[String]) -> Vec<ServeResponse> {
+    let mut child = spawn(bin, extra);
+    send_lines(&mut child, lines);
+    drop(child.stdin.take());
+    let out = child.stdout.take().expect("piped stdout");
+    let responses: Vec<ServeResponse> = BufReader::new(out)
+        .lines()
+        .map(|l| {
+            let l = l.unwrap_or_else(|e| fail(&format!("reading from service: {e}")));
+            parse_response(&l).unwrap_or_else(|e| fail(&format!("unparseable response {l:?}: {e}")))
+        })
+        .collect();
+    let status = child.wait().expect("service exit status");
+    if !status.success() {
+        fail(&format!("service exited with {status}"));
+    }
+    responses
+}
+
+/// Point number -> (canonical outcome, cached flag). Volatile fields
+/// (`cached`, `attempts`) are deliberately excluded from the identity.
+fn result_map(resps: &[ServeResponse]) -> BTreeMap<u64, (String, bool)> {
+    let mut map = BTreeMap::new();
+    for r in resps {
+        if let ServeResponse::Result(r) = r {
+            if map.insert(r.point, (r.outcome.canonical(), r.cached)).is_some() {
+                fail(&format!("point {} answered twice", r.point));
+            }
+        }
+    }
+    map
+}
+
+fn assert_identical(
+    label: &str,
+    reference: &BTreeMap<u64, (String, bool)>,
+    got: &BTreeMap<u64, (String, bool)>,
+) {
+    if got.len() != reference.len() {
+        fail(&format!(
+            "{label}: incomplete results ({} of {} points answered)",
+            got.len(),
+            reference.len()
+        ));
+    }
+    for (point, (want, _)) in reference {
+        let Some((have, _)) = got.get(point) else {
+            fail(&format!("{label}: point {point} missing"));
+        };
+        if have != want {
+            fail(&format!(
+                "{label}: point {point} differs\n  reference: {want}\n  got:       {have}"
+            ));
+        }
+    }
+    println!("  {label}: {} points bit-identical", reference.len());
+}
+
+fn main() {
+    let mut quick = true;
+    let mut bin: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "quick" => quick = true,
+            "full" => quick = false,
+            "--serve-bin" => {
+                bin = Some(PathBuf::from(args.next().unwrap_or_else(|| {
+                    fail("--serve-bin needs a path");
+                })))
+            }
+            other => fail(&format!("unknown argument {other:?} (expected quick|full)")),
+        }
+    }
+    // default: the noc-serve binary sitting next to this harness
+    let bin = bin.unwrap_or_else(|| {
+        let me = std::env::current_exe().expect("current_exe");
+        me.parent().expect("target dir").join("noc-serve")
+    });
+    if !bin.exists() {
+        fail(&format!(
+            "{} not found; build it first (cargo build --release -p noc-serve)",
+            bin.display()
+        ));
+    }
+    let workers = vec!["--workers".to_string(), "2".to_string()];
+    let points = script_points(quick);
+    let script = script_lines(&points);
+
+    // -- 1: uninterrupted reference ------------------------------------
+    println!("[1/5] reference run ({} points)", points.len());
+    let reference = result_map(&run_to_completion(&bin, &workers, &script));
+    if reference.len() != points.len() {
+        fail(&format!("reference run answered {} of {} points", reference.len(), points.len()));
+    }
+    if let Some(p) = reference.iter().find(|(_, (o, _))| !o.contains("\"outcome\": \"ok\"")) {
+        fail(&format!("reference point {} not ok: {}", p.0, p.1 .0));
+    }
+
+    // -- 2: SIGKILL mid-batch, restart, resume -------------------------
+    println!("[2/5] SIGKILL mid-batch, restart with the same WAL");
+    let wal = std::env::temp_dir().join(format!("serve_replay_{}.wal", std::process::id()));
+    let _ = std::fs::remove_file(&wal);
+    let wal_args: Vec<String> =
+        vec!["--wal".into(), wal.display().to_string(), "--workers".into(), "2".into()];
+    {
+        let mut child = spawn(&bin, &wal_args);
+        send_lines(&mut child, &script);
+        let out = child.stdout.take().expect("piped stdout");
+        let mut reader = BufReader::new(out);
+        let mut line = String::new();
+        let mut seen = 0usize;
+        // kill the instant the first result appears: the rest of the
+        // batch is still in flight
+        loop {
+            line.clear();
+            if reader.read_line(&mut line).unwrap_or(0) == 0 {
+                fail("service died before emitting any result");
+            }
+            if matches!(parse_response(line.trim()), Ok(ServeResponse::Result(_))) {
+                seen += 1;
+                break;
+            }
+        }
+        child.kill().expect("SIGKILL");
+        let _ = child.wait();
+        println!("  killed after {seen} result line(s)");
+    }
+    let resumed_resps = run_to_completion(&bin, &wal_args, &script);
+    let resumed = result_map(&resumed_resps);
+    assert_identical("kill-and-resume", &reference, &resumed);
+    let cached = resumed.values().filter(|(_, c)| *c).count();
+    println!(
+        "  resume replayed {cached} point(s) from the WAL, recomputed {}",
+        resumed.len() - cached
+    );
+    if cached == 0 {
+        fail("resume replayed nothing from the WAL: durability is not working");
+    }
+    let _ = std::fs::remove_file(&wal);
+
+    // -- 3: overload returns typed shed/degraded answers ---------------
+    println!("[3/5] overload: queue capacity 2, 8 points");
+    let mut overload_script = Vec::new();
+    for i in 0..8u64 {
+        let mut p = points[0].clone();
+        p.batch = "ov".into();
+        p.net.seed = 0xBEEF_0000 + i;
+        p.allow_degraded = i % 2 == 1;
+        overload_script.push(p.to_json());
+    }
+    overload_script.push(
+        ServeRequest::Run { batch: "ov".into(), max_attempts: None, deadline_ms: None }.to_json(),
+    );
+    let mut small_q = vec!["--queue".to_string(), "2".to_string()];
+    small_q.extend(workers.clone());
+    let ov = run_to_completion(&bin, &small_q, &overload_script);
+    let ov_results = result_map(&ov);
+    if ov_results.len() != 8 {
+        fail(&format!("overload: {} of 8 points answered (silent drop)", ov_results.len()));
+    }
+    let (mut n_ok, mut n_shed, mut n_degraded) = (0, 0, 0);
+    for r in &ov {
+        if let ServeResponse::Result(r) = r {
+            match &r.outcome {
+                ServeOutcome::Ok { .. } => n_ok += 1,
+                ServeOutcome::Shed { reason } => {
+                    if !reason.contains("queue full") {
+                        fail(&format!("shed without a queue-full reason: {reason:?}"));
+                    }
+                    n_shed += 1;
+                }
+                ServeOutcome::Degraded { predicted_saturation, .. } => {
+                    if !predicted_saturation.is_finite() || *predicted_saturation <= 0.0 {
+                        fail("degraded answer with no saturation prediction");
+                    }
+                    if !r.to_json().contains("\"degraded\": true") {
+                        fail("degraded answer missing the degraded tag");
+                    }
+                    n_degraded += 1;
+                }
+                other => fail(&format!("unexpected overload outcome: {other:?}")),
+            }
+        }
+    }
+    if n_ok != 2 || n_shed != 3 || n_degraded != 3 {
+        fail(&format!(
+            "overload mix wrong: {n_ok} ok / {n_shed} shed / {n_degraded} degraded \
+             (expected 2/3/3)"
+        ));
+    }
+    println!("  all 8 answered: {n_ok} ok, {n_shed} shed, {n_degraded} degraded");
+
+    // -- 4: chaos-injected panics are retried deterministically --------
+    println!("[4/5] chaos: 2 injected panics, 3 attempts");
+    let mut chaos_args =
+        vec!["--chaos".to_string(), "2".to_string(), "--max-attempts".to_string(), "3".to_string()];
+    chaos_args.extend(workers.clone());
+    let chaos = result_map(&run_to_completion(&bin, &chaos_args, &script));
+    assert_identical("chaos-retry", &reference, &chaos);
+
+    // -- 5: SIGTERM drains queued points gracefully --------------------
+    println!("[5/5] SIGTERM graceful drain");
+    {
+        let mut child = spawn(&bin, &workers);
+        let mut lines: Vec<String> = points[..2]
+            .iter()
+            .map(|p| {
+                let mut p = p.clone();
+                p.batch = "drain".into();
+                p.to_json()
+            })
+            .collect();
+        lines.push(ServeRequest::Health.to_json());
+        send_lines(&mut child, &lines);
+        let out = child.stdout.take().expect("piped stdout");
+        let mut reader = BufReader::new(out);
+        let mut line = String::new();
+        // the health answer proves both points were admitted before we
+        // pull the trigger
+        loop {
+            line.clear();
+            if reader.read_line(&mut line).unwrap_or(0) == 0 {
+                fail("service died before answering health");
+            }
+            if let Ok(ServeResponse::Health(h)) = parse_response(line.trim()) {
+                if h.queue_depth != 2 {
+                    fail(&format!(
+                        "expected 2 queued points before SIGTERM, got {}",
+                        h.queue_depth
+                    ));
+                }
+                break;
+            }
+        }
+        let term = Command::new("kill")
+            .args(["-TERM", &child.id().to_string()])
+            .status()
+            .unwrap_or_else(|e| fail(&format!("cannot send SIGTERM: {e}")));
+        if !term.success() {
+            fail("kill -TERM failed");
+        }
+        let mut rest = String::new();
+        std::io::Read::read_to_string(&mut reader, &mut rest).unwrap();
+        let resps: Vec<ServeResponse> = rest
+            .lines()
+            .map(|l| parse_response(l).unwrap_or_else(|e| fail(&format!("bad line {l:?}: {e}"))))
+            .collect();
+        let drained = resps.iter().filter(|r| matches!(r, ServeResponse::Result(_))).count();
+        if drained != 2 {
+            fail(&format!("SIGTERM drained {drained} of 2 queued points"));
+        }
+        let Some(ServeResponse::Status(h)) = resps.last() else {
+            fail(&format!("final record must be a status, got {:?}", resps.last()));
+        };
+        if !h.draining || h.queue_depth != 0 {
+            fail("final status should report a drained, empty service");
+        }
+        let status = child.wait().expect("exit status");
+        if !status.success() {
+            fail(&format!("SIGTERM exit status {status} (want 0)"));
+        }
+        println!("  drained 2 points, clean status, exit 0");
+    }
+
+    println!("serve_replay: all five lives PASS");
+}

@@ -20,6 +20,9 @@
 //!   predictions against the simulator, exported as
 //!   `noc-eval/analytic/v1` JSON, plus predicted-vs-measured overlays
 //!   and static channel-load heatmaps.
+//! * [`serve`] — the `noc-eval/serve/v1` line protocol spoken by the
+//!   long-running evaluation service (`noc-serve`): typed requests,
+//!   outcome ladder, and a tolerant escape-aware parser.
 
 #![warn(missing_docs)]
 
@@ -30,6 +33,7 @@ pub mod effort;
 pub mod figures;
 pub mod plot;
 pub mod report;
+pub mod serve;
 
 pub use analytic::{
     analytic_overlay, analytic_study, analytic_to_json, default_cases, load_heatmap,
@@ -38,3 +42,7 @@ pub use analytic::{
 pub use bridge::{batch_for_profile, BatchExtension};
 pub use correlate::{correlate_cmp_batch, correlate_open_batch, CmpBatchOutcome, OpenBatchOutcome};
 pub use effort::Effort;
+pub use serve::{
+    parse_request, parse_response, HealthSnapshot, PointRequest, ServeOutcome, ServeRequest,
+    ServeResponse, ServeResult, SERVE_SCHEMA,
+};

@@ -1,0 +1,1041 @@
+//! The `noc-eval/serve/v1` line protocol: schema types, hand-rolled
+//! emission, and a tolerant escape-aware parser for the long-running
+//! evaluation service (`noc-serve`).
+//!
+//! One JSON object per line in both directions. Requests carry a
+//! `"req"` discriminator (`point`, `run`, `cancel`, `health`,
+//! `shutdown`); responses carry `"resp"` (`result`, `batch-done`,
+//! `cancelled`, `health`, `status`, `error`). Every line also carries
+//! the [`SERVE_SCHEMA`] tag so foreign streams are rejected up front.
+//!
+//! Two properties the service's crash-tolerance contract leans on:
+//!
+//! * **Canonical outcome fragments.** [`ServeOutcome::canonical`] is
+//!   the exact byte sequence embedded in result lines *and* stored in
+//!   the service WAL, so a replayed (cached) answer is bit-identical
+//!   to the originally computed one. Floats are emitted with Rust's
+//!   shortest round-trip formatting (`{:?}`), which parses back to the
+//!   same bits.
+//! * **Tolerant, escape-aware parsing.** Unlike the older line-scanning
+//!   parsers in this crate, string fields here (shed reasons, panic
+//!   messages) can contain quotes, backslashes, and control characters;
+//!   [`parse_request`]/[`parse_response`] decode the full JSON escape
+//!   set and degrade to a typed `Err(String)` on anything malformed —
+//!   never a panic, never a silent drop.
+
+use noc_openloop::OpenLoopConfig;
+use noc_sim::config::{Arbitration, NetConfig, RoutingKind, TopologyKind};
+use noc_traffic::{PatternKind, SizeKind};
+use serde::{Deserialize, Serialize};
+
+/// Schema tag carried by every `noc-eval/serve/v1` line.
+pub const SERVE_SCHEMA: &str = "noc-eval/serve/v1";
+
+// ---------------------------------------------------------------------------
+// JSON primitives: escape-aware emission and field extraction
+// ---------------------------------------------------------------------------
+
+/// Escape a string for embedding in a JSON line: quotes, backslashes,
+/// and control characters (the older `extract_str` parsers in this
+/// crate cannot survive any of these; this module's decoder can).
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Position the cursor just past `"key":` (with optional spaces),
+/// returning the value text that follows. Matches the *first*
+/// occurrence, so emitters must not duplicate keys within a line.
+fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    for pat in [format!("\"{key}\": "), format!("\"{key}\":")] {
+        if let Some(i) = line.find(&pat) {
+            return Some(line[i + pat.len()..].trim_start());
+        }
+    }
+    None
+}
+
+/// Extract a numeric field (integer, float, or exponent notation).
+fn field_f64(line: &str, key: &str) -> Option<f64> {
+    let rest = field(line, key)?;
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit() && !matches!(c, '-' | '+' | '.' | 'e' | 'E'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Extract an unsigned integer field at full 64-bit precision (an
+/// `f64` round-trip would corrupt digests and seeds above 2^53).
+fn field_u64(line: &str, key: &str) -> Option<u64> {
+    let rest = field(line, key)?;
+    let end = rest.find(|c: char| !c.is_ascii_digit()).unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Extract a boolean field.
+fn field_bool(line: &str, key: &str) -> Option<bool> {
+    let rest = field(line, key)?;
+    if rest.starts_with("true") {
+        Some(true)
+    } else if rest.starts_with("false") {
+        Some(false)
+    } else {
+        None
+    }
+}
+
+/// Extract and unescape a string field. Handles the full JSON escape
+/// set (`\" \\ \/ \n \r \t \b \f \uXXXX`); returns `None` on an
+/// unterminated or malformed literal.
+fn field_str(line: &str, key: &str) -> Option<String> {
+    let rest = field(line, key)?.strip_prefix('"')?;
+    let mut out = String::new();
+    let mut chars = rest.chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' => return Some(out),
+            '\\' => match chars.next()? {
+                '"' => out.push('"'),
+                '\\' => out.push('\\'),
+                '/' => out.push('/'),
+                'n' => out.push('\n'),
+                'r' => out.push('\r'),
+                't' => out.push('\t'),
+                'b' => out.push('\u{0008}'),
+                'f' => out.push('\u{000c}'),
+                'u' => {
+                    let hex: String = chars.by_ref().take(4).collect();
+                    if hex.len() != 4 {
+                        return None;
+                    }
+                    let code = u32::from_str_radix(&hex, 16).ok()?;
+                    out.push(char::from_u32(code)?);
+                }
+                _ => return None,
+            },
+            c => out.push(c),
+        }
+    }
+    None
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+// ---------------------------------------------------------------------------
+// Config naming: compact wire names shared with the bench drivers
+// ---------------------------------------------------------------------------
+
+/// Wire name of a topology (`mesh8`, `torus8`, `ftorus4`, `ring64`).
+pub fn topology_name(t: TopologyKind) -> String {
+    match t {
+        TopologyKind::Mesh2D { k } => format!("mesh{k}"),
+        TopologyKind::Torus2D { k } => format!("torus{k}"),
+        TopologyKind::FoldedTorus2D { k } => format!("ftorus{k}"),
+        TopologyKind::Ring { n } => format!("ring{n}"),
+    }
+}
+
+fn parse_topology(s: &str) -> Option<TopologyKind> {
+    let take = |prefix: &str| -> Option<usize> { s.strip_prefix(prefix)?.parse().ok() };
+    if let Some(k) = take("mesh") {
+        return Some(TopologyKind::Mesh2D { k });
+    }
+    if let Some(k) = take("ftorus") {
+        return Some(TopologyKind::FoldedTorus2D { k });
+    }
+    if let Some(k) = take("torus") {
+        return Some(TopologyKind::Torus2D { k });
+    }
+    take("ring").map(|n| TopologyKind::Ring { n })
+}
+
+/// Wire name of a routing algorithm (`dor`, `val`, `romm`, `ma`).
+pub fn routing_name(r: RoutingKind) -> &'static str {
+    match r {
+        RoutingKind::Dor => "dor",
+        RoutingKind::Valiant => "val",
+        RoutingKind::Romm => "romm",
+        RoutingKind::MinAdaptive => "ma",
+    }
+}
+
+fn parse_routing(s: &str) -> Option<RoutingKind> {
+    match s {
+        "dor" => Some(RoutingKind::Dor),
+        "val" => Some(RoutingKind::Valiant),
+        "romm" => Some(RoutingKind::Romm),
+        "ma" => Some(RoutingKind::MinAdaptive),
+        _ => None,
+    }
+}
+
+/// Wire name of an arbitration policy (`rr`, `age`).
+pub fn arb_name(a: Arbitration) -> &'static str {
+    match a {
+        Arbitration::RoundRobin => "rr",
+        Arbitration::AgeBased => "age",
+    }
+}
+
+fn parse_arb(s: &str) -> Option<Arbitration> {
+    match s {
+        "rr" => Some(Arbitration::RoundRobin),
+        "age" => Some(Arbitration::AgeBased),
+        _ => None,
+    }
+}
+
+/// Wire name of a traffic pattern (`uniform`, `transpose`, `bitcomp`,
+/// `bitrev`, `shuffle`, `tornado`, `neighbor`, `hotspot:NODE:FRAC`).
+pub fn pattern_name(p: PatternKind) -> String {
+    match p {
+        PatternKind::Uniform => "uniform".into(),
+        PatternKind::Transpose => "transpose".into(),
+        PatternKind::BitComplement => "bitcomp".into(),
+        PatternKind::BitReversal => "bitrev".into(),
+        PatternKind::Shuffle => "shuffle".into(),
+        PatternKind::Tornado => "tornado".into(),
+        PatternKind::Neighbor => "neighbor".into(),
+        PatternKind::Hotspot { node, frac } => format!("hotspot:{node}:{frac:?}"),
+    }
+}
+
+fn parse_pattern(s: &str) -> Option<PatternKind> {
+    match s {
+        "uniform" => return Some(PatternKind::Uniform),
+        "transpose" => return Some(PatternKind::Transpose),
+        "bitcomp" => return Some(PatternKind::BitComplement),
+        "bitrev" => return Some(PatternKind::BitReversal),
+        "shuffle" => return Some(PatternKind::Shuffle),
+        "tornado" => return Some(PatternKind::Tornado),
+        "neighbor" => return Some(PatternKind::Neighbor),
+        _ => {}
+    }
+    let rest = s.strip_prefix("hotspot:")?;
+    let (node, frac) = rest.split_once(':')?;
+    Some(PatternKind::Hotspot { node: node.parse().ok()?, frac: frac.parse().ok()? })
+}
+
+// ---------------------------------------------------------------------------
+// Requests
+// ---------------------------------------------------------------------------
+
+/// One experiment point submitted to the service.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PointRequest {
+    /// Batch this point belongs to (results and cancellation are
+    /// batch-scoped).
+    pub batch: String,
+    /// Network configuration (the seed lives here: a `(config digest,
+    /// seed)` pair fully determines the answer).
+    pub net: NetConfig,
+    /// Spatial traffic pattern.
+    pub pattern: PatternKind,
+    /// Fixed packet size in flits.
+    pub packet_size: u64,
+    /// Offered load in flits/cycle/node.
+    pub load: f64,
+    /// Warmup cycles.
+    pub warmup: u64,
+    /// Measurement window in cycles.
+    pub measure: u64,
+    /// Maximum drain cycles.
+    pub drain_max: u64,
+    /// Per-point cycle budget for the divergence watchdog; `None`
+    /// inherits the service default.
+    pub budget: Option<u64>,
+    /// Permit an analytic-model answer (tagged `degraded`) when the
+    /// simulator pool is saturated, instead of a `Shed` rejection.
+    pub allow_degraded: bool,
+}
+
+impl PointRequest {
+    /// The open-loop configuration this point evaluates.
+    pub fn open_loop(&self) -> OpenLoopConfig {
+        OpenLoopConfig {
+            net: self.net.clone(),
+            pattern: self.pattern,
+            size: SizeKind::Fixed(self.packet_size.min(u16::MAX as u64) as u16),
+            load: self.load,
+            warmup: self.warmup,
+            measure: self.measure,
+            drain_max: self.drain_max,
+            percentiles: false,
+        }
+    }
+
+    /// FNV-1a digest over every field that determines the answer
+    /// *except* the seed and the batch label — so the result cache key
+    /// [`PointRequest::key`] is `(config digest, seed)` and repeated
+    /// queries deduplicate across batches.
+    pub fn digest(&self) -> u64 {
+        let desc = format!(
+            "{}|{}|{}|{}|{}|{}|{}|{}|{}|{}|{}|{}|{}",
+            topology_name(self.net.topology),
+            routing_name(self.net.routing),
+            arb_name(self.net.arbitration),
+            self.net.vcs,
+            self.net.vc_buf,
+            self.net.router_delay,
+            pattern_name(self.pattern),
+            self.packet_size,
+            self.load.to_bits(),
+            self.warmup,
+            self.measure,
+            self.drain_max,
+            self.budget.map(|b| b as i128).unwrap_or(-1),
+        );
+        fnv1a(desc.as_bytes())
+    }
+
+    /// Result-cache / WAL key: `"{config digest:016x}:{seed:016x}"`.
+    pub fn key(&self) -> String {
+        format!("{:016x}:{:016x}", self.digest(), self.net.seed)
+    }
+
+    /// Emit the request as one `noc-eval/serve/v1` line.
+    pub fn to_json(&self) -> String {
+        let budget = self.budget.map(|b| format!("\"budget\": {b}, ")).unwrap_or_default();
+        format!(
+            "{{\"schema\": \"{SERVE_SCHEMA}\", \"req\": \"point\", \"batch\": \"{}\", \
+             \"topology\": \"{}\", \"routing\": \"{}\", \"arb\": \"{}\", \"vcs\": {}, \
+             \"vc_buf\": {}, \"router_delay\": {}, \"pattern\": \"{}\", \
+             \"packet_size\": {}, \"load\": {:?}, \"warmup\": {}, \"measure\": {}, \
+             \"drain_max\": {}, \"seed\": {}, {budget}\"allow_degraded\": {}}}",
+            json_escape(&self.batch),
+            topology_name(self.net.topology),
+            routing_name(self.net.routing),
+            arb_name(self.net.arbitration),
+            self.net.vcs,
+            self.net.vc_buf,
+            self.net.router_delay,
+            pattern_name(self.pattern),
+            self.packet_size,
+            self.load,
+            self.warmup,
+            self.measure,
+            self.drain_max,
+            self.net.seed,
+            self.allow_degraded,
+        )
+    }
+
+    fn parse(line: &str) -> Result<Self, String> {
+        let s = |key: &str| {
+            field_str(line, key).ok_or_else(|| format!("point request missing \"{key}\""))
+        };
+        let u = |key: &str| {
+            field_u64(line, key).ok_or_else(|| format!("point request missing \"{key}\""))
+        };
+        let topology = s("topology")?;
+        let routing = s("routing")?;
+        let arb = s("arb")?;
+        let pattern = s("pattern")?;
+        let net = NetConfig {
+            topology: parse_topology(&topology)
+                .ok_or_else(|| format!("unknown topology {topology:?}"))?,
+            routing: parse_routing(&routing)
+                .ok_or_else(|| format!("unknown routing {routing:?}"))?,
+            arbitration: parse_arb(&arb).ok_or_else(|| format!("unknown arbitration {arb:?}"))?,
+            vcs: u("vcs")? as usize,
+            vc_buf: u("vc_buf")? as usize,
+            router_delay: u("router_delay")? as u32,
+            seed: u("seed")?,
+            ..NetConfig::baseline()
+        };
+        Ok(Self {
+            batch: s("batch")?,
+            net,
+            pattern: parse_pattern(&pattern)
+                .ok_or_else(|| format!("unknown pattern {pattern:?}"))?,
+            packet_size: u("packet_size")?,
+            load: field_f64(line, "load").ok_or("point request missing \"load\"")?,
+            warmup: u("warmup")?,
+            measure: u("measure")?,
+            drain_max: u("drain_max")?,
+            budget: field_u64(line, "budget"),
+            allow_degraded: field_bool(line, "allow_degraded").unwrap_or(false),
+        })
+    }
+}
+
+/// A parsed `noc-eval/serve/v1` request line.
+#[derive(Debug, Clone)]
+pub enum ServeRequest {
+    /// Enqueue one experiment point into its batch.
+    Point(Box<PointRequest>),
+    /// Evaluate every queued point of a batch and emit results.
+    Run {
+        /// Batch to run.
+        batch: String,
+        /// Override the service's retry cap for this batch.
+        max_attempts: Option<u32>,
+        /// Wall-clock deadline for the whole batch, in milliseconds;
+        /// points not started in time report `Timeout` with
+        /// `wall: true`.
+        deadline_ms: Option<u64>,
+    },
+    /// Drop every queued (not yet run) point of a batch.
+    Cancel {
+        /// Batch to cancel.
+        batch: String,
+    },
+    /// Report queue depth, worker liveness, and robustness counters.
+    Health,
+    /// Drain, flush the WAL, emit a final status record, and exit.
+    Shutdown,
+}
+
+impl ServeRequest {
+    /// Emit the request as one `noc-eval/serve/v1` line.
+    pub fn to_json(&self) -> String {
+        match self {
+            ServeRequest::Point(p) => p.to_json(),
+            ServeRequest::Run { batch, max_attempts, deadline_ms } => {
+                let mut extra = String::new();
+                if let Some(a) = max_attempts {
+                    extra.push_str(&format!(", \"max_attempts\": {a}"));
+                }
+                if let Some(d) = deadline_ms {
+                    extra.push_str(&format!(", \"deadline_ms\": {d}"));
+                }
+                format!(
+                    "{{\"schema\": \"{SERVE_SCHEMA}\", \"req\": \"run\", \
+                     \"batch\": \"{}\"{extra}}}",
+                    json_escape(batch)
+                )
+            }
+            ServeRequest::Cancel { batch } => format!(
+                "{{\"schema\": \"{SERVE_SCHEMA}\", \"req\": \"cancel\", \"batch\": \"{}\"}}",
+                json_escape(batch)
+            ),
+            ServeRequest::Health => {
+                format!("{{\"schema\": \"{SERVE_SCHEMA}\", \"req\": \"health\"}}")
+            }
+            ServeRequest::Shutdown => {
+                format!("{{\"schema\": \"{SERVE_SCHEMA}\", \"req\": \"shutdown\"}}")
+            }
+        }
+    }
+}
+
+/// Parse one request line. Tolerant: unknown fields are ignored,
+/// malformed lines return a typed error (which the service answers
+/// with an `error` response), never a panic.
+pub fn parse_request(line: &str) -> Result<ServeRequest, String> {
+    if !line.contains(SERVE_SCHEMA) {
+        return Err(format!("unrecognized schema (expected {SERVE_SCHEMA})"));
+    }
+    let req = field_str(line, "req").ok_or("missing \"req\" discriminator")?;
+    match req.as_str() {
+        "point" => Ok(ServeRequest::Point(Box::new(PointRequest::parse(line)?))),
+        "run" => Ok(ServeRequest::Run {
+            batch: field_str(line, "batch").ok_or("run request missing \"batch\"")?,
+            max_attempts: field_u64(line, "max_attempts").map(|a| a as u32),
+            deadline_ms: field_u64(line, "deadline_ms"),
+        }),
+        "cancel" => Ok(ServeRequest::Cancel {
+            batch: field_str(line, "batch").ok_or("cancel request missing \"batch\"")?,
+        }),
+        "health" => Ok(ServeRequest::Health),
+        "shutdown" => Ok(ServeRequest::Shutdown),
+        other => Err(format!("unknown request kind {other:?}")),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Outcomes and responses
+// ---------------------------------------------------------------------------
+
+/// The typed outcome of one point: the degradation ladder's rungs.
+/// Every admitted point gets exactly one of these — overload and
+/// divergence become data, never hangs or silent drops.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ServeOutcome {
+    /// Fully simulated result.
+    Ok {
+        /// Average marked-packet latency (cycles).
+        avg_latency: f64,
+        /// Accepted throughput (flits/cycle/node).
+        throughput: f64,
+        /// Below saturation (drained, throughput tracks offered).
+        stable: bool,
+        /// Marked packets measured.
+        measured: u64,
+        /// Total simulated cycles.
+        cycles: u64,
+    },
+    /// Analytic-model answer served because the simulator pool was
+    /// saturated; always tagged `"degraded": true` on the wire.
+    Degraded {
+        /// Model-predicted latency at the requested load; `None` when
+        /// the load sits past the model's saturation asymptote.
+        predicted_latency: Option<f64>,
+        /// Model-predicted saturation throughput.
+        predicted_saturation: f64,
+        /// Whether the requested load is below predicted saturation.
+        stable: bool,
+    },
+    /// The watchdog fired: cycle budget exceeded (`wall: false`) or the
+    /// batch wall-clock deadline passed before the point ran
+    /// (`wall: true`).
+    Timeout {
+        /// The budget that was exceeded (cycles, or the deadline in
+        /// milliseconds when `wall`).
+        budget: u64,
+        /// True for a wall-clock deadline, false for a cycle budget.
+        wall: bool,
+    },
+    /// Load shedding: the point was rejected at admission with a
+    /// reason, and was never evaluated.
+    Shed {
+        /// Why the point was rejected (queue full, draining, ...).
+        reason: String,
+    },
+    /// Evaluation panicked on every permitted attempt.
+    Panicked {
+        /// The final attempt's panic payload.
+        message: String,
+    },
+    /// The request itself was rejected by config validation.
+    Invalid {
+        /// The validation error.
+        reason: String,
+    },
+}
+
+impl ServeOutcome {
+    /// Short discriminator (`ok`, `degraded`, `timeout`, `shed`,
+    /// `panicked`, `invalid`).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ServeOutcome::Ok { .. } => "ok",
+            ServeOutcome::Degraded { .. } => "degraded",
+            ServeOutcome::Timeout { .. } => "timeout",
+            ServeOutcome::Shed { .. } => "shed",
+            ServeOutcome::Panicked { .. } => "panicked",
+            ServeOutcome::Invalid { .. } => "invalid",
+        }
+    }
+
+    /// The canonical JSON fragment (no surrounding braces). This exact
+    /// byte sequence is embedded in result lines and stored in the
+    /// service WAL, so cached replays are bit-identical to the original
+    /// computation. Floats use shortest round-trip formatting.
+    pub fn canonical(&self) -> String {
+        match self {
+            ServeOutcome::Ok { avg_latency, throughput, stable, measured, cycles } => format!(
+                "\"outcome\": \"ok\", \"avg_latency\": {avg_latency:?}, \
+                 \"throughput\": {throughput:?}, \"stable\": {stable}, \
+                 \"measured\": {measured}, \"cycles\": {cycles}"
+            ),
+            ServeOutcome::Degraded { predicted_latency, predicted_saturation, stable } => {
+                let lat =
+                    predicted_latency.map(|l| format!("{l:?}")).unwrap_or_else(|| "null".into());
+                format!(
+                    "\"outcome\": \"degraded\", \"degraded\": true, \
+                     \"predicted_latency\": {lat}, \
+                     \"predicted_saturation\": {predicted_saturation:?}, \"stable\": {stable}"
+                )
+            }
+            ServeOutcome::Timeout { budget, wall } => {
+                format!("\"outcome\": \"timeout\", \"budget\": {budget}, \"wall\": {wall}")
+            }
+            ServeOutcome::Shed { reason } => {
+                format!("\"outcome\": \"shed\", \"reason\": \"{}\"", json_escape(reason))
+            }
+            ServeOutcome::Panicked { message } => {
+                format!("\"outcome\": \"panicked\", \"message\": \"{}\"", json_escape(message))
+            }
+            ServeOutcome::Invalid { reason } => {
+                format!("\"outcome\": \"invalid\", \"reason\": \"{}\"", json_escape(reason))
+            }
+        }
+    }
+
+    /// Parse an outcome from a line (or bare canonical fragment).
+    pub fn parse(line: &str) -> Result<Self, String> {
+        let kind = field_str(line, "outcome").ok_or("missing \"outcome\" discriminator")?;
+        let f = |key: &str| {
+            field_f64(line, key).ok_or_else(|| format!("{kind} outcome missing \"{key}\""))
+        };
+        let u = |key: &str| {
+            field_u64(line, key).ok_or_else(|| format!("{kind} outcome missing \"{key}\""))
+        };
+        let b = |key: &str| {
+            field_bool(line, key).ok_or_else(|| format!("{kind} outcome missing \"{key}\""))
+        };
+        let s = |key: &str| {
+            field_str(line, key).ok_or_else(|| format!("{kind} outcome missing \"{key}\""))
+        };
+        match kind.as_str() {
+            "ok" => Ok(ServeOutcome::Ok {
+                avg_latency: f("avg_latency")?,
+                throughput: f("throughput")?,
+                stable: b("stable")?,
+                measured: u("measured")?,
+                cycles: u("cycles")?,
+            }),
+            "degraded" => Ok(ServeOutcome::Degraded {
+                predicted_latency: field_f64(line, "predicted_latency"),
+                predicted_saturation: f("predicted_saturation")?,
+                stable: b("stable")?,
+            }),
+            "timeout" => Ok(ServeOutcome::Timeout { budget: u("budget")?, wall: b("wall")? }),
+            "shed" => Ok(ServeOutcome::Shed { reason: s("reason")? }),
+            "panicked" => Ok(ServeOutcome::Panicked { message: s("message")? }),
+            "invalid" => Ok(ServeOutcome::Invalid { reason: s("reason")? }),
+            other => Err(format!("unknown outcome kind {other:?}")),
+        }
+    }
+}
+
+/// One point's result line.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServeResult {
+    /// Batch the point belonged to.
+    pub batch: String,
+    /// Point sequence number within the batch (submission order).
+    pub point: u64,
+    /// Result-cache key (`digest:seed`); empty for outcomes that never
+    /// reached evaluation (shed, invalid).
+    pub key: String,
+    /// True when the answer was replayed from the cache/WAL rather than
+    /// recomputed. Volatile: excluded from bit-identity comparisons.
+    pub cached: bool,
+    /// Evaluation attempts consumed (0 for cached/shed answers).
+    /// Volatile under chaos injection: excluded from bit-identity
+    /// comparisons.
+    pub attempts: u32,
+    /// The typed outcome.
+    pub outcome: ServeOutcome,
+}
+
+impl ServeResult {
+    /// Emit the result as one `noc-eval/serve/v1` line; the outcome
+    /// portion is [`ServeOutcome::canonical`], byte-for-byte.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"schema\": \"{SERVE_SCHEMA}\", \"resp\": \"result\", \"batch\": \"{}\", \
+             \"point\": {}, \"key\": \"{}\", \"cached\": {}, \"attempts\": {}, {}}}",
+            json_escape(&self.batch),
+            self.point,
+            self.key,
+            self.cached,
+            self.attempts,
+            self.outcome.canonical(),
+        )
+    }
+
+    fn parse(line: &str) -> Result<Self, String> {
+        Ok(Self {
+            batch: field_str(line, "batch").ok_or("result missing \"batch\"")?,
+            point: field_u64(line, "point").ok_or("result missing \"point\"")?,
+            key: field_str(line, "key").ok_or("result missing \"key\"")?,
+            cached: field_bool(line, "cached").ok_or("result missing \"cached\"")?,
+            attempts: field_u64(line, "attempts").ok_or("result missing \"attempts\"")? as u32,
+            outcome: ServeOutcome::parse(line)?,
+        })
+    }
+}
+
+/// Queue, worker, and robustness counters reported by `health` and by
+/// the final `status` record on shutdown.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HealthSnapshot {
+    /// Points currently queued (admitted, not yet evaluated).
+    pub queue_depth: u64,
+    /// Admission queue capacity.
+    pub queue_capacity: u64,
+    /// Simulator worker count.
+    pub workers: u64,
+    /// Points answered over the service lifetime (all outcome kinds).
+    pub completed: u64,
+    /// Answers replayed from the result cache / WAL.
+    pub cache_hits: u64,
+    /// Points rejected at admission.
+    pub shed: u64,
+    /// Points answered by the analytic model.
+    pub degraded: u64,
+    /// Extra evaluation attempts consumed by retries.
+    pub retries: u64,
+    /// Watchdog/deadline timeouts.
+    pub timeouts: u64,
+    /// Points whose every attempt panicked.
+    pub panics: u64,
+    /// Records in the WAL (replayed + appended).
+    pub wal_records: u64,
+    /// True once shutdown has begun (new points are shed).
+    pub draining: bool,
+}
+
+impl HealthSnapshot {
+    fn emit(&self, resp: &str) -> String {
+        format!(
+            "{{\"schema\": \"{SERVE_SCHEMA}\", \"resp\": \"{resp}\", \"queue_depth\": {}, \
+             \"queue_capacity\": {}, \"workers\": {}, \"completed\": {}, \"cache_hits\": {}, \
+             \"shed\": {}, \"degraded\": {}, \"retries\": {}, \"timeouts\": {}, \
+             \"panics\": {}, \"wal_records\": {}, \"draining\": {}}}",
+            self.queue_depth,
+            self.queue_capacity,
+            self.workers,
+            self.completed,
+            self.cache_hits,
+            self.shed,
+            self.degraded,
+            self.retries,
+            self.timeouts,
+            self.panics,
+            self.wal_records,
+            self.draining,
+        )
+    }
+
+    fn parse(line: &str) -> Result<Self, String> {
+        let u = |key: &str| field_u64(line, key).ok_or_else(|| format!("health missing \"{key}\""));
+        Ok(Self {
+            queue_depth: u("queue_depth")?,
+            queue_capacity: u("queue_capacity")?,
+            workers: u("workers")?,
+            completed: u("completed")?,
+            cache_hits: u("cache_hits")?,
+            shed: u("shed")?,
+            degraded: u("degraded")?,
+            retries: u("retries")?,
+            timeouts: u("timeouts")?,
+            panics: u("panics")?,
+            wal_records: u("wal_records")?,
+            draining: field_bool(line, "draining").ok_or("health missing \"draining\"")?,
+        })
+    }
+}
+
+/// A parsed `noc-eval/serve/v1` response line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeResponse {
+    /// One point's answer.
+    Result(ServeResult),
+    /// A `run` request finished; every point answered.
+    BatchDone {
+        /// The batch.
+        batch: String,
+        /// Results emitted for it.
+        points: u64,
+        /// How many of them were fully simulated `Ok` outcomes.
+        ok: u64,
+    },
+    /// A `cancel` request finished.
+    Cancelled {
+        /// The batch.
+        batch: String,
+        /// Queued points dropped.
+        dropped: u64,
+    },
+    /// Answer to a `health` request.
+    Health(HealthSnapshot),
+    /// The final record a draining service emits before exiting.
+    Status(HealthSnapshot),
+    /// A malformed or unserviceable request line.
+    Error {
+        /// What was wrong with it.
+        reason: String,
+    },
+}
+
+impl ServeResponse {
+    /// Emit the response as one `noc-eval/serve/v1` line.
+    pub fn to_json(&self) -> String {
+        match self {
+            ServeResponse::Result(r) => r.to_json(),
+            ServeResponse::BatchDone { batch, points, ok } => format!(
+                "{{\"schema\": \"{SERVE_SCHEMA}\", \"resp\": \"batch-done\", \
+                 \"batch\": \"{}\", \"points\": {points}, \"ok\": {ok}}}",
+                json_escape(batch)
+            ),
+            ServeResponse::Cancelled { batch, dropped } => format!(
+                "{{\"schema\": \"{SERVE_SCHEMA}\", \"resp\": \"cancelled\", \
+                 \"batch\": \"{}\", \"dropped\": {dropped}}}",
+                json_escape(batch)
+            ),
+            ServeResponse::Health(h) => h.emit("health"),
+            ServeResponse::Status(h) => h.emit("status"),
+            ServeResponse::Error { reason } => format!(
+                "{{\"schema\": \"{SERVE_SCHEMA}\", \"resp\": \"error\", \"reason\": \"{}\"}}",
+                json_escape(reason)
+            ),
+        }
+    }
+}
+
+/// Parse one response line (same tolerance contract as
+/// [`parse_request`]).
+pub fn parse_response(line: &str) -> Result<ServeResponse, String> {
+    if !line.contains(SERVE_SCHEMA) {
+        return Err(format!("unrecognized schema (expected {SERVE_SCHEMA})"));
+    }
+    let resp = field_str(line, "resp").ok_or("missing \"resp\" discriminator")?;
+    match resp.as_str() {
+        "result" => Ok(ServeResponse::Result(ServeResult::parse(line)?)),
+        "batch-done" => Ok(ServeResponse::BatchDone {
+            batch: field_str(line, "batch").ok_or("batch-done missing \"batch\"")?,
+            points: field_u64(line, "points").ok_or("batch-done missing \"points\"")?,
+            ok: field_u64(line, "ok").ok_or("batch-done missing \"ok\"")?,
+        }),
+        "cancelled" => Ok(ServeResponse::Cancelled {
+            batch: field_str(line, "batch").ok_or("cancelled missing \"batch\"")?,
+            dropped: field_u64(line, "dropped").ok_or("cancelled missing \"dropped\"")?,
+        }),
+        "health" => Ok(ServeResponse::Health(HealthSnapshot::parse(line)?)),
+        "status" => Ok(ServeResponse::Status(HealthSnapshot::parse(line)?)),
+        "error" => {
+            Ok(ServeResponse::Error { reason: field_str(line, "reason").unwrap_or_default() })
+        }
+        other => Err(format!("unknown response kind {other:?}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn point(seed: u64, load: f64) -> PointRequest {
+        PointRequest {
+            batch: "b1".into(),
+            net: NetConfig::baseline().with_topology(TopologyKind::Mesh2D { k: 4 }).with_seed(seed),
+            pattern: PatternKind::Uniform,
+            packet_size: 1,
+            load,
+            warmup: 1_000,
+            measure: 3_000,
+            drain_max: 20_000,
+            budget: Some(200_000),
+            allow_degraded: true,
+        }
+    }
+
+    #[test]
+    fn point_request_round_trips() {
+        let p = point(42, 0.2);
+        let line = p.to_json();
+        let ServeRequest::Point(q) = parse_request(&line).unwrap() else {
+            panic!("expected a point request")
+        };
+        assert_eq!(q.net.topology, p.net.topology);
+        assert_eq!(q.net.routing, p.net.routing);
+        assert_eq!(q.net.seed, 42);
+        assert_eq!(q.pattern, p.pattern);
+        assert_eq!(q.load.to_bits(), p.load.to_bits());
+        assert_eq!(q.budget, Some(200_000));
+        assert!(q.allow_degraded);
+        assert_eq!(q.key(), p.key());
+    }
+
+    #[test]
+    fn hotspot_pattern_and_all_topologies_round_trip() {
+        let mut p = point(7, 0.15);
+        p.pattern = PatternKind::Hotspot { node: 5, frac: 0.25 };
+        p.budget = None;
+        for topo in [
+            TopologyKind::Mesh2D { k: 8 },
+            TopologyKind::Torus2D { k: 8 },
+            TopologyKind::FoldedTorus2D { k: 4 },
+            TopologyKind::Ring { n: 64 },
+        ] {
+            p.net.topology = topo;
+            let ServeRequest::Point(q) = parse_request(&p.to_json()).unwrap() else {
+                panic!("point")
+            };
+            assert_eq!(q.net.topology, topo);
+            assert_eq!(q.pattern, p.pattern);
+            assert_eq!(q.budget, None);
+        }
+    }
+
+    #[test]
+    fn digest_isolates_the_seed_and_sees_everything_else() {
+        let a = point(1, 0.2);
+        let b = point(2, 0.2);
+        assert_eq!(a.digest(), b.digest(), "seed must not enter the config digest");
+        assert_ne!(a.key(), b.key(), "but it does enter the cache key");
+        assert_ne!(a.digest(), point(1, 0.25).digest());
+        let mut c = a.clone();
+        c.budget = None;
+        assert_ne!(a.digest(), c.digest(), "the watchdog budget shapes the answer");
+        let mut d = a.clone();
+        d.batch = "other".into();
+        assert_eq!(a.digest(), d.digest(), "batch label must not enter the digest");
+    }
+
+    #[test]
+    fn control_requests_round_trip() {
+        for (req, want) in [
+            (
+                ServeRequest::Run {
+                    batch: "b\"x".into(),
+                    max_attempts: Some(5),
+                    deadline_ms: None,
+                },
+                "run",
+            ),
+            (ServeRequest::Cancel { batch: "b1".into() }, "cancel"),
+            (ServeRequest::Health, "health"),
+            (ServeRequest::Shutdown, "shutdown"),
+        ] {
+            let line = req.to_json();
+            let parsed = parse_request(&line).unwrap();
+            match (&parsed, want) {
+                (ServeRequest::Run { batch, max_attempts, deadline_ms }, "run") => {
+                    assert_eq!(batch, "b\"x");
+                    assert_eq!(*max_attempts, Some(5));
+                    assert_eq!(*deadline_ms, None);
+                }
+                (ServeRequest::Cancel { batch }, "cancel") => assert_eq!(batch, "b1"),
+                (ServeRequest::Health, "health") | (ServeRequest::Shutdown, "shutdown") => {}
+                _ => panic!("wrong parse for {line}"),
+            }
+        }
+    }
+
+    #[test]
+    fn outcomes_round_trip_with_nasty_strings() {
+        let outcomes = [
+            ServeOutcome::Ok {
+                avg_latency: 12.345678901234567,
+                throughput: 1e-6,
+                stable: true,
+                measured: u64::MAX,
+                cycles: 9_007_199_254_740_993, // 2^53 + 1: f64 would corrupt it
+            },
+            ServeOutcome::Degraded {
+                predicted_latency: None,
+                predicted_saturation: 0.3125,
+                stable: false,
+            },
+            ServeOutcome::Timeout { budget: 100_000, wall: true },
+            ServeOutcome::Shed { reason: "queue \"full\"\n\tcapacity=2\\node".into() },
+            ServeOutcome::Panicked { message: "index out of bounds: \u{1}\u{7f}".into() },
+            ServeOutcome::Invalid { reason: "vc_buf: must be >= 1 flit".into() },
+        ];
+        for o in outcomes {
+            let r = ServeResult {
+                batch: "b1".into(),
+                point: 3,
+                key: "00ff:0001".into(),
+                cached: false,
+                attempts: 2,
+                outcome: o.clone(),
+            };
+            let line = r.to_json();
+            let ServeResponse::Result(back) = parse_response(&line).unwrap() else {
+                panic!("expected result for {line}")
+            };
+            assert_eq!(back, r, "round trip failed for {line}");
+            assert!(line.contains(&o.canonical()), "canonical fragment embedded verbatim");
+        }
+    }
+
+    #[test]
+    fn ok_outcome_round_trip_is_bit_exact() {
+        let o = ServeOutcome::Ok {
+            avg_latency: std::f64::consts::PI,
+            throughput: 0.1 + 0.2, // 0.30000000000000004
+            stable: true,
+            measured: 123,
+            cycles: 456,
+        };
+        let back = ServeOutcome::parse(&o.canonical()).unwrap();
+        let (
+            ServeOutcome::Ok { avg_latency: a, throughput: t, .. },
+            ServeOutcome::Ok { avg_latency: pa, throughput: pt, .. },
+        ) = (&o, &back)
+        else {
+            panic!()
+        };
+        assert_eq!(a.to_bits(), pa.to_bits());
+        assert_eq!(t.to_bits(), pt.to_bits());
+        // replaying the canonical fragment regenerates the same bytes
+        assert_eq!(o.canonical(), back.canonical());
+    }
+
+    #[test]
+    fn health_and_status_round_trip() {
+        let h = HealthSnapshot {
+            queue_depth: 3,
+            queue_capacity: 256,
+            workers: 4,
+            completed: 100,
+            cache_hits: 20,
+            shed: 2,
+            degraded: 1,
+            retries: 5,
+            timeouts: 1,
+            panics: 1,
+            wal_records: 99,
+            draining: true,
+        };
+        let ServeResponse::Health(back) =
+            parse_response(&ServeResponse::Health(h.clone()).to_json()).unwrap()
+        else {
+            panic!("health")
+        };
+        assert_eq!(back, h);
+        let ServeResponse::Status(back) =
+            parse_response(&ServeResponse::Status(h.clone()).to_json()).unwrap()
+        else {
+            panic!("status")
+        };
+        assert_eq!(back, h);
+    }
+
+    #[test]
+    fn foreign_or_malformed_lines_degrade_to_typed_errors() {
+        assert!(parse_request("{}").is_err());
+        assert!(parse_request("{\"schema\": \"noc-eval/metrics/v1\"}").is_err());
+        assert!(parse_request(&format!("{{\"schema\": \"{SERVE_SCHEMA}\"}}")).is_err());
+        assert!(parse_request(&format!(
+            "{{\"schema\": \"{SERVE_SCHEMA}\", \"req\": \"point\", \"batch\": \"b\"}}"
+        ))
+        .is_err());
+        assert!(parse_response(&format!(
+            "{{\"schema\": \"{SERVE_SCHEMA}\", \"resp\": \"result\", \"batch\": \"b\", \
+             \"point\": 0, \"key\": \"k\", \"cached\": false, \"attempts\": 1, \
+             \"outcome\": \"ok\", \"avg_latency\": oops}}"
+        ))
+        .is_err());
+        // truncated string literal (torn line): error, not a hang/panic
+        assert!(parse_request(&format!(
+            "{{\"schema\": \"{SERVE_SCHEMA}\", \"req\": \"cancel\", \"batch\": \"tor"
+        ))
+        .is_err());
+    }
+
+    #[test]
+    fn open_loop_config_matches_the_request() {
+        let p = point(9, 0.3);
+        let cfg = p.open_loop();
+        assert_eq!(cfg.net.seed, 9);
+        assert_eq!(cfg.load, 0.3);
+        assert_eq!(cfg.warmup, 1_000);
+        assert_eq!(cfg.measure, 3_000);
+        assert_eq!(cfg.drain_max, 20_000);
+        assert!(!cfg.percentiles);
+    }
+}

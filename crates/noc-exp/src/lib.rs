@@ -31,9 +31,11 @@
 
 pub mod progress;
 pub mod robust;
+pub mod wal;
 
 pub use progress::Progress;
 pub use robust::{run_grid_journal, run_grid_robust, Diverged, PointCodec, PointOutcome};
+pub use wal::{Wal, WalReplay};
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -43,6 +45,28 @@ use std::sync::Mutex;
 /// stderr once per grid either.
 static THREADS_WARNED: std::sync::Once = std::sync::Once::new();
 
+/// Read one worker-count environment variable: `Some(n)` for a positive
+/// integer, `None` when unset **or** malformed. A malformed value (not a
+/// positive integer) warns once per process — the shared behavior of
+/// every worker-count override in this workspace (`NOC_THREADS`,
+/// `RAYON_NUM_THREADS`, `NOC_SERVE_WORKERS`), so a typo never silently
+/// changes the parallelism.
+fn env_workers(var: &str) -> Option<usize> {
+    let s = std::env::var(var).ok()?;
+    match s.trim().parse::<usize>() {
+        Ok(n) if n >= 1 => Some(n),
+        _ => {
+            THREADS_WARNED.call_once(|| {
+                eprintln!(
+                    "noc-exp: ignoring {var}={s:?} (not a positive integer); \
+                     falling back to the next thread-count source"
+                );
+            });
+            None
+        }
+    }
+}
+
 /// Number of worker threads the engine will use.
 ///
 /// Resolution order: `NOC_THREADS`, `RAYON_NUM_THREADS`, available
@@ -51,20 +75,19 @@ static THREADS_WARNED: std::sync::Once = std::sync::Once::new();
 /// the variable and the bad value, so a typo like `NOC_THREADS=fuor`
 /// does not silently run at a different width.
 pub fn threads() -> usize {
-    for var in ["NOC_THREADS", "RAYON_NUM_THREADS"] {
-        if let Ok(s) = std::env::var(var) {
-            match s.trim().parse::<usize>() {
-                Ok(n) if n >= 1 => return n,
-                _ => THREADS_WARNED.call_once(|| {
-                    eprintln!(
-                        "noc-exp: ignoring {var}={s:?} (not a positive integer); \
-                         falling back to the next thread-count source"
-                    );
-                }),
-            }
-        }
-    }
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    ["NOC_THREADS", "RAYON_NUM_THREADS"]
+        .into_iter()
+        .find_map(env_workers)
+        .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1))
+}
+
+/// Worker-pool width for the long-running evaluation service
+/// (`noc-serve`): `NOC_SERVE_WORKERS` when set and valid, else the
+/// regular [`threads`] resolution. Malformed values warn once and fall
+/// through, exactly like the other worker-count variables (the parsing
+/// is shared, not duplicated).
+pub fn serve_workers() -> usize {
+    env_workers("NOC_SERVE_WORKERS").unwrap_or_else(threads)
 }
 
 /// Derive the RNG seed of grid point `index` from `base`.
@@ -98,8 +121,23 @@ where
     R: Send,
     F: Fn(usize, &T) -> R + Sync,
 {
+    run_grid_with(points, threads(), eval)
+}
+
+/// [`run_grid`] with an explicit worker count instead of the
+/// [`threads`] environment resolution — the building block for callers
+/// that manage their own pool width (the evaluation service sizes its
+/// pool from [`serve_workers`]). `workers` is clamped to at least 1;
+/// results are bit-identical to serial execution for any width, exactly
+/// as for [`run_grid`].
+pub fn run_grid_with<T, R, F>(points: &[T], workers: usize, eval: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
     let n = points.len();
-    let workers = threads().min(n);
+    let workers = workers.max(1).min(n);
     if workers <= 1 {
         return points.iter().enumerate().map(|(i, p)| eval(i, p)).collect();
     }
@@ -294,6 +332,29 @@ mod tests {
         let none = run_grid_pruned(&points, |_, _| None::<u32>, |_, &p| p + 100);
         assert_eq!(none.skipped_count(), 0);
         assert!(none.results.iter().zip(&points).all(|(&r, &p)| r == p + 100));
+    }
+
+    #[test]
+    fn run_grid_with_matches_serial_at_any_width() {
+        let points: Vec<u64> = (0..41).collect();
+        let serial: Vec<u64> = points.iter().map(|&p| p * 7 + 3).collect();
+        for workers in [0, 1, 2, 3, 8, 64] {
+            assert_eq!(run_grid_with(&points, workers, |_, &p| p * 7 + 3), serial);
+        }
+    }
+
+    #[test]
+    fn serve_workers_honors_its_override_and_falls_back_when_malformed() {
+        // NOC_SERVE_WORKERS is read only by serve_workers(), so this
+        // cannot race with the grid tests (which resolve via threads()).
+        std::env::set_var("NOC_SERVE_WORKERS", "3");
+        assert_eq!(serve_workers(), 3);
+        std::env::set_var("NOC_SERVE_WORKERS", "three");
+        assert_eq!(serve_workers(), threads(), "malformed value must fall back to threads()");
+        std::env::set_var("NOC_SERVE_WORKERS", "0");
+        assert_eq!(serve_workers(), threads(), "zero is not a valid worker count");
+        std::env::remove_var("NOC_SERVE_WORKERS");
+        assert_eq!(serve_workers(), threads());
     }
 
     #[test]

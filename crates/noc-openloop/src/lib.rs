@@ -24,5 +24,7 @@ mod measure;
 mod sweep;
 
 pub use behavior::OpenLoopBehavior;
-pub use measure::{measure, zero_load_latency_bound, OpenLoopConfig, OpenLoopResult};
+pub use measure::{
+    measure, measure_budgeted, zero_load_latency_bound, OpenLoopConfig, OpenLoopResult,
+};
 pub use sweep::{saturation_throughput, sweep, sweep_serial, SweepPoint};

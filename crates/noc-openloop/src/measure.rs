@@ -1,5 +1,6 @@
 //! Single-point open-loop measurement.
 
+use noc_exp::robust::Diverged;
 use noc_sim::config::NetConfig;
 use noc_sim::error::ConfigError;
 use noc_sim::network::Network;
@@ -123,6 +124,38 @@ pub fn zero_load_latency_bound(cfg: &NetConfig) -> f64 {
 /// The offered `load` is in flits/cycle/node; the per-node packet
 /// generation probability is `load / mean_packet_size`.
 pub fn measure(cfg: &OpenLoopConfig) -> Result<OpenLoopResult, ConfigError> {
+    match measure_impl(cfg, None)? {
+        Ok(r) => Ok(r),
+        Err(d) => unreachable!("no cycle budget was set, yet the point diverged at {}", d.budget),
+    }
+}
+
+/// Run one open-loop measurement under a hard cycle budget — the
+/// watchdog the fault sweeps and the evaluation service rely on to turn
+/// a stuck point into a typed outcome instead of a silent hang.
+///
+/// The budget bounds **total simulated cycles**. A zero budget is a
+/// [`ConfigError`] (it could never complete even the warmup); a budget
+/// too small to fit `warmup + measure`, or exhausted while draining
+/// marked packets, yields `Ok(Err(Diverged))` carrying the budget that
+/// was exceeded so the caller can journal, report, or retry it.
+pub fn measure_budgeted(
+    cfg: &OpenLoopConfig,
+    cycle_budget: u64,
+) -> Result<Result<OpenLoopResult, Diverged>, ConfigError> {
+    if cycle_budget == 0 {
+        return Err(ConfigError::Parameter {
+            name: "cycle_budget",
+            why: "cycle budget must be >= 1; a zero budget can never complete the warmup".into(),
+        });
+    }
+    measure_impl(cfg, Some(cycle_budget))
+}
+
+fn measure_impl(
+    cfg: &OpenLoopConfig,
+    budget: Option<u64>,
+) -> Result<Result<OpenLoopResult, Diverged>, ConfigError> {
     let mut net = Network::new(cfg.net.clone())?;
     let nodes = net.num_nodes();
     let k = net.topo().radix(0);
@@ -155,9 +188,22 @@ pub fn measure(cfg: &OpenLoopConfig) -> Result<OpenLoopResult, ConfigError> {
         b.keep_samples();
     }
 
+    if let Some(limit) = budget {
+        // the measurement window itself cannot fit: diverged before the
+        // first step, not a config error (grids legitimately mix window
+        // sizes against one service-wide budget)
+        if cfg.warmup + cfg.measure > limit {
+            return Ok(Err(Diverged { budget: limit }));
+        }
+    }
     net.run(cfg.warmup + cfg.measure, &mut b);
     let drain_end = cfg.warmup + cfg.measure + cfg.drain_max;
     while b.marked_outstanding > 0 && net.cycle() < drain_end {
+        if let Some(limit) = budget {
+            if net.cycle() >= limit {
+                return Ok(Err(Diverged { budget: limit }));
+            }
+        }
         net.step(&mut b);
     }
     let drained = b.marked_outstanding == 0;
@@ -180,7 +226,7 @@ pub fn measure(cfg: &OpenLoopConfig) -> Result<OpenLoopResult, ConfigError> {
         let mean = loads.iter().sum::<u64>() as f64 / loads.len() as f64;
         max / mean
     };
-    Ok(OpenLoopResult {
+    Ok(Ok(OpenLoopResult {
         offered: cfg.load,
         avg_latency: b.latency.mean(),
         max_latency: b.latency.max().unwrap_or(0.0),
@@ -197,7 +243,7 @@ pub fn measure(cfg: &OpenLoopConfig) -> Result<OpenLoopResult, ConfigError> {
         stable: drained && throughput >= 0.9 * cfg.load,
         cycles: net.cycle(),
         metrics: net.metrics_snapshot(),
-    })
+    }))
 }
 
 #[cfg(test)]
@@ -339,6 +385,41 @@ mod tests {
             rt.channel_imbalance,
             ru.channel_imbalance
         );
+    }
+
+    #[test]
+    fn zero_cycle_budget_is_a_config_error() {
+        let err = measure_budgeted(&quick(0.1), 0).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("cycle_budget"), "{msg}");
+        assert!(msg.contains(">= 1"), "{msg}");
+    }
+
+    #[test]
+    fn budget_smaller_than_the_window_diverges_immediately() {
+        // quick() uses warmup=1000, measure=3000: a 100-cycle budget can
+        // never fit the window
+        let d = measure_budgeted(&quick(0.1), 100).unwrap().unwrap_err();
+        assert_eq!(d, Diverged { budget: 100 }, "Diverged must carry the exceeded budget");
+    }
+
+    #[test]
+    fn budget_exhausted_during_drain_diverges() {
+        // past saturation the drain phase runs long; a budget just past
+        // the window end trips the watchdog inside the drain loop
+        let d = measure_budgeted(&quick(0.9), 4_500).unwrap().unwrap_err();
+        assert_eq!(d.budget, 4_500);
+    }
+
+    #[test]
+    fn generous_budget_is_bit_identical_to_unbudgeted() {
+        let cfg = quick(0.2);
+        let plain = measure(&cfg).unwrap();
+        let budgeted = measure_budgeted(&cfg, 1_000_000).unwrap().unwrap();
+        assert_eq!(plain.avg_latency.to_bits(), budgeted.avg_latency.to_bits());
+        assert_eq!(plain.throughput.to_bits(), budgeted.throughput.to_bits());
+        assert_eq!(plain.measured_packets, budgeted.measured_packets);
+        assert_eq!(plain.cycles, budgeted.cycles);
     }
 
     #[test]

@@ -1,0 +1,220 @@
+//! The `noc-serve` binary: a persistent evaluation service speaking
+//! the `noc-eval/serve/v1` line protocol on stdin/stdout, or on a Unix
+//! socket with `--socket PATH`.
+//!
+//! ```text
+//! noc-serve [--wal PATH] [--queue N] [--workers N] [--max-attempts N]
+//!           [--budget CYCLES] [--backoff-ms N] [--backoff-cap-ms N]
+//!           [--no-backoff-sleep] [--chaos N] [--socket PATH]
+//! ```
+//!
+//! `SIGTERM`/`SIGINT` (and EOF on stdin) trigger a graceful drain:
+//! queued points are evaluated, the WAL is flushed, and a final
+//! `status` record is emitted before exit. `SIGKILL` is survivable by
+//! design: restart with the same `--wal` and finished points replay
+//! from the journal instead of recomputing.
+
+use std::io::{BufRead, BufReader};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::time::Duration;
+
+use noc_serve::{ServeConfig, Service};
+
+/// Set from the signal handler; polled by the request loops.
+static TERM: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+fn install_signal_handlers() {
+    extern "C" fn on_term(_sig: i32) {
+        // async-signal-safe: one atomic store
+        TERM.store(true, Ordering::SeqCst);
+    }
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    let handler: extern "C" fn(i32) = on_term;
+    let addr = handler as *const () as usize;
+    unsafe {
+        signal(SIGTERM, addr);
+        signal(SIGINT, addr);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_signal_handlers() {}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: noc-serve [--wal PATH] [--queue N] [--workers N] [--max-attempts N]\n\
+         \u{20}                [--budget CYCLES] [--backoff-ms N] [--backoff-cap-ms N]\n\
+         \u{20}                [--no-backoff-sleep] [--chaos N] [--socket PATH]\n\
+         Speaks noc-eval/serve/v1, one JSON object per line, on stdin/stdout\n\
+         (or on --socket PATH). SIGTERM/EOF drain gracefully; --wal makes\n\
+         finished points survive SIGKILL."
+    );
+    std::process::exit(2);
+}
+
+fn next_val(args: &mut impl Iterator<Item = String>, flag: &str) -> String {
+    args.next().unwrap_or_else(|| {
+        eprintln!("noc-serve: {flag} needs a value");
+        usage();
+    })
+}
+
+fn parse_num(flag: &str, raw: &str) -> u64 {
+    raw.parse().unwrap_or_else(|_| {
+        eprintln!("noc-serve: {flag} wants an unsigned integer, got {raw:?}");
+        usage();
+    })
+}
+
+fn main() {
+    install_signal_handlers();
+    let mut cfg = ServeConfig::default();
+    let mut socket: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--wal" => cfg.wal = Some(PathBuf::from(next_val(&mut args, "--wal"))),
+            "--queue" => {
+                cfg.queue_capacity = parse_num("--queue", &next_val(&mut args, "--queue")) as usize
+            }
+            "--workers" => {
+                cfg.workers = parse_num("--workers", &next_val(&mut args, "--workers")) as usize
+            }
+            "--max-attempts" => {
+                cfg.retry.max_attempts =
+                    parse_num("--max-attempts", &next_val(&mut args, "--max-attempts")) as u32
+            }
+            "--budget" => {
+                cfg.default_budget = parse_num("--budget", &next_val(&mut args, "--budget"))
+            }
+            "--backoff-ms" => {
+                cfg.retry.base_ms = parse_num("--backoff-ms", &next_val(&mut args, "--backoff-ms"))
+            }
+            "--backoff-cap-ms" => {
+                cfg.retry.cap_ms =
+                    parse_num("--backoff-cap-ms", &next_val(&mut args, "--backoff-cap-ms"))
+            }
+            "--no-backoff-sleep" => cfg.retry.sleep = false,
+            "--chaos" => cfg.chaos = parse_num("--chaos", &next_val(&mut args, "--chaos")),
+            "--socket" => socket = Some(PathBuf::from(next_val(&mut args, "--socket"))),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("noc-serve: unknown flag {other:?}");
+                usage();
+            }
+        }
+    }
+    let service = match Service::new(cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("noc-serve: {e}");
+            std::process::exit(1);
+        }
+    };
+    let result = match socket {
+        Some(path) => serve_socket(service, &path),
+        None => serve_stdio(service),
+    };
+    if let Err(e) = result {
+        eprintln!("noc-serve: {e}");
+        std::process::exit(1);
+    }
+}
+
+/// stdin/stdout mode. A reader thread feeds a channel so the main loop
+/// can poll the TERM flag every 50 ms even while stdin is idle.
+fn serve_stdio(mut service: Service) -> std::io::Result<()> {
+    let (tx, rx) = mpsc::channel::<String>();
+    std::thread::spawn(move || {
+        let stdin = std::io::stdin();
+        for line in BufReader::new(stdin.lock()).lines() {
+            let Ok(line) = line else { return };
+            if tx.send(line).is_err() {
+                return;
+            }
+        }
+    });
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    loop {
+        if TERM.swap(false, Ordering::SeqCst) {
+            return service.shutdown(&mut out);
+        }
+        match rx.recv_timeout(Duration::from_millis(50)) {
+            Ok(line) => {
+                if !service.handle_line(&line, &mut out)? {
+                    return Ok(());
+                }
+            }
+            Err(mpsc::RecvTimeoutError::Timeout) => {}
+            Err(mpsc::RecvTimeoutError::Disconnected) => {
+                // EOF: drain exactly like SIGTERM
+                return service.shutdown(&mut out);
+            }
+        }
+    }
+}
+
+/// Unix-socket mode: one client at a time, same protocol. Read
+/// timeouts keep the TERM flag responsive mid-connection.
+#[cfg(unix)]
+fn serve_socket(mut service: Service, path: &std::path::Path) -> std::io::Result<()> {
+    use std::os::unix::net::UnixListener;
+    let _ = std::fs::remove_file(path);
+    let listener = UnixListener::bind(path)?;
+    listener.set_nonblocking(true)?;
+    loop {
+        if TERM.swap(false, Ordering::SeqCst) {
+            return service.shutdown(&mut std::io::sink());
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                stream.set_nonblocking(false)?;
+                stream.set_read_timeout(Some(Duration::from_millis(50)))?;
+                let mut reader = BufReader::new(stream.try_clone()?);
+                let mut out = stream;
+                let mut line = String::new();
+                loop {
+                    if TERM.swap(false, Ordering::SeqCst) {
+                        return service.shutdown(&mut out);
+                    }
+                    match reader.read_line(&mut line) {
+                        Ok(0) => break, // client hung up; await the next one
+                        Ok(_) => {
+                            if !service.handle_line(&line, &mut out)? {
+                                return Ok(());
+                            }
+                            line.clear();
+                        }
+                        // timeout: partial bytes stay buffered in `line`
+                        Err(e)
+                            if matches!(
+                                e.kind(),
+                                std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                            ) => {}
+                        Err(_) => break,
+                    }
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+#[cfg(not(unix))]
+fn serve_socket(_service: Service, _path: &std::path::Path) -> std::io::Result<()> {
+    Err(std::io::Error::new(
+        std::io::ErrorKind::Unsupported,
+        "--socket requires a Unix platform; use stdin/stdout mode",
+    ))
+}

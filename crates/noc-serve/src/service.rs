@@ -1,0 +1,477 @@
+//! The request engine: admission → deadline → retry → WAL → drain.
+//!
+//! A [`Service`] owns the admission queue, the result cache, the WAL,
+//! and the robustness counters. [`Service::handle_line`] consumes one
+//! `noc-eval/serve/v1` request line and writes response lines (flushed
+//! per line, so a client — or the smoke harness's mid-run `SIGKILL` —
+//! always observes a whole-line prefix of the response stream).
+//!
+//! Evaluation runs in chunks of `workers` points through
+//! [`noc_exp::run_grid_with`]; each evaluated outcome is appended to
+//! the WAL *before* its result line is emitted, so any answer a client
+//! has seen is durable (modulo the batched-fsync window, which only a
+//! machine crash can lose — a killed process loses nothing).
+
+use std::collections::{HashMap, VecDeque};
+use std::io::{self, Write};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use noc_analytic::AnalyticModel;
+use noc_eval::serve::{
+    parse_request, HealthSnapshot, PointRequest, ServeOutcome, ServeRequest, ServeResponse,
+    ServeResult,
+};
+use noc_exp::{run_grid_with, serve_workers, Wal};
+use noc_openloop::measure_budgeted;
+use noc_sim::error::ConfigError;
+use noc_traffic::SizeKind;
+
+use crate::retry::{run_with_retry, Retried, RetryError, RetryPolicy};
+use crate::ServeConfig;
+
+#[derive(Default)]
+struct Counters {
+    completed: AtomicU64,
+    cache_hits: AtomicU64,
+    shed: AtomicU64,
+    degraded: AtomicU64,
+    retries: AtomicU64,
+    timeouts: AtomicU64,
+    panics: AtomicU64,
+}
+
+/// Only outcomes that are pure functions of `(config, seed)` enter the
+/// cache and the WAL: a fully simulated answer and a cycle-budget
+/// timeout. Transient failures (panics, wall-clock deadline misses)
+/// and admission verdicts are re-derived on the next request instead
+/// of being replayed as if they were facts about the point.
+fn cacheable(outcome: &ServeOutcome) -> bool {
+    matches!(outcome, ServeOutcome::Ok { .. } | ServeOutcome::Timeout { wall: false, .. })
+}
+
+/// Per-`run` evaluation context: the effective retry policy plus the
+/// wall-clock deadline (absolute, and the raw millisecond value for
+/// reporting), shared by every point in the batch.
+struct EvalCtx<'a> {
+    policy: &'a RetryPolicy,
+    deadline: Option<Instant>,
+    deadline_ms: Option<u64>,
+}
+
+/// The long-running evaluation service (see module docs).
+pub struct Service {
+    cfg: ServeConfig,
+    workers: usize,
+    queue: VecDeque<(u64, PointRequest)>,
+    next_seq: HashMap<String, u64>,
+    cache: HashMap<String, ServeOutcome>,
+    wal: Option<Wal>,
+    counters: Counters,
+    draining: bool,
+    chaos_left: AtomicU64,
+}
+
+impl Service {
+    /// Build a service: validate the config, spawn nothing (workers are
+    /// per-batch), and — when a WAL path is configured — replay every
+    /// durable record into the result cache so finished points survive
+    /// a kill.
+    pub fn new(cfg: ServeConfig) -> io::Result<Self> {
+        cfg.validate().map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
+        let workers = if cfg.workers == 0 { serve_workers() } else { cfg.workers };
+        let mut cache = HashMap::new();
+        let wal = match &cfg.wal {
+            Some(path) => {
+                let (wal, replay) = Wal::open(path)?;
+                if replay.torn_tail {
+                    eprintln!("noc-serve: WAL ended in a torn record (truncated; point re-runs)");
+                }
+                if replay.corrupt > 0 {
+                    eprintln!("noc-serve: skipped {} corrupt WAL line(s)", replay.corrupt);
+                }
+                for (key, frag) in replay.records {
+                    match ServeOutcome::parse(&frag) {
+                        Ok(o) => {
+                            cache.insert(key, o);
+                        }
+                        Err(e) => eprintln!("noc-serve: unreadable WAL record for {key}: {e}"),
+                    }
+                }
+                Some(wal)
+            }
+            None => None,
+        };
+        let chaos_left = AtomicU64::new(cfg.chaos);
+        Ok(Self {
+            workers,
+            queue: VecDeque::new(),
+            next_seq: HashMap::new(),
+            cache,
+            wal,
+            counters: Counters::default(),
+            draining: false,
+            chaos_left,
+            cfg,
+        })
+    }
+
+    /// Worker threads a `run` fans out across.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Results currently answerable from cache (WAL replay + this
+    /// process's evaluations).
+    pub fn cached_results(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Handle one request line, writing responses to `out` (flushed per
+    /// line). Returns `false` when the line was a `shutdown` request
+    /// and the service has finished draining.
+    pub fn handle_line(&mut self, line: &str, out: &mut dyn Write) -> io::Result<bool> {
+        let line = line.trim();
+        if line.is_empty() {
+            return Ok(true);
+        }
+        match parse_request(line) {
+            Err(reason) => self.emit(out, &ServeResponse::Error { reason })?,
+            Ok(ServeRequest::Point(p)) => self.admit(*p, out)?,
+            Ok(ServeRequest::Run { batch, max_attempts, deadline_ms }) => {
+                self.run_batch(&batch, max_attempts, deadline_ms, out)?
+            }
+            Ok(ServeRequest::Cancel { batch }) => {
+                let before = self.queue.len();
+                self.queue.retain(|(_, p)| p.batch != batch);
+                let dropped = (before - self.queue.len()) as u64;
+                self.emit(out, &ServeResponse::Cancelled { batch, dropped })?;
+            }
+            Ok(ServeRequest::Health) => self.emit(out, &ServeResponse::Health(self.snapshot()))?,
+            Ok(ServeRequest::Shutdown) => {
+                self.shutdown(out)?;
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+
+    /// Admission control: typed rejection for invalid configs, load
+    /// shedding (or the degraded analytic answer) when the queue is
+    /// full, shedding while draining — and silence (until `run`) when
+    /// the point is accepted.
+    fn admit(&mut self, p: PointRequest, out: &mut dyn Write) -> io::Result<()> {
+        let seq = self.next_point(&p.batch);
+        if self.draining {
+            self.counters.shed.fetch_add(1, Ordering::Relaxed);
+            return self.answer(
+                out,
+                &p,
+                seq,
+                ServeOutcome::Shed {
+                    reason: "service is draining; resubmit to the next instance".into(),
+                },
+            );
+        }
+        if let Err(e) = validate_point(&p) {
+            return self.answer(out, &p, seq, ServeOutcome::Invalid { reason: e.to_string() });
+        }
+        if self.queue.len() >= self.cfg.queue_capacity {
+            let outcome = if p.allow_degraded {
+                match self.degraded_answer(&p) {
+                    Some(o) => {
+                        self.counters.degraded.fetch_add(1, Ordering::Relaxed);
+                        o
+                    }
+                    None => {
+                        self.counters.shed.fetch_add(1, Ordering::Relaxed);
+                        ServeOutcome::Shed {
+                            reason: format!(
+                                "queue full (capacity {}) and no analytic fallback for this \
+                                 configuration",
+                                self.cfg.queue_capacity
+                            ),
+                        }
+                    }
+                }
+            } else {
+                self.counters.shed.fetch_add(1, Ordering::Relaxed);
+                ServeOutcome::Shed {
+                    reason: format!(
+                        "queue full ({} queued, capacity {})",
+                        self.queue.len(),
+                        self.cfg.queue_capacity
+                    ),
+                }
+            };
+            return self.answer(out, &p, seq, outcome);
+        }
+        self.queue.push_back((seq, p));
+        Ok(())
+    }
+
+    /// The degradation ladder's last rung before shedding: a static
+    /// analytic prediction, tagged `degraded` on the wire.
+    fn degraded_answer(&self, p: &PointRequest) -> Option<ServeOutcome> {
+        let size = SizeKind::Fixed(p.packet_size.min(u16::MAX as u64) as u16);
+        let m = AnalyticModel::of(&p.net, p.pattern, size).ok()?;
+        Some(ServeOutcome::Degraded {
+            predicted_latency: m.latency_at(p.load),
+            predicted_saturation: m.effective_saturation,
+            stable: p.load < m.effective_saturation,
+        })
+    }
+
+    /// Evaluate every queued point of `batch` and emit results in
+    /// submission order, then a `batch-done` marker. Evaluation fans
+    /// out `workers` wide in chunks, so result lines stream out as the
+    /// batch progresses rather than all at the end.
+    fn run_batch(
+        &mut self,
+        batch: &str,
+        max_attempts: Option<u32>,
+        deadline_ms: Option<u64>,
+        out: &mut dyn Write,
+    ) -> io::Result<()> {
+        let mut mine = Vec::new();
+        let mut rest = VecDeque::with_capacity(self.queue.len());
+        for (seq, p) in self.queue.drain(..) {
+            if p.batch == batch {
+                mine.push((seq, p));
+            } else {
+                rest.push_back((seq, p));
+            }
+        }
+        self.queue = rest;
+
+        let mut policy = self.cfg.retry.clone();
+        if let Some(a) = max_attempts {
+            policy.max_attempts = a.max(1);
+        }
+        let ctx = EvalCtx {
+            policy: &policy,
+            deadline: deadline_ms.map(|ms| Instant::now() + Duration::from_millis(ms)),
+            deadline_ms,
+        };
+        let items: Vec<(u64, PointRequest, String, Option<ServeOutcome>)> = mine
+            .into_iter()
+            .map(|(seq, p)| {
+                let key = p.key();
+                let cached = self.cache.get(&key).cloned();
+                (seq, p, key, cached)
+            })
+            .collect();
+
+        let (mut points, mut ok) = (0u64, 0u64);
+        for chunk in items.chunks(self.workers.max(1)) {
+            let results: Vec<ServeResult> =
+                run_grid_with(chunk, self.workers, |_, (seq, p, key, cached)| {
+                    self.eval_point(*seq, p, key, cached.as_ref(), &ctx)
+                });
+            for r in results {
+                points += 1;
+                if matches!(r.outcome, ServeOutcome::Ok { .. }) {
+                    ok += 1;
+                }
+                self.counters.completed.fetch_add(1, Ordering::Relaxed);
+                if !r.cached && cacheable(&r.outcome) {
+                    self.cache.insert(r.key.clone(), r.outcome.clone());
+                }
+                self.emit(out, &ServeResponse::Result(r))?;
+            }
+        }
+        if let Some(w) = &self.wal {
+            w.commit()?;
+        }
+        self.emit(out, &ServeResponse::BatchDone { batch: batch.to_string(), points, ok })
+    }
+
+    /// Evaluate (or replay) one point. Runs on a worker thread; every
+    /// failure mode funnels into a typed outcome.
+    fn eval_point(
+        &self,
+        seq: u64,
+        p: &PointRequest,
+        key: &str,
+        cached: Option<&ServeOutcome>,
+        ctx: &EvalCtx<'_>,
+    ) -> ServeResult {
+        let result = |cached, attempts, outcome| ServeResult {
+            batch: p.batch.clone(),
+            point: seq,
+            key: key.to_string(),
+            cached,
+            attempts,
+            outcome,
+        };
+        if let Some(outcome) = cached {
+            self.counters.cache_hits.fetch_add(1, Ordering::Relaxed);
+            return result(true, 0, outcome.clone());
+        }
+        let budget = p.budget.unwrap_or(self.cfg.default_budget);
+        let cfg = p.open_loop();
+        let evaluated = run_with_retry(ctx.policy, p.net.seed, ctx.deadline, |_attempt| {
+            self.maybe_chaos_panic(key);
+            match measure_budgeted(&cfg, budget) {
+                Ok(Ok(r)) => Ok(Ok(r)),
+                Ok(Err(d)) => Err(d),
+                // config errors are deterministic: passing them through
+                // as values keeps them off the retry path
+                Err(e) => Ok(Err(e)),
+            }
+        });
+        let (attempts, outcome) = match evaluated {
+            Ok(Retried { value: Ok(r), attempts }) => (
+                attempts,
+                ServeOutcome::Ok {
+                    avg_latency: r.avg_latency,
+                    throughput: r.throughput,
+                    stable: r.stable,
+                    measured: r.measured_packets,
+                    cycles: r.cycles,
+                },
+            ),
+            Ok(Retried { value: Err(e), attempts }) => {
+                (attempts, ServeOutcome::Invalid { reason: e.to_string() })
+            }
+            Err(RetryError::Diverged { budget, attempts }) => {
+                self.counters.timeouts.fetch_add(1, Ordering::Relaxed);
+                (attempts, ServeOutcome::Timeout { budget, wall: false })
+            }
+            Err(RetryError::Panicked { message, attempts }) => {
+                self.counters.panics.fetch_add(1, Ordering::Relaxed);
+                (attempts, ServeOutcome::Panicked { message })
+            }
+            Err(RetryError::Deadline { attempts }) => {
+                self.counters.timeouts.fetch_add(1, Ordering::Relaxed);
+                (
+                    attempts,
+                    ServeOutcome::Timeout { budget: ctx.deadline_ms.unwrap_or(0), wall: true },
+                )
+            }
+        };
+        if attempts > 1 {
+            self.counters.retries.fetch_add((attempts - 1) as u64, Ordering::Relaxed);
+        }
+        if cacheable(&outcome) {
+            if let Some(w) = &self.wal {
+                // durable before reported; an append failure degrades
+                // durability, not availability
+                if let Err(e) = w.append(key, &outcome.canonical()) {
+                    eprintln!("noc-serve: WAL append failed for {key}: {e}");
+                }
+            }
+        }
+        result(false, attempts, outcome)
+    }
+
+    /// Chaos injection: panic on the first `cfg.chaos` evaluation
+    /// attempts process-wide (the smoke harness's way of proving the
+    /// retry path against the real binary).
+    fn maybe_chaos_panic(&self, key: &str) {
+        let fired = self
+            .chaos_left
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |v| v.checked_sub(1))
+            .is_ok();
+        if fired {
+            panic!("chaos: injected evaluation fault for {key}");
+        }
+    }
+
+    /// Graceful drain: evaluate everything still queued (every batch,
+    /// admission order), flush the WAL, and emit the final `status`
+    /// record. New points arriving after this are shed.
+    pub fn shutdown(&mut self, out: &mut dyn Write) -> io::Result<()> {
+        self.draining = true;
+        while let Some((_, p)) = self.queue.front() {
+            let batch = p.batch.clone();
+            self.run_batch(&batch, None, None, out)?;
+        }
+        if let Some(w) = &self.wal {
+            w.commit()?;
+        }
+        self.emit(out, &ServeResponse::Status(self.snapshot()))
+    }
+
+    /// Current queue/worker/counter snapshot (the `health` answer).
+    pub fn snapshot(&self) -> HealthSnapshot {
+        let c = &self.counters;
+        HealthSnapshot {
+            queue_depth: self.queue.len() as u64,
+            queue_capacity: self.cfg.queue_capacity as u64,
+            workers: self.workers as u64,
+            completed: c.completed.load(Ordering::Relaxed),
+            cache_hits: c.cache_hits.load(Ordering::Relaxed),
+            shed: c.shed.load(Ordering::Relaxed),
+            degraded: c.degraded.load(Ordering::Relaxed),
+            retries: c.retries.load(Ordering::Relaxed),
+            timeouts: c.timeouts.load(Ordering::Relaxed),
+            panics: c.panics.load(Ordering::Relaxed),
+            wal_records: self.wal.as_ref().map(|w| w.records()).unwrap_or(0),
+            draining: self.draining,
+        }
+    }
+
+    fn answer(
+        &self,
+        out: &mut dyn Write,
+        p: &PointRequest,
+        seq: u64,
+        outcome: ServeOutcome,
+    ) -> io::Result<()> {
+        self.counters.completed.fetch_add(1, Ordering::Relaxed);
+        self.emit(
+            out,
+            &ServeResponse::Result(ServeResult {
+                batch: p.batch.clone(),
+                point: seq,
+                key: p.key(),
+                cached: false,
+                attempts: 0,
+                outcome,
+            }),
+        )
+    }
+
+    fn emit(&self, out: &mut dyn Write, resp: &ServeResponse) -> io::Result<()> {
+        writeln!(out, "{}", resp.to_json())?;
+        out.flush()
+    }
+
+    fn next_point(&mut self, batch: &str) -> u64 {
+        let c = self.next_seq.entry(batch.to_string()).or_insert(0);
+        let seq = *c;
+        *c += 1;
+        seq
+    }
+}
+
+/// Admission-time validation: everything the evaluator would reject is
+/// rejected here instead, as a typed `Invalid` outcome, before the
+/// point can occupy queue space.
+fn validate_point(p: &PointRequest) -> Result<(), ConfigError> {
+    p.net.validate()?;
+    if p.packet_size == 0 {
+        return Err(ConfigError::Parameter {
+            name: "packet_size",
+            why: "packets are at least one flit".into(),
+        });
+    }
+    if p.budget == Some(0) {
+        return Err(ConfigError::Parameter {
+            name: "cycle_budget",
+            why: "cycle budget must be >= 1; a zero budget can never complete the warmup".into(),
+        });
+    }
+    let prob = p.load / p.packet_size as f64;
+    if !(0.0..=1.0).contains(&prob) {
+        return Err(ConfigError::Parameter {
+            name: "load",
+            why: format!(
+                "load {} with packet size {} needs per-cycle generation probability {prob}",
+                p.load, p.packet_size
+            ),
+        });
+    }
+    Ok(())
+}

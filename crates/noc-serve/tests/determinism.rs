@@ -1,0 +1,98 @@
+//! Property tests for the robustness layer's determinism contract:
+//! a `Panicked`-then-retried point is bit-identical to a clean
+//! first-try run (same derived seed), and typed shed/timeout/panic
+//! outcomes survive the serve/v1 schema's tolerant parser verbatim.
+
+use noc_eval::serve::{parse_response, ServeOutcome, ServeResponse, ServeResult};
+use noc_openloop::{measure, measure_budgeted, OpenLoopConfig};
+use noc_serve::{run_with_retry, RetryPolicy};
+use noc_sim::config::{NetConfig, TopologyKind};
+use proptest::prelude::*;
+
+fn cfg(seed: u64, load: f64) -> OpenLoopConfig {
+    OpenLoopConfig {
+        net: NetConfig::baseline().with_topology(TopologyKind::Mesh2D { k: 4 }).with_seed(seed),
+        load,
+        warmup: 200,
+        measure: 400,
+        drain_max: 4_000,
+        ..OpenLoopConfig::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 10, ..ProptestConfig::default() })]
+
+    /// A point whose first attempt panics and is retried produces the
+    /// exact bits a clean first-try run produces: retrying reruns the
+    /// same `(config, seed)` and the simulator is a pure function of it.
+    #[test]
+    fn panicked_then_retried_point_is_bit_identical_to_clean_run(
+        seed in 0u64..u64::MAX,
+        centiload in 2u32..25,
+    ) {
+        let c = cfg(seed, centiload as f64 / 100.0);
+        let clean = measure(&c).unwrap();
+        let policy = RetryPolicy { sleep: false, ..RetryPolicy::default() };
+        let retried = run_with_retry(&policy, seed, None, |attempt| {
+            if attempt == 1 {
+                panic!("injected transient fault");
+            }
+            Ok(measure_budgeted(&c, 1_000_000).unwrap().expect("generous budget"))
+        })
+        .unwrap();
+        prop_assert_eq!(retried.attempts, 2);
+        let r = retried.value;
+        prop_assert_eq!(r.avg_latency.to_bits(), clean.avg_latency.to_bits());
+        prop_assert_eq!(r.throughput.to_bits(), clean.throughput.to_bits());
+        prop_assert_eq!(r.measured_packets, clean.measured_packets);
+        prop_assert_eq!(r.cycles, clean.cycles);
+        prop_assert_eq!(r.worst_node_latency.to_bits(), clean.worst_node_latency.to_bits());
+    }
+}
+
+/// Build a string that exercises the full escape set from raw bytes.
+fn nasty_string(bytes: &[u8]) -> String {
+    String::from_utf8_lossy(bytes).into_owned()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 200, ..ProptestConfig::default() })]
+
+    /// Shed/timeout/panic outcomes round-trip through the serve/v1
+    /// tolerant parser for arbitrary reason strings (quotes, newlines,
+    /// control bytes, non-ASCII) and full-range budgets.
+    #[test]
+    fn shed_and_timeout_outcomes_round_trip_through_the_parser(
+        raw in prop::collection::vec(0u8..=255u8, 0..48),
+        budget in 0u64..u64::MAX,
+        wall in prop::bool::ANY,
+        point in 0u64..u64::MAX,
+        pick in 0u32..3,
+    ) {
+        let text = nasty_string(&raw);
+        let outcome = match pick {
+            0 => ServeOutcome::Shed { reason: text },
+            1 => ServeOutcome::Timeout { budget, wall },
+            _ => ServeOutcome::Panicked { message: text },
+        };
+        let result = ServeResult {
+            batch: "prop".into(),
+            point,
+            key: format!("{budget:016x}:{point:016x}"),
+            cached: false,
+            attempts: 1,
+            outcome: outcome.clone(),
+        };
+        let line = result.to_json();
+        let parsed = parse_response(&line);
+        prop_assert!(parsed.is_ok(), "line failed to parse: {:?} -> {:?}", line, parsed);
+        let ServeResponse::Result(back) = parsed.unwrap() else {
+            return Err(TestCaseError::fail("expected a result response"));
+        };
+        prop_assert_eq!(&back, &result, "typed round trip");
+        // the canonical fragment regenerates byte-for-byte, which is
+        // what makes WAL replay bit-identical
+        prop_assert_eq!(back.outcome.canonical(), outcome.canonical());
+    }
+}

@@ -1,0 +1,384 @@
+//! In-process tests of the full request path: admission, backpressure,
+//! degraded answers, deadlines, retry, WAL kill-resume, cancellation,
+//! and graceful drain.
+
+use noc_eval::serve::{
+    parse_response, PointRequest, ServeOutcome, ServeRequest, ServeResponse, ServeResult,
+};
+use noc_serve::{RetryPolicy, ServeConfig, Service};
+use noc_sim::config::{NetConfig, TopologyKind};
+use noc_traffic::PatternKind;
+
+fn point(batch: &str, seed: u64, load: f64) -> PointRequest {
+    PointRequest {
+        batch: batch.into(),
+        net: NetConfig::baseline().with_topology(TopologyKind::Mesh2D { k: 4 }).with_seed(seed),
+        pattern: PatternKind::Uniform,
+        packet_size: 1,
+        load,
+        warmup: 200,
+        measure: 500,
+        drain_max: 5_000,
+        budget: None,
+        allow_degraded: false,
+    }
+}
+
+fn quick_cfg() -> ServeConfig {
+    ServeConfig {
+        workers: 2,
+        retry: RetryPolicy { sleep: false, ..RetryPolicy::default() },
+        default_budget: 1_000_000,
+        ..ServeConfig::default()
+    }
+}
+
+/// Feed request lines, returning parsed responses and whether the
+/// service is still accepting input.
+fn drive(svc: &mut Service, reqs: &[ServeRequest]) -> (Vec<ServeResponse>, bool) {
+    let mut buf = Vec::new();
+    let mut alive = true;
+    for r in reqs {
+        alive = svc.handle_line(&r.to_json(), &mut buf).unwrap();
+    }
+    let text = String::from_utf8(buf).unwrap();
+    (text.lines().map(|l| parse_response(l).expect(l)).collect(), alive)
+}
+
+fn results(resps: &[ServeResponse]) -> Vec<ServeResult> {
+    resps
+        .iter()
+        .filter_map(|r| match r {
+            ServeResponse::Result(r) => Some(r.clone()),
+            _ => None,
+        })
+        .collect()
+}
+
+fn run_req(batch: &str) -> ServeRequest {
+    ServeRequest::Run { batch: batch.into(), max_attempts: None, deadline_ms: None }
+}
+
+fn tmp(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("noc_serve_test_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let p = dir.join(name);
+    let _ = std::fs::remove_file(&p);
+    p
+}
+
+#[test]
+fn batch_runs_in_submission_order_and_reports_done() {
+    let mut svc = Service::new(quick_cfg()).unwrap();
+    let reqs: Vec<ServeRequest> = (0..3)
+        .map(|i| ServeRequest::Point(Box::new(point("b1", i, 0.1))))
+        .chain([run_req("b1")])
+        .collect();
+    let (resps, alive) = drive(&mut svc, &reqs);
+    assert!(alive);
+    let rs = results(&resps);
+    assert_eq!(rs.len(), 3);
+    for (i, r) in rs.iter().enumerate() {
+        assert_eq!(r.point, i as u64, "results arrive in submission order");
+        assert!(!r.cached);
+        assert_eq!(r.attempts, 1);
+        let ServeOutcome::Ok { stable, .. } = r.outcome else {
+            panic!("expected ok at low load, got {:?}", r.outcome)
+        };
+        assert!(stable);
+    }
+    assert!(matches!(resps.last(), Some(ServeResponse::BatchDone { points: 3, ok: 3, .. })));
+    let h = svc.snapshot();
+    assert_eq!(h.completed, 3);
+    assert_eq!(h.queue_depth, 0);
+    assert!(h.workers >= 1);
+}
+
+#[test]
+fn identical_resubmission_is_answered_from_cache_bit_identically() {
+    let mut svc = Service::new(quick_cfg()).unwrap();
+    let pts: Vec<_> = (0..2).map(|i| point("b1", 10 + i, 0.15)).collect();
+    let mut reqs: Vec<ServeRequest> =
+        pts.iter().map(|p| ServeRequest::Point(Box::new(p.clone()))).collect();
+    reqs.push(run_req("b1"));
+    let (first, _) = drive(&mut svc, &reqs);
+    // same points again, different batch label: digest ignores the batch
+    let mut reqs2: Vec<ServeRequest> = pts
+        .iter()
+        .map(|p| {
+            let mut q = p.clone();
+            q.batch = "b2".into();
+            ServeRequest::Point(Box::new(q))
+        })
+        .collect();
+    reqs2.push(run_req("b2"));
+    let (second, _) = drive(&mut svc, &reqs2);
+    let (a, b) = (results(&first), results(&second));
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(&b) {
+        assert!(!x.cached && y.cached);
+        assert_eq!(y.attempts, 0, "cached answers cost no evaluation");
+        assert_eq!(
+            x.outcome.canonical(),
+            y.outcome.canonical(),
+            "cached replay must be byte-identical"
+        );
+    }
+    assert_eq!(svc.snapshot().cache_hits, 2);
+}
+
+#[test]
+fn wal_resume_after_kill_is_complete_and_bit_identical() {
+    let wal = tmp("resume.wal");
+    let pts: Vec<_> = (0..4).map(|i| point("b1", 100 + i, 0.1 + 0.02 * i as f64)).collect();
+    let submit_all = |pts: &[PointRequest]| -> Vec<ServeRequest> {
+        pts.iter()
+            .map(|p| ServeRequest::Point(Box::new(p.clone())))
+            .chain([run_req("b1")])
+            .collect()
+    };
+
+    // uninterrupted reference run (no WAL at all)
+    let mut reference = Service::new(quick_cfg()).unwrap();
+    let (ref_resps, _) = drive(&mut reference, &submit_all(&pts));
+
+    // "first life": only the first two points complete before the kill
+    {
+        let mut svc = Service::new(ServeConfig { wal: Some(wal.clone()), ..quick_cfg() }).unwrap();
+        let partial: Vec<ServeRequest> = pts[..2]
+            .iter()
+            .map(|p| ServeRequest::Point(Box::new(p.clone())))
+            .chain([run_req("b1")])
+            .collect();
+        drive(&mut svc, &partial);
+        // SIGKILL: the Service is dropped with no commit/shutdown
+    }
+
+    // "second life": same WAL, full script resubmitted
+    let mut svc = Service::new(ServeConfig { wal: Some(wal.clone()), ..quick_cfg() }).unwrap();
+    assert_eq!(svc.cached_results(), 2, "the WAL replays the finished points");
+    let (resps, _) = drive(&mut svc, &submit_all(&pts));
+
+    let (reference, resumed) = (results(&ref_resps), results(&resps));
+    assert_eq!(resumed.len(), reference.len(), "final results are complete");
+    for (r, u) in resumed.iter().zip(&reference) {
+        assert_eq!(r.point, u.point);
+        assert_eq!(r.key, u.key);
+        assert_eq!(
+            r.outcome.canonical(),
+            u.outcome.canonical(),
+            "resumed point {} must be bit-identical to the uninterrupted run",
+            r.point
+        );
+    }
+    assert!(resumed[0].cached && resumed[1].cached);
+    assert!(!resumed[2].cached && !resumed[3].cached);
+    let _ = std::fs::remove_file(&wal);
+}
+
+#[test]
+fn torn_wal_tail_is_tolerated_on_restart() {
+    let wal = tmp("torn.wal");
+    {
+        let mut svc = Service::new(ServeConfig { wal: Some(wal.clone()), ..quick_cfg() }).unwrap();
+        drive(&mut svc, &[ServeRequest::Point(Box::new(point("b1", 7, 0.1))), run_req("b1")]);
+    }
+    // simulate a kill mid-append: partial record, no newline
+    {
+        use std::io::Write as _;
+        let mut f = std::fs::OpenOptions::new().append(true).open(&wal).unwrap();
+        f.write_all(b"0123456789abcdef:00000000000000ff\t\"outcome\": \"ok\", \"avg").unwrap();
+    }
+    let svc = Service::new(ServeConfig { wal: Some(wal.clone()), ..quick_cfg() }).unwrap();
+    assert_eq!(svc.cached_results(), 1, "intact records survive a torn tail");
+    let _ = std::fs::remove_file(&wal);
+}
+
+#[test]
+fn full_queue_sheds_or_degrades_with_typed_outcomes() {
+    let cfg = ServeConfig { queue_capacity: 2, ..quick_cfg() };
+    let mut svc = Service::new(cfg).unwrap();
+    let mut degraded_pt = point("b1", 3, 0.1);
+    degraded_pt.allow_degraded = true;
+    let (resps, _) = drive(
+        &mut svc,
+        &[
+            ServeRequest::Point(Box::new(point("b1", 1, 0.1))),
+            ServeRequest::Point(Box::new(point("b1", 2, 0.1))),
+            // queue now full: one hard rejection, one degraded answer
+            ServeRequest::Point(Box::new(point("b1", 3, 0.1))),
+            ServeRequest::Point(Box::new(degraded_pt)),
+        ],
+    );
+    let rs = results(&resps);
+    assert_eq!(rs.len(), 2, "accepted points answer later, at run");
+    let ServeOutcome::Shed { reason } = &rs[0].outcome else {
+        panic!("expected shed, got {:?}", rs[0].outcome)
+    };
+    assert!(reason.contains("queue full"), "{reason}");
+    let ServeOutcome::Degraded { predicted_saturation, stable, .. } = &rs[1].outcome else {
+        panic!("expected degraded, got {:?}", rs[1].outcome)
+    };
+    assert!(*predicted_saturation > 0.0);
+    assert!(*stable, "0.1 on a 4x4 mesh sits below predicted saturation");
+    assert!(rs[1].to_json().contains("\"degraded\": true"));
+    let h = svc.snapshot();
+    assert_eq!((h.shed, h.degraded, h.queue_depth), (1, 1, 2));
+    // the queued points still run normally afterwards
+    let (resps, _) = drive(&mut svc, &[run_req("b1")]);
+    assert!(matches!(resps.last(), Some(ServeResponse::BatchDone { points: 2, ok: 2, .. })));
+}
+
+#[test]
+fn expired_wall_deadline_yields_typed_timeouts_not_cached() {
+    let mut svc = Service::new(quick_cfg()).unwrap();
+    let p = point("b1", 5, 0.1);
+    let (resps, _) = drive(
+        &mut svc,
+        &[
+            ServeRequest::Point(Box::new(p.clone())),
+            ServeRequest::Run { batch: "b1".into(), max_attempts: None, deadline_ms: Some(0) },
+        ],
+    );
+    let rs = results(&resps);
+    assert_eq!(rs.len(), 1);
+    assert_eq!(rs[0].outcome, ServeOutcome::Timeout { budget: 0, wall: true });
+    assert_eq!(svc.snapshot().timeouts, 1);
+    // wall timeouts are transient: the same point evaluates cleanly next time
+    let (resps, _) = drive(&mut svc, &[ServeRequest::Point(Box::new(p)), run_req("b1")]);
+    let rs = results(&resps);
+    assert!(!rs[0].cached);
+    assert!(matches!(rs[0].outcome, ServeOutcome::Ok { .. }));
+}
+
+#[test]
+fn cycle_budget_timeout_is_deterministic_and_cached() {
+    let mut svc = Service::new(quick_cfg()).unwrap();
+    let mut p = point("b1", 6, 0.1);
+    p.budget = Some(100); // cannot even fit warmup+measure
+    let (resps, _) = drive(&mut svc, &[ServeRequest::Point(Box::new(p.clone())), run_req("b1")]);
+    let rs = results(&resps);
+    assert_eq!(rs[0].outcome, ServeOutcome::Timeout { budget: 100, wall: false });
+    assert_eq!(rs[0].attempts, 3, "divergence is retried to the attempt cap");
+    // deterministic timeouts are facts about the config: cached
+    let (resps, _) = drive(&mut svc, &[ServeRequest::Point(Box::new(p)), run_req("b1")]);
+    let rs = results(&resps);
+    assert!(rs[0].cached);
+    assert_eq!(rs[0].outcome, ServeOutcome::Timeout { budget: 100, wall: false });
+}
+
+#[test]
+fn invalid_configs_are_rejected_at_admission() {
+    let mut svc = Service::new(quick_cfg()).unwrap();
+    let mut bad_buf = point("b1", 1, 0.1);
+    bad_buf.net.vc_buf = 0;
+    let mut bad_budget = point("b1", 2, 0.1);
+    bad_budget.budget = Some(0);
+    let bad_load = point("b1", 3, 2.0);
+    let (resps, _) = drive(
+        &mut svc,
+        &[
+            ServeRequest::Point(Box::new(bad_buf)),
+            ServeRequest::Point(Box::new(bad_budget)),
+            ServeRequest::Point(Box::new(bad_load)),
+            run_req("b1"),
+        ],
+    );
+    let rs = results(&resps);
+    assert_eq!(rs.len(), 3);
+    for (r, needle) in rs.iter().zip(["vc_buf", "cycle_budget", "load"]) {
+        let ServeOutcome::Invalid { reason } = &r.outcome else {
+            panic!("expected invalid, got {:?}", r.outcome)
+        };
+        assert!(reason.contains(needle), "{reason:?} should mention {needle}");
+    }
+    assert!(matches!(resps.last(), Some(ServeResponse::BatchDone { points: 0, .. })));
+}
+
+#[test]
+fn cancel_drops_only_the_named_batch() {
+    let mut svc = Service::new(quick_cfg()).unwrap();
+    let (resps, _) = drive(
+        &mut svc,
+        &[
+            ServeRequest::Point(Box::new(point("doomed", 1, 0.1))),
+            ServeRequest::Point(Box::new(point("kept", 2, 0.1))),
+            ServeRequest::Point(Box::new(point("doomed", 3, 0.1))),
+            ServeRequest::Cancel { batch: "doomed".into() },
+            run_req("kept"),
+        ],
+    );
+    assert!(resps.iter().any(|r| matches!(r, ServeResponse::Cancelled { dropped: 2, .. })));
+    assert!(matches!(resps.last(), Some(ServeResponse::BatchDone { points: 1, ok: 1, .. })));
+    assert_eq!(svc.snapshot().queue_depth, 0);
+}
+
+#[test]
+fn chaos_panics_are_retried_and_results_match_a_clean_run() {
+    let pts: Vec<_> = (0..2).map(|i| point("b1", 50 + i, 0.12)).collect();
+    let script: Vec<ServeRequest> = pts
+        .iter()
+        .map(|p| ServeRequest::Point(Box::new(p.clone())))
+        .chain([run_req("b1")])
+        .collect();
+    let mut clean = Service::new(quick_cfg()).unwrap();
+    let (clean_resps, _) = drive(&mut clean, &script);
+    let mut chaotic = Service::new(ServeConfig { chaos: 2, ..quick_cfg() }).unwrap();
+    let (chaos_resps, _) = drive(&mut chaotic, &script);
+    let (a, b) = (results(&clean_resps), results(&chaos_resps));
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(
+            x.outcome.canonical(),
+            y.outcome.canonical(),
+            "a retried point must be bit-identical to a clean first-try run"
+        );
+    }
+    let h = chaotic.snapshot();
+    assert_eq!(h.retries, 2, "both injected faults cost exactly one retry each");
+    assert_eq!(h.panics, 0, "no point exhausted its attempts");
+    assert!(b.iter().map(|r| r.attempts).sum::<u32>() > a.iter().map(|r| r.attempts).sum::<u32>());
+}
+
+#[test]
+fn shutdown_drains_queued_points_then_sheds_new_ones() {
+    let mut svc = Service::new(quick_cfg()).unwrap();
+    let (resps, alive) = drive(
+        &mut svc,
+        &[
+            ServeRequest::Point(Box::new(point("b1", 1, 0.1))),
+            ServeRequest::Point(Box::new(point("b2", 2, 0.1))),
+            ServeRequest::Shutdown,
+        ],
+    );
+    assert!(!alive, "shutdown ends the session");
+    let rs = results(&resps);
+    assert_eq!(rs.len(), 2, "queued points drain before exit");
+    assert!(rs.iter().all(|r| matches!(r.outcome, ServeOutcome::Ok { .. })));
+    let Some(ServeResponse::Status(h)) = resps.last() else {
+        panic!("final record must be a status, got {:?}", resps.last())
+    };
+    assert!(h.draining);
+    assert_eq!(h.queue_depth, 0);
+    // stragglers after the drain get a typed shed, never silence
+    let (resps, _) = drive(&mut svc, &[ServeRequest::Point(Box::new(point("b3", 9, 0.1)))]);
+    let rs = results(&resps);
+    let ServeOutcome::Shed { reason } = &rs[0].outcome else {
+        panic!("expected shed, got {:?}", rs[0].outcome)
+    };
+    assert!(reason.contains("draining"), "{reason}");
+}
+
+#[test]
+fn malformed_lines_get_typed_error_responses() {
+    let mut svc = Service::new(quick_cfg()).unwrap();
+    let mut buf = Vec::new();
+    assert!(svc.handle_line("not json at all", &mut buf).unwrap());
+    assert!(svc
+        .handle_line("{\"schema\": \"noc-eval/serve/v1\", \"req\": \"warp\"}", &mut buf)
+        .unwrap());
+    assert!(svc.handle_line("", &mut buf).unwrap(), "blank lines are ignored");
+    let text = String::from_utf8(buf).unwrap();
+    let errors: Vec<_> = text.lines().map(|l| parse_response(l).unwrap()).collect();
+    assert_eq!(errors.len(), 2);
+    assert!(errors.iter().all(|e| matches!(e, ServeResponse::Error { .. })));
+}
