@@ -1,6 +1,6 @@
 //! `serve_replay` — the CI gate for `noc-serve`'s crash tolerance.
 //!
-//! Drives the real `noc-serve` binary through four lives:
+//! Drives the real `noc-serve` binary through seven lives:
 //!
 //! 1. **Reference** — an uninterrupted run of a scripted batch.
 //! 2. **Kill and resume** — the same script against a WAL-backed
@@ -15,6 +15,13 @@
 //!    to the reference.
 //! 5. **Graceful drain** — `SIGTERM` with points queued must evaluate
 //!    them, emit a final `status` record, and exit 0.
+//! 6. **Concurrent clients** — three socket clients with overlapping
+//!    grids; the server is `SIGKILL`ed mid-load, restarted on the
+//!    same WAL, and the resubmitted run's union of answers must be
+//!    complete and bit-identical to the reference.
+//! 7. **Sweep** — one server-side `sweep` request must stream exactly
+//!    the bytes its expansion submitted point-by-point streams, plus
+//!    one `sweep-done` summary record.
 //!
 //! Usage: `cargo run --release -p noc-bench --bin serve_replay -- [quick|full] [--serve-bin PATH]`
 
@@ -23,7 +30,9 @@ use std::io::{BufRead, BufReader, Write};
 use std::path::PathBuf;
 use std::process::{Child, Command, Stdio};
 
-use noc_eval::serve::{parse_response, PointRequest, ServeOutcome, ServeRequest, ServeResponse};
+use noc_eval::serve::{
+    parse_response, PointRequest, ServeOutcome, ServeRequest, ServeResponse, SweepRequest,
+};
 use noc_sim::config::{NetConfig, TopologyKind};
 use noc_traffic::PatternKind;
 
@@ -48,6 +57,7 @@ fn script_points(quick: bool) -> Vec<PointRequest> {
             drain_max: 40_000,
             budget: Some(5_000_000),
             allow_degraded: false,
+            analytic_admission: false,
         })
         .collect()
 }
@@ -83,24 +93,31 @@ fn send_lines(child: &mut Child, lines: &[String]) {
 }
 
 /// Send the script, close stdin (EOF triggers a graceful drain), and
-/// collect every response line until the service exits.
-fn run_to_completion(bin: &PathBuf, extra: &[String], lines: &[String]) -> Vec<ServeResponse> {
+/// collect every raw response line until the service exits.
+fn run_raw(bin: &PathBuf, extra: &[String], lines: &[String]) -> Vec<String> {
     let mut child = spawn(bin, extra);
     send_lines(&mut child, lines);
     drop(child.stdin.take());
     let out = child.stdout.take().expect("piped stdout");
-    let responses: Vec<ServeResponse> = BufReader::new(out)
+    let raw: Vec<String> = BufReader::new(out)
         .lines()
-        .map(|l| {
-            let l = l.unwrap_or_else(|e| fail(&format!("reading from service: {e}")));
-            parse_response(&l).unwrap_or_else(|e| fail(&format!("unparseable response {l:?}: {e}")))
-        })
+        .map(|l| l.unwrap_or_else(|e| fail(&format!("reading from service: {e}"))))
         .collect();
     let status = child.wait().expect("service exit status");
     if !status.success() {
         fail(&format!("service exited with {status}"));
     }
-    responses
+    raw
+}
+
+/// [`run_raw`], parsed.
+fn run_to_completion(bin: &PathBuf, extra: &[String], lines: &[String]) -> Vec<ServeResponse> {
+    run_raw(bin, extra, lines)
+        .iter()
+        .map(|l| {
+            parse_response(l).unwrap_or_else(|e| fail(&format!("unparseable response {l:?}: {e}")))
+        })
+        .collect()
 }
 
 /// Point number -> (canonical outcome, cached flag). Volatile fields
@@ -174,7 +191,7 @@ fn main() {
     let script = script_lines(&points);
 
     // -- 1: uninterrupted reference ------------------------------------
-    println!("[1/5] reference run ({} points)", points.len());
+    println!("[1/7] reference run ({} points)", points.len());
     let reference = result_map(&run_to_completion(&bin, &workers, &script));
     if reference.len() != points.len() {
         fail(&format!("reference run answered {} of {} points", reference.len(), points.len()));
@@ -184,7 +201,7 @@ fn main() {
     }
 
     // -- 2: SIGKILL mid-batch, restart, resume -------------------------
-    println!("[2/5] SIGKILL mid-batch, restart with the same WAL");
+    println!("[2/7] SIGKILL mid-batch, restart with the same WAL");
     let wal = std::env::temp_dir().join(format!("serve_replay_{}.wal", std::process::id()));
     let _ = std::fs::remove_file(&wal);
     let wal_args: Vec<String> =
@@ -226,7 +243,7 @@ fn main() {
     let _ = std::fs::remove_file(&wal);
 
     // -- 3: overload returns typed shed/degraded answers ---------------
-    println!("[3/5] overload: queue capacity 2, 8 points");
+    println!("[3/7] overload: queue capacity 2, 8 points");
     let mut overload_script = Vec::new();
     for i in 0..8u64 {
         let mut p = points[0].clone();
@@ -278,7 +295,7 @@ fn main() {
     println!("  all 8 answered: {n_ok} ok, {n_shed} shed, {n_degraded} degraded");
 
     // -- 4: chaos-injected panics are retried deterministically --------
-    println!("[4/5] chaos: 2 injected panics, 3 attempts");
+    println!("[4/7] chaos: 2 injected panics, 3 attempts");
     let mut chaos_args =
         vec!["--chaos".to_string(), "2".to_string(), "--max-attempts".to_string(), "3".to_string()];
     chaos_args.extend(workers.clone());
@@ -286,7 +303,7 @@ fn main() {
     assert_identical("chaos-retry", &reference, &chaos);
 
     // -- 5: SIGTERM drains queued points gracefully --------------------
-    println!("[5/5] SIGTERM graceful drain");
+    println!("[5/7] SIGTERM graceful drain");
     {
         let mut child = spawn(&bin, &workers);
         let mut lines: Vec<String> = points[..2]
@@ -349,5 +366,311 @@ fn main() {
         println!("  drained 2 points, clean status, exit 0");
     }
 
-    println!("serve_replay: all five lives PASS");
+    // -- 6: concurrent clients, SIGKILL, WAL resume --------------------
+    let key_ref: BTreeMap<String, String> = points
+        .iter()
+        .enumerate()
+        .map(|(i, p)| (p.key(), reference[&(i as u64)].0.clone()))
+        .collect();
+    life_concurrent(&bin, &points, &key_ref);
+
+    // -- 7: server-side sweep expansion --------------------------------
+    life_sweep(&bin, &workers, quick);
+
+    println!("serve_replay: all seven lives PASS");
+}
+
+/// Life 6: three socket clients with overlapping grids hammer one
+/// server; SIGKILL mid-load; a restarted server on the same WAL must
+/// answer the resubmitted grids completely and bit-identically to the
+/// stdio reference.
+#[cfg(unix)]
+fn life_concurrent(bin: &PathBuf, points: &[PointRequest], key_ref: &BTreeMap<String, String>) {
+    use std::time::{Duration, Instant};
+    println!("[6/7] three concurrent clients, SIGKILL mid-load, WAL resume");
+    let dir = std::env::temp_dir();
+    let sock = dir.join(format!("serve_replay_{}.sock", std::process::id()));
+    let wal = dir.join(format!("serve_replay_mc_{}.wal", std::process::id()));
+    let _ = std::fs::remove_file(&sock);
+    let _ = std::fs::remove_file(&wal);
+    let args: Vec<String> = [
+        "--socket",
+        &sock.display().to_string(),
+        "--wal",
+        &wal.display().to_string(),
+        "--workers",
+        "2",
+        "--max-clients",
+        "4",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    // overlapping windows: every adjacent pair of clients shares points
+    let stride = points.len() / 3;
+    let subsets: Vec<&[PointRequest]> =
+        (0..3).map(|c| &points[c * stride..(points.len()).min((c + 2) * stride)]).collect();
+
+    // first life: clients race until the WAL holds at least one record,
+    // then the server dies mid-load
+    let mut child = spawn_socket_server(bin, &args);
+    wait_for_socket(&sock);
+    std::thread::scope(|scope| {
+        for (c, subset) in subsets.iter().enumerate() {
+            let (sock, subset) = (&sock, *subset);
+            scope.spawn(move || mc_client(sock, &format!("mc{c}"), subset, false));
+        }
+        let deadline = Instant::now() + Duration::from_secs(120);
+        loop {
+            if std::fs::metadata(&wal).map(|m| m.len() > 0).unwrap_or(false) {
+                break;
+            }
+            if Instant::now() > deadline {
+                fail("no WAL record appeared under concurrent load");
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        child.kill().expect("SIGKILL");
+        let _ = child.wait();
+        // clients see EOF/EPIPE and return; the scope joins them
+    });
+    println!(
+        "  killed mid-load ({} WAL bytes)",
+        std::fs::metadata(&wal).map(|m| m.len()).unwrap_or(0)
+    );
+
+    // second life: same WAL, same grids, answers must be complete and
+    // bit-identical to the reference
+    let mut child = spawn_socket_server(bin, &args);
+    wait_for_socket(&sock);
+    let mut union: BTreeMap<String, String> = BTreeMap::new();
+    let maps = std::thread::scope(|scope| {
+        let handles: Vec<_> = subsets
+            .iter()
+            .enumerate()
+            .map(|(c, subset)| {
+                let (sock, subset) = (&sock, *subset);
+                scope.spawn(move || mc_client(sock, &format!("mc{c}"), subset, true))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect::<Vec<_>>()
+    });
+    for m in maps {
+        for (k, v) in m {
+            if let Some(prev) = union.insert(k.clone(), v.clone()) {
+                if prev != v {
+                    fail(&format!("concurrent clients disagreed on {k}"));
+                }
+            }
+        }
+    }
+    let term = Command::new("kill")
+        .args(["-TERM", &child.id().to_string()])
+        .status()
+        .unwrap_or_else(|e| fail(&format!("cannot send SIGTERM: {e}")));
+    if !term.success() {
+        fail("kill -TERM failed");
+    }
+    let status = child.wait().expect("exit status");
+    if !status.success() {
+        fail(&format!("socket server exit status {status} (want 0)"));
+    }
+    if union.len() != key_ref.len() {
+        fail(&format!(
+            "concurrent resume answered {} of {} distinct points",
+            union.len(),
+            key_ref.len()
+        ));
+    }
+    for (k, want) in key_ref {
+        match union.get(k) {
+            Some(have) if have == want => {}
+            Some(have) => fail(&format!(
+                "concurrent resume differs for {k}\n  reference: {want}\n  got:       {have}"
+            )),
+            None => fail(&format!("concurrent resume missing {k}")),
+        }
+    }
+    println!("  resumed run: {} distinct points bit-identical across 3 clients", union.len());
+    let _ = std::fs::remove_file(&wal);
+    let _ = std::fs::remove_file(&sock);
+}
+
+#[cfg(not(unix))]
+fn life_concurrent(_bin: &PathBuf, _points: &[PointRequest], _key_ref: &BTreeMap<String, String>) {
+    println!("[6/7] concurrent socket clients: skipped (requires Unix sockets)");
+}
+
+/// Spawn the server in socket mode (stdin/stdout unused; stderr shows
+/// through so drain status records stay visible in CI logs).
+#[cfg(unix)]
+fn spawn_socket_server(bin: &PathBuf, args: &[String]) -> Child {
+    Command::new(bin)
+        .args(args)
+        .stdin(Stdio::null())
+        .stdout(Stdio::null())
+        .spawn()
+        .unwrap_or_else(|e| fail(&format!("cannot spawn {}: {e}", bin.display())))
+}
+
+#[cfg(unix)]
+fn wait_for_socket(path: &std::path::Path) {
+    use std::time::{Duration, Instant};
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while std::os::unix::net::UnixStream::connect(path).is_err() {
+        if Instant::now() > deadline {
+            fail(&format!("server socket never appeared at {}", path.display()));
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+/// One socket client: submit `pts` under `batch`, run it, read until
+/// the batch-done marker, and return `key -> canonical outcome`. With
+/// `strict` off, IO failures (the server being SIGKILLed under us)
+/// return whatever was collected so far.
+#[cfg(unix)]
+fn mc_client(
+    sock: &std::path::Path,
+    batch: &str,
+    pts: &[PointRequest],
+    strict: bool,
+) -> BTreeMap<String, String> {
+    use std::os::unix::net::UnixStream;
+    let mut map = BTreeMap::new();
+    let stream = match UnixStream::connect(sock) {
+        Ok(s) => s,
+        Err(e) if !strict => {
+            let _ = e;
+            return map;
+        }
+        Err(e) => fail(&format!("client {batch} cannot connect: {e}")),
+    };
+    let mut out = stream.try_clone().expect("clone stream");
+    let mut reader = BufReader::new(stream);
+    let mut lines: Vec<String> = pts
+        .iter()
+        .map(|p| {
+            let mut q = p.clone();
+            q.batch = batch.into();
+            q.to_json()
+        })
+        .collect();
+    lines.push(
+        ServeRequest::Run { batch: batch.into(), max_attempts: None, deadline_ms: None }.to_json(),
+    );
+    for l in &lines {
+        if let Err(e) = writeln!(out, "{l}") {
+            if strict {
+                fail(&format!("client {batch} write: {e}"));
+            }
+            return map;
+        }
+    }
+    let _ = out.flush();
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) => {
+                if strict {
+                    fail(&format!("server hung up on client {batch} before batch-done"));
+                }
+                return map;
+            }
+            Ok(_) => {}
+            Err(e) => {
+                if strict {
+                    fail(&format!("client {batch} read: {e}"));
+                }
+                return map;
+            }
+        }
+        match parse_response(line.trim()) {
+            Ok(ServeResponse::Result(r)) => {
+                map.insert(r.key, r.outcome.canonical());
+            }
+            Ok(ServeResponse::BatchDone { batch: b, .. }) if b == batch => return map,
+            Ok(_) => {}
+            Err(e) => {
+                if strict {
+                    fail(&format!("client {batch} got unparseable line {line:?}: {e}"));
+                }
+                return map;
+            }
+        }
+    }
+}
+
+/// Life 7: one `sweep` line against the real binary must stream byte
+/// for byte what its expansion submitted point-by-point streams, plus
+/// exactly one `sweep-done` summary.
+fn life_sweep(bin: &PathBuf, workers: &[String], quick: bool) {
+    println!("[7/7] server-side sweep expansion");
+    let sw = SweepRequest {
+        batch: "sw".into(),
+        net: NetConfig::baseline()
+            .with_topology(TopologyKind::Mesh2D { k: 8 })
+            .with_seed(0x5EED_0001),
+        patterns: vec![PatternKind::Uniform, PatternKind::Transpose],
+        loads: vec![0.05, 0.08],
+        seeds: if quick { 1 } else { 2 },
+        packet_size: 1,
+        warmup: if quick { 2_000 } else { 5_000 },
+        measure: if quick { 4_000 } else { 10_000 },
+        drain_max: 40_000,
+        budget: Some(5_000_000),
+        allow_degraded: false,
+        analytic_admission: false,
+        max_attempts: None,
+        deadline_ms: None,
+    };
+    let expanded = sw.expand();
+    let mut point_lines: Vec<String> = expanded.iter().map(|p| p.to_json()).collect();
+    point_lines.push(
+        ServeRequest::Run { batch: sw.batch.clone(), max_attempts: None, deadline_ms: None }
+            .to_json(),
+    );
+    let point_raw = run_raw(bin, workers, &point_lines);
+    let sweep_raw = run_raw(bin, workers, &[sw.to_json()]);
+
+    let mut summaries = Vec::new();
+    let mut rest = Vec::new();
+    for l in sweep_raw {
+        match parse_response(&l) {
+            Ok(ServeResponse::SweepDone { .. }) => summaries.push(l),
+            _ => rest.push(l),
+        }
+    }
+    if summaries.len() != 1 {
+        fail(&format!("expected exactly one sweep-done record, got {}", summaries.len()));
+    }
+    let Ok(ServeResponse::SweepDone { expanded: n, ok, .. }) = parse_response(&summaries[0]) else {
+        unreachable!()
+    };
+    if n != expanded.len() as u64 || ok != n {
+        fail(&format!(
+            "sweep summary wrong: expanded {n}, ok {ok} (want {} each): {}",
+            expanded.len(),
+            summaries[0]
+        ));
+    }
+    if rest != point_raw {
+        for (i, (a, b)) in rest.iter().zip(&point_raw).enumerate() {
+            if a != b {
+                fail(&format!(
+                    "sweep stream diverges from point-by-point at line {i}\n  sweep: {a}\n  points: {b}"
+                ));
+            }
+        }
+        fail(&format!(
+            "sweep stream has {} lines, point-by-point has {}",
+            rest.len(),
+            point_raw.len()
+        ));
+    }
+    println!(
+        "  sweep of {} points byte-identical to individual submission, summary verified",
+        expanded.len()
+    );
 }

@@ -3,10 +3,21 @@
 //! evaluation service (`noc-serve`).
 //!
 //! One JSON object per line in both directions. Requests carry a
-//! `"req"` discriminator (`point`, `run`, `cancel`, `health`,
+//! `"req"` discriminator (`point`, `sweep`, `run`, `cancel`, `health`,
 //! `shutdown`); responses carry `"resp"` (`result`, `batch-done`,
-//! `cancelled`, `health`, `status`, `error`). Every line also carries
-//! the [`SERVE_SCHEMA`] tag so foreign streams are rejected up front.
+//! `sweep-done`, `cancelled`, `busy`, `health`, `status`, `error`).
+//! Every line also carries the [`SERVE_SCHEMA`] tag so foreign streams
+//! are rejected up front.
+//!
+//! A `sweep` request is a *server-side grid expansion*: one line
+//! carrying a pattern list, a load ladder, and a replicate count that
+//! the service expands into points with the standard
+//! [`noc_exp::derive_seed`] discipline ([`SweepRequest::expand`]). The
+//! expansion is defined here, next to the schema, so clients, the
+//! service, and the property tests all share the one implementation —
+//! which is what makes "sweep responses are byte-identical to
+//! submitting the points individually" a checkable contract rather
+//! than a convention.
 //!
 //! Two properties the service's crash-tolerance contract leans on:
 //!
@@ -128,6 +139,31 @@ fn field_str(line: &str, key: &str) -> Option<String> {
         }
     }
     None
+}
+
+/// Extract the bracketed element list of a JSON array field. Arrays in
+/// this schema hold only numbers or plain (escape-free) wire names, so
+/// a comma split inside the brackets is exact.
+fn field_array<'a>(line: &'a str, key: &str) -> Option<Vec<&'a str>> {
+    let rest = field(line, key)?.strip_prefix('[')?;
+    let body = &rest[..rest.find(']')?];
+    if body.trim().is_empty() {
+        return Some(Vec::new());
+    }
+    Some(body.split(',').map(str::trim).collect())
+}
+
+/// Extract an array of numbers (`"loads": [0.05, 0.1]`).
+fn field_f64_array(line: &str, key: &str) -> Option<Vec<f64>> {
+    field_array(line, key)?.into_iter().map(|s| s.parse().ok()).collect()
+}
+
+/// Extract an array of quoted wire names (`"patterns": ["uniform"]`).
+fn field_str_array(line: &str, key: &str) -> Option<Vec<String>> {
+    field_array(line, key)?
+        .into_iter()
+        .map(|s| Some(s.strip_prefix('"')?.strip_suffix('"')?.to_string()))
+        .collect()
 }
 
 fn fnv1a(bytes: &[u8]) -> u64 {
@@ -265,6 +301,16 @@ pub struct PointRequest {
     /// Permit an analytic-model answer (tagged `degraded`) when the
     /// simulator pool is saturated, instead of a `Shed` rejection.
     pub allow_degraded: bool,
+    /// Opt into analytic admission control: when the static model
+    /// (with usable confidence) predicts the requested load sits at or
+    /// past saturation, the service answers `degraded: true`
+    /// immediately — even with queue room — instead of burning a full
+    /// cycle budget discovering divergence. A pure accelerator: points
+    /// *not* intercepted evaluate exactly as if the flag were off.
+    /// Like the batch label, this is admission policy, not physics, so
+    /// it does not enter [`PointRequest::digest`].
+    #[serde(default)]
+    pub analytic_admission: bool,
 }
 
 impl PointRequest {
@@ -319,7 +365,8 @@ impl PointRequest {
              \"topology\": \"{}\", \"routing\": \"{}\", \"arb\": \"{}\", \"vcs\": {}, \
              \"vc_buf\": {}, \"router_delay\": {}, \"pattern\": \"{}\", \
              \"packet_size\": {}, \"load\": {:?}, \"warmup\": {}, \"measure\": {}, \
-             \"drain_max\": {}, \"seed\": {}, {budget}\"allow_degraded\": {}}}",
+             \"drain_max\": {}, \"seed\": {}, {budget}\"allow_degraded\": {}, \
+             \"analytic_admission\": {}}}",
             json_escape(&self.batch),
             topology_name(self.net.topology),
             routing_name(self.net.routing),
@@ -335,6 +382,7 @@ impl PointRequest {
             self.drain_max,
             self.net.seed,
             self.allow_degraded,
+            self.analytic_admission,
         )
     }
 
@@ -373,6 +421,196 @@ impl PointRequest {
             drain_max: u("drain_max")?,
             budget: field_u64(line, "budget"),
             allow_degraded: field_bool(line, "allow_degraded").unwrap_or(false),
+            analytic_admission: field_bool(line, "analytic_admission").unwrap_or(false),
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Server-side sweep expansion
+// ---------------------------------------------------------------------------
+
+/// A grid spec the service expands into points server-side: one line
+/// instead of `patterns x loads x seeds` point lines.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SweepRequest {
+    /// Batch every expanded point lands in.
+    pub batch: String,
+    /// Network configuration shared by every point. `net.seed` is the
+    /// *base* seed: point `i` of the expansion runs with
+    /// `derive_seed(net.seed, i)`, never the base itself — the same
+    /// discipline as every grid sweep in the workspace.
+    pub net: NetConfig,
+    /// Spatial traffic patterns (outermost grid axis).
+    pub patterns: Vec<PatternKind>,
+    /// Offered-load ladder (middle axis), flits/cycle/node.
+    pub loads: Vec<f64>,
+    /// Seed replicates per `(pattern, load)` cell (innermost axis).
+    pub seeds: u64,
+    /// Fixed packet size in flits.
+    pub packet_size: u64,
+    /// Warmup cycles.
+    pub warmup: u64,
+    /// Measurement window in cycles.
+    pub measure: u64,
+    /// Maximum drain cycles.
+    pub drain_max: u64,
+    /// Per-point cycle budget; `None` inherits the service default.
+    pub budget: Option<u64>,
+    /// Per-point `allow_degraded` flag (see [`PointRequest`]).
+    pub allow_degraded: bool,
+    /// Per-point analytic admission control (see [`PointRequest`]).
+    #[serde(default)]
+    pub analytic_admission: bool,
+    /// Retry-cap override for the expanded batch (as on a `run`).
+    pub max_attempts: Option<u32>,
+    /// Wall-clock deadline for the expanded batch, in milliseconds.
+    pub deadline_ms: Option<u64>,
+}
+
+impl SweepRequest {
+    /// Points the sweep expands to (`patterns x loads x seeds`).
+    pub fn expanded_len(&self) -> u64 {
+        (self.patterns.len() as u64)
+            .saturating_mul(self.loads.len() as u64)
+            .saturating_mul(self.seeds)
+    }
+
+    /// Reject grids that cannot expand: empty axes, non-finite or
+    /// negative loads, zero replicates.
+    pub fn validate_spec(&self) -> Result<(), String> {
+        if self.patterns.is_empty() {
+            return Err("sweep needs at least one pattern".into());
+        }
+        if self.loads.is_empty() {
+            return Err("sweep needs at least one load".into());
+        }
+        if let Some(l) = self.loads.iter().find(|l| !l.is_finite() || **l < 0.0) {
+            return Err(format!("sweep load {l} is not a finite non-negative number"));
+        }
+        if self.seeds == 0 {
+            return Err("sweep needs at least one seed replicate".into());
+        }
+        Ok(())
+    }
+
+    /// Expand the grid into point requests, pattern-major then load
+    /// then replicate, point `i` seeded `derive_seed(net.seed, i)`.
+    /// This is the *one* definition of the expansion: the service, the
+    /// smoke harness, and the byte-identity property tests all call it,
+    /// so a client submitting these exact points individually gets
+    /// bit-identical response lines.
+    pub fn expand(&self) -> Vec<PointRequest> {
+        let mut points = Vec::with_capacity(self.expanded_len() as usize);
+        let mut i = 0u64;
+        for &pattern in &self.patterns {
+            for &load in &self.loads {
+                for _ in 0..self.seeds {
+                    let mut net = self.net.clone();
+                    net.seed = noc_exp::derive_seed(self.net.seed, i);
+                    points.push(PointRequest {
+                        batch: self.batch.clone(),
+                        net,
+                        pattern,
+                        packet_size: self.packet_size,
+                        load,
+                        warmup: self.warmup,
+                        measure: self.measure,
+                        drain_max: self.drain_max,
+                        budget: self.budget,
+                        allow_degraded: self.allow_degraded,
+                        analytic_admission: self.analytic_admission,
+                    });
+                    i += 1;
+                }
+            }
+        }
+        points
+    }
+
+    /// Emit the request as one `noc-eval/serve/v1` line.
+    pub fn to_json(&self) -> String {
+        let patterns =
+            self.patterns.iter().map(|p| format!("\"{}\"", pattern_name(*p))).collect::<Vec<_>>();
+        let loads = self.loads.iter().map(|l| format!("{l:?}")).collect::<Vec<_>>();
+        let budget = self.budget.map(|b| format!("\"budget\": {b}, ")).unwrap_or_default();
+        let mut extra = String::new();
+        if let Some(a) = self.max_attempts {
+            extra.push_str(&format!(", \"max_attempts\": {a}"));
+        }
+        if let Some(d) = self.deadline_ms {
+            extra.push_str(&format!(", \"deadline_ms\": {d}"));
+        }
+        format!(
+            "{{\"schema\": \"{SERVE_SCHEMA}\", \"req\": \"sweep\", \"batch\": \"{}\", \
+             \"topology\": \"{}\", \"routing\": \"{}\", \"arb\": \"{}\", \"vcs\": {}, \
+             \"vc_buf\": {}, \"router_delay\": {}, \"patterns\": [{}], \"loads\": [{}], \
+             \"seeds\": {}, \"packet_size\": {}, \"warmup\": {}, \"measure\": {}, \
+             \"drain_max\": {}, \"seed\": {}, {budget}\"allow_degraded\": {}, \
+             \"analytic_admission\": {}{extra}}}",
+            json_escape(&self.batch),
+            topology_name(self.net.topology),
+            routing_name(self.net.routing),
+            arb_name(self.net.arbitration),
+            self.net.vcs,
+            self.net.vc_buf,
+            self.net.router_delay,
+            patterns.join(", "),
+            loads.join(", "),
+            self.seeds,
+            self.packet_size,
+            self.warmup,
+            self.measure,
+            self.drain_max,
+            self.net.seed,
+            self.allow_degraded,
+            self.analytic_admission,
+        )
+    }
+
+    fn parse(line: &str) -> Result<Self, String> {
+        let s = |key: &str| {
+            field_str(line, key).ok_or_else(|| format!("sweep request missing \"{key}\""))
+        };
+        let u = |key: &str| {
+            field_u64(line, key).ok_or_else(|| format!("sweep request missing \"{key}\""))
+        };
+        let topology = s("topology")?;
+        let routing = s("routing")?;
+        let arb = s("arb")?;
+        let net = NetConfig {
+            topology: parse_topology(&topology)
+                .ok_or_else(|| format!("unknown topology {topology:?}"))?,
+            routing: parse_routing(&routing)
+                .ok_or_else(|| format!("unknown routing {routing:?}"))?,
+            arbitration: parse_arb(&arb).ok_or_else(|| format!("unknown arbitration {arb:?}"))?,
+            vcs: u("vcs")? as usize,
+            vc_buf: u("vc_buf")? as usize,
+            router_delay: u("router_delay")? as u32,
+            seed: u("seed")?,
+            ..NetConfig::baseline()
+        };
+        let pattern_names =
+            field_str_array(line, "patterns").ok_or("sweep request missing \"patterns\"")?;
+        let patterns = pattern_names
+            .iter()
+            .map(|p| parse_pattern(p).ok_or_else(|| format!("unknown pattern {p:?}")))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self {
+            batch: s("batch")?,
+            net,
+            patterns,
+            loads: field_f64_array(line, "loads").ok_or("sweep request missing \"loads\"")?,
+            seeds: u("seeds")?,
+            packet_size: u("packet_size")?,
+            warmup: u("warmup")?,
+            measure: u("measure")?,
+            drain_max: u("drain_max")?,
+            budget: field_u64(line, "budget"),
+            allow_degraded: field_bool(line, "allow_degraded").unwrap_or(false),
+            analytic_admission: field_bool(line, "analytic_admission").unwrap_or(false),
+            max_attempts: field_u64(line, "max_attempts").map(|a| a as u32),
+            deadline_ms: field_u64(line, "deadline_ms"),
         })
     }
 }
@@ -382,6 +620,9 @@ impl PointRequest {
 pub enum ServeRequest {
     /// Enqueue one experiment point into its batch.
     Point(Box<PointRequest>),
+    /// Expand a grid spec server-side, evaluate it, and stream the
+    /// per-point results plus a `sweep-done` summary.
+    Sweep(Box<SweepRequest>),
     /// Evaluate every queued point of a batch and emit results.
     Run {
         /// Batch to run.
@@ -409,6 +650,7 @@ impl ServeRequest {
     pub fn to_json(&self) -> String {
         match self {
             ServeRequest::Point(p) => p.to_json(),
+            ServeRequest::Sweep(s) => s.to_json(),
             ServeRequest::Run { batch, max_attempts, deadline_ms } => {
                 let mut extra = String::new();
                 if let Some(a) = max_attempts {
@@ -447,6 +689,7 @@ pub fn parse_request(line: &str) -> Result<ServeRequest, String> {
     let req = field_str(line, "req").ok_or("missing \"req\" discriminator")?;
     match req.as_str() {
         "point" => Ok(ServeRequest::Point(Box::new(PointRequest::parse(line)?))),
+        "sweep" => Ok(ServeRequest::Sweep(Box::new(SweepRequest::parse(line)?))),
         "run" => Ok(ServeRequest::Run {
             batch: field_str(line, "batch").ok_or("run request missing \"batch\"")?,
             max_attempts: field_u64(line, "max_attempts").map(|a| a as u32),
@@ -683,6 +926,11 @@ pub struct HealthSnapshot {
     pub panics: u64,
     /// Records in the WAL (replayed + appended).
     pub wal_records: u64,
+    /// Live client connections (socket mode; 0 on stdio).
+    pub clients: u64,
+    /// Connections turned away with a typed `busy` because
+    /// `--max-clients` were already connected.
+    pub busy: u64,
     /// True once shutdown has begun (new points are shed).
     pub draining: bool,
 }
@@ -693,7 +941,8 @@ impl HealthSnapshot {
             "{{\"schema\": \"{SERVE_SCHEMA}\", \"resp\": \"{resp}\", \"queue_depth\": {}, \
              \"queue_capacity\": {}, \"workers\": {}, \"completed\": {}, \"cache_hits\": {}, \
              \"shed\": {}, \"degraded\": {}, \"retries\": {}, \"timeouts\": {}, \
-             \"panics\": {}, \"wal_records\": {}, \"draining\": {}}}",
+             \"panics\": {}, \"wal_records\": {}, \"clients\": {}, \"busy\": {}, \
+             \"draining\": {}}}",
             self.queue_depth,
             self.queue_capacity,
             self.workers,
@@ -705,6 +954,8 @@ impl HealthSnapshot {
             self.timeouts,
             self.panics,
             self.wal_records,
+            self.clients,
+            self.busy,
             self.draining,
         )
     }
@@ -723,6 +974,11 @@ impl HealthSnapshot {
             timeouts: u("timeouts")?,
             panics: u("panics")?,
             wal_records: u("wal_records")?,
+            // absent on pre-sweep snapshots: default 0 keeps old
+            // status lines (e.g. a WAL-journaled drain record from a
+            // previous binary) readable
+            clients: field_u64(line, "clients").unwrap_or(0),
+            busy: field_u64(line, "busy").unwrap_or(0),
             draining: field_bool(line, "draining").ok_or("health missing \"draining\"")?,
         })
     }
@@ -742,12 +998,40 @@ pub enum ServeResponse {
         /// How many of them were fully simulated `Ok` outcomes.
         ok: u64,
     },
+    /// A `sweep` request finished: every expanded point was answered
+    /// (result lines and a `batch-done` precede this record) and this
+    /// summarizes the outcome mix.
+    SweepDone {
+        /// The batch the sweep expanded into.
+        batch: String,
+        /// Points the grid spec expanded to.
+        expanded: u64,
+        /// Fully simulated `ok` outcomes.
+        ok: u64,
+        /// Analytic `degraded` answers (overload or admission pruning).
+        degraded: u64,
+        /// Typed `shed` rejections.
+        shed: u64,
+        /// Typed `invalid` rejections.
+        invalid: u64,
+        /// Cycle-budget or wall-clock `timeout` outcomes.
+        timeout: u64,
+    },
     /// A `cancel` request finished.
     Cancelled {
         /// The batch.
         batch: String,
         /// Queued points dropped.
         dropped: u64,
+    },
+    /// The connection was turned away at accept: `--max-clients`
+    /// connections were already live. Emitted once, then the socket is
+    /// closed; the client should back off and reconnect.
+    Busy {
+        /// Connections live when this one was rejected.
+        active: u64,
+        /// The service's `--max-clients` bound.
+        max: u64,
     },
     /// Answer to a `health` request.
     Health(HealthSnapshot),
@@ -770,10 +1054,23 @@ impl ServeResponse {
                  \"batch\": \"{}\", \"points\": {points}, \"ok\": {ok}}}",
                 json_escape(batch)
             ),
+            ServeResponse::SweepDone { batch, expanded, ok, degraded, shed, invalid, timeout } => {
+                format!(
+                    "{{\"schema\": \"{SERVE_SCHEMA}\", \"resp\": \"sweep-done\", \
+                     \"batch\": \"{}\", \"expanded\": {expanded}, \"ok\": {ok}, \
+                     \"degraded\": {degraded}, \"shed\": {shed}, \"invalid\": {invalid}, \
+                     \"timeout\": {timeout}}}",
+                    json_escape(batch)
+                )
+            }
             ServeResponse::Cancelled { batch, dropped } => format!(
                 "{{\"schema\": \"{SERVE_SCHEMA}\", \"resp\": \"cancelled\", \
                  \"batch\": \"{}\", \"dropped\": {dropped}}}",
                 json_escape(batch)
+            ),
+            ServeResponse::Busy { active, max } => format!(
+                "{{\"schema\": \"{SERVE_SCHEMA}\", \"resp\": \"busy\", \
+                 \"active\": {active}, \"max\": {max}}}"
             ),
             ServeResponse::Health(h) => h.emit("health"),
             ServeResponse::Status(h) => h.emit("status"),
@@ -799,9 +1096,27 @@ pub fn parse_response(line: &str) -> Result<ServeResponse, String> {
             points: field_u64(line, "points").ok_or("batch-done missing \"points\"")?,
             ok: field_u64(line, "ok").ok_or("batch-done missing \"ok\"")?,
         }),
+        "sweep-done" => {
+            let u = |key: &str| {
+                field_u64(line, key).ok_or_else(|| format!("sweep-done missing \"{key}\""))
+            };
+            Ok(ServeResponse::SweepDone {
+                batch: field_str(line, "batch").ok_or("sweep-done missing \"batch\"")?,
+                expanded: u("expanded")?,
+                ok: u("ok")?,
+                degraded: u("degraded")?,
+                shed: u("shed")?,
+                invalid: u("invalid")?,
+                timeout: u("timeout")?,
+            })
+        }
         "cancelled" => Ok(ServeResponse::Cancelled {
             batch: field_str(line, "batch").ok_or("cancelled missing \"batch\"")?,
             dropped: field_u64(line, "dropped").ok_or("cancelled missing \"dropped\"")?,
+        }),
+        "busy" => Ok(ServeResponse::Busy {
+            active: field_u64(line, "active").ok_or("busy missing \"active\"")?,
+            max: field_u64(line, "max").ok_or("busy missing \"max\"")?,
         }),
         "health" => Ok(ServeResponse::Health(HealthSnapshot::parse(line)?)),
         "status" => Ok(ServeResponse::Status(HealthSnapshot::parse(line)?)),
@@ -828,6 +1143,7 @@ mod tests {
             drain_max: 20_000,
             budget: Some(200_000),
             allow_degraded: true,
+            analytic_admission: false,
         }
     }
 
@@ -882,6 +1198,107 @@ mod tests {
         let mut d = a.clone();
         d.batch = "other".into();
         assert_eq!(a.digest(), d.digest(), "batch label must not enter the digest");
+        let mut e = a.clone();
+        e.analytic_admission = true;
+        assert_eq!(a.digest(), e.digest(), "admission policy must not enter the digest");
+    }
+
+    fn sweep() -> SweepRequest {
+        SweepRequest {
+            batch: "sw".into(),
+            net: NetConfig::baseline().with_topology(TopologyKind::Mesh2D { k: 4 }).with_seed(99),
+            patterns: vec![PatternKind::Uniform, PatternKind::Transpose],
+            loads: vec![0.05, 0.1, 0.15],
+            seeds: 2,
+            packet_size: 1,
+            warmup: 500,
+            measure: 1_000,
+            drain_max: 10_000,
+            budget: Some(100_000),
+            allow_degraded: true,
+            analytic_admission: true,
+            max_attempts: Some(2),
+            deadline_ms: None,
+        }
+    }
+
+    #[test]
+    fn sweep_request_round_trips() {
+        let sw = sweep();
+        let ServeRequest::Sweep(back) = parse_request(&sw.to_json()).unwrap() else {
+            panic!("expected a sweep request")
+        };
+        assert_eq!(back.batch, sw.batch);
+        assert_eq!(back.net.topology, sw.net.topology);
+        assert_eq!(back.net.seed, 99);
+        assert_eq!(back.patterns, sw.patterns);
+        assert_eq!(
+            back.loads.iter().map(|l| l.to_bits()).collect::<Vec<_>>(),
+            sw.loads.iter().map(|l| l.to_bits()).collect::<Vec<_>>(),
+            "load ladder survives bit-exactly"
+        );
+        assert_eq!(back.seeds, 2);
+        assert_eq!(back.budget, Some(100_000));
+        assert!(back.allow_degraded && back.analytic_admission);
+        assert_eq!(back.max_attempts, Some(2));
+        assert_eq!(back.deadline_ms, None);
+    }
+
+    #[test]
+    fn sweep_expansion_follows_the_derive_seed_discipline() {
+        let sw = sweep();
+        let pts = sw.expand();
+        assert_eq!(pts.len() as u64, sw.expanded_len());
+        assert_eq!(pts.len(), 2 * 3 * 2, "patterns x loads x seeds");
+        for (i, p) in pts.iter().enumerate() {
+            assert_eq!(p.net.seed, noc_exp::derive_seed(99, i as u64));
+            assert_eq!(p.batch, "sw");
+            let (pi, li) = (i / 6, (i / 2) % 3);
+            assert_eq!(p.pattern, sw.patterns[pi], "pattern-major order");
+            assert_eq!(p.load.to_bits(), sw.loads[li].to_bits());
+        }
+        // a parsed copy of the wire line expands to the identical grid
+        let ServeRequest::Sweep(back) = parse_request(&sw.to_json()).unwrap() else {
+            panic!("sweep")
+        };
+        let again = back.expand();
+        for (a, b) in pts.iter().zip(&again) {
+            assert_eq!(a.key(), b.key(), "client- and server-side expansions agree");
+            assert_eq!(a.to_json(), b.to_json());
+        }
+    }
+
+    #[test]
+    fn sweep_spec_validation_rejects_degenerate_grids() {
+        assert!(sweep().validate_spec().is_ok());
+        let mut s = sweep();
+        s.patterns.clear();
+        assert!(s.validate_spec().is_err());
+        let mut s = sweep();
+        s.loads = vec![f64::NAN];
+        assert!(s.validate_spec().is_err());
+        let mut s = sweep();
+        s.loads = vec![-0.1];
+        assert!(s.validate_spec().is_err());
+        let mut s = sweep();
+        s.seeds = 0;
+        assert!(s.validate_spec().is_err());
+    }
+
+    #[test]
+    fn sweep_done_and_busy_round_trip() {
+        let done = ServeResponse::SweepDone {
+            batch: "sw\"x".into(),
+            expanded: 12,
+            ok: 8,
+            degraded: 2,
+            shed: 1,
+            invalid: 1,
+            timeout: 0,
+        };
+        assert_eq!(parse_response(&done.to_json()).unwrap(), done);
+        let busy = ServeResponse::Busy { active: 4, max: 4 };
+        assert_eq!(parse_response(&busy.to_json()).unwrap(), busy);
     }
 
     #[test]
@@ -989,6 +1406,8 @@ mod tests {
             timeouts: 1,
             panics: 1,
             wal_records: 99,
+            clients: 3,
+            busy: 1,
             draining: true,
         };
         let ServeResponse::Health(back) =

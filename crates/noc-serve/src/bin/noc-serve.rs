@@ -1,18 +1,22 @@
 //! The `noc-serve` binary: a persistent evaluation service speaking
-//! the `noc-eval/serve/v1` line protocol on stdin/stdout, or on a Unix
-//! socket with `--socket PATH`.
+//! the `noc-eval/serve/v1` line protocol on stdin/stdout, or serving
+//! up to `--max-clients` concurrent connections on a Unix socket with
+//! `--socket PATH`.
 //!
 //! ```text
 //! noc-serve [--wal PATH] [--queue N] [--workers N] [--max-attempts N]
 //!           [--budget CYCLES] [--backoff-ms N] [--backoff-cap-ms N]
-//!           [--no-backoff-sleep] [--chaos N] [--socket PATH]
+//!           [--no-backoff-sleep] [--chaos N]
+//!           [--socket PATH] [--max-clients N]
 //! ```
 //!
 //! `SIGTERM`/`SIGINT` (and EOF on stdin) trigger a graceful drain:
-//! queued points are evaluated, the WAL is flushed, and a final
+//! queued points are evaluated (in socket mode, each live connection
+//! receives its own batches), the WAL is flushed, and a final
 //! `status` record is emitted before exit. `SIGKILL` is survivable by
 //! design: restart with the same `--wal` and finished points replay
-//! from the journal instead of recomputing.
+//! from the journal instead of recomputing. Idle loops poll the TERM
+//! flag every 50 ms.
 
 use std::io::{BufRead, BufReader};
 use std::path::PathBuf;
@@ -22,7 +26,9 @@ use std::time::Duration;
 
 use noc_serve::{ServeConfig, Service};
 
-/// Set from the signal handler; polled by the request loops.
+/// Set from the signal handler; polled (with `load`, never `swap` —
+/// every connection thread must observe the one signal) by the
+/// request loops.
 static TERM: AtomicBool = AtomicBool::new(false);
 
 #[cfg(unix)]
@@ -51,9 +57,13 @@ fn usage() -> ! {
     eprintln!(
         "usage: noc-serve [--wal PATH] [--queue N] [--workers N] [--max-attempts N]\n\
          \u{20}                [--budget CYCLES] [--backoff-ms N] [--backoff-cap-ms N]\n\
-         \u{20}                [--no-backoff-sleep] [--chaos N] [--socket PATH]\n\
+         \u{20}                [--no-backoff-sleep] [--chaos N]\n\
+         \u{20}                [--socket PATH] [--max-clients N]\n\
          Speaks noc-eval/serve/v1, one JSON object per line, on stdin/stdout\n\
-         (or on --socket PATH). SIGTERM/EOF drain gracefully; --wal makes\n\
+         (or on --socket PATH, serving up to --max-clients connections\n\
+         concurrently; further clients get a typed `busy` response).\n\
+         Requests: point, sweep (server-side grid expansion), run, cancel,\n\
+         health, shutdown. SIGTERM/EOF drain gracefully; --wal makes\n\
          finished points survive SIGKILL."
     );
     std::process::exit(2);
@@ -73,6 +83,23 @@ fn parse_num(flag: &str, raw: &str) -> u64 {
     })
 }
 
+/// Like [`parse_num`] but range-checked: a value that does not fit the
+/// flag's actual width is a usage error, never a silent wrap (a bare
+/// `as u32` would turn `--max-attempts 4294967297` into 1).
+fn parse_checked<T: TryFrom<u64>>(flag: &str, raw: &str) -> T {
+    let v = parse_num(flag, raw);
+    T::try_from(v).unwrap_or_else(|_| {
+        eprintln!(
+            "noc-serve: {flag} value {v} is out of range (max {})",
+            match std::mem::size_of::<T>() {
+                4 => u32::MAX as u64,
+                _ => usize::MAX as u64,
+            }
+        );
+        usage();
+    })
+}
+
 fn main() {
     install_signal_handlers();
     let mut cfg = ServeConfig::default();
@@ -82,14 +109,14 @@ fn main() {
         match a.as_str() {
             "--wal" => cfg.wal = Some(PathBuf::from(next_val(&mut args, "--wal"))),
             "--queue" => {
-                cfg.queue_capacity = parse_num("--queue", &next_val(&mut args, "--queue")) as usize
+                cfg.queue_capacity = parse_checked("--queue", &next_val(&mut args, "--queue"))
             }
             "--workers" => {
-                cfg.workers = parse_num("--workers", &next_val(&mut args, "--workers")) as usize
+                cfg.workers = parse_checked("--workers", &next_val(&mut args, "--workers"))
             }
             "--max-attempts" => {
                 cfg.retry.max_attempts =
-                    parse_num("--max-attempts", &next_val(&mut args, "--max-attempts")) as u32
+                    parse_checked("--max-attempts", &next_val(&mut args, "--max-attempts"))
             }
             "--budget" => {
                 cfg.default_budget = parse_num("--budget", &next_val(&mut args, "--budget"))
@@ -104,6 +131,10 @@ fn main() {
             "--no-backoff-sleep" => cfg.retry.sleep = false,
             "--chaos" => cfg.chaos = parse_num("--chaos", &next_val(&mut args, "--chaos")),
             "--socket" => socket = Some(PathBuf::from(next_val(&mut args, "--socket"))),
+            "--max-clients" => {
+                cfg.max_clients =
+                    parse_checked("--max-clients", &next_val(&mut args, "--max-clients"))
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("noc-serve: unknown flag {other:?}");
@@ -119,8 +150,8 @@ fn main() {
         }
     };
     let result = match socket {
-        Some(path) => serve_socket(service, &path),
-        None => serve_stdio(service),
+        Some(path) => serve_socket(&service, &path),
+        None => serve_stdio(&service),
     };
     if let Err(e) = result {
         eprintln!("noc-serve: {e}");
@@ -130,7 +161,7 @@ fn main() {
 
 /// stdin/stdout mode. A reader thread feeds a channel so the main loop
 /// can poll the TERM flag every 50 ms even while stdin is idle.
-fn serve_stdio(mut service: Service) -> std::io::Result<()> {
+fn serve_stdio(service: &Service) -> std::io::Result<()> {
     let (tx, rx) = mpsc::channel::<String>();
     std::thread::spawn(move || {
         let stdin = std::io::stdin();
@@ -144,7 +175,7 @@ fn serve_stdio(mut service: Service) -> std::io::Result<()> {
     let stdout = std::io::stdout();
     let mut out = stdout.lock();
     loop {
-        if TERM.swap(false, Ordering::SeqCst) {
+        if TERM.load(Ordering::SeqCst) {
             return service.shutdown(&mut out);
         }
         match rx.recv_timeout(Duration::from_millis(50)) {
@@ -162,57 +193,14 @@ fn serve_stdio(mut service: Service) -> std::io::Result<()> {
     }
 }
 
-/// Unix-socket mode: one client at a time, same protocol. Read
-/// timeouts keep the TERM flag responsive mid-connection.
+/// Unix-socket mode: the concurrent server in [`noc_serve::socket`].
 #[cfg(unix)]
-fn serve_socket(mut service: Service, path: &std::path::Path) -> std::io::Result<()> {
-    use std::os::unix::net::UnixListener;
-    let _ = std::fs::remove_file(path);
-    let listener = UnixListener::bind(path)?;
-    listener.set_nonblocking(true)?;
-    loop {
-        if TERM.swap(false, Ordering::SeqCst) {
-            return service.shutdown(&mut std::io::sink());
-        }
-        match listener.accept() {
-            Ok((stream, _)) => {
-                stream.set_nonblocking(false)?;
-                stream.set_read_timeout(Some(Duration::from_millis(50)))?;
-                let mut reader = BufReader::new(stream.try_clone()?);
-                let mut out = stream;
-                let mut line = String::new();
-                loop {
-                    if TERM.swap(false, Ordering::SeqCst) {
-                        return service.shutdown(&mut out);
-                    }
-                    match reader.read_line(&mut line) {
-                        Ok(0) => break, // client hung up; await the next one
-                        Ok(_) => {
-                            if !service.handle_line(&line, &mut out)? {
-                                return Ok(());
-                            }
-                            line.clear();
-                        }
-                        // timeout: partial bytes stay buffered in `line`
-                        Err(e)
-                            if matches!(
-                                e.kind(),
-                                std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
-                            ) => {}
-                        Err(_) => break,
-                    }
-                }
-            }
-            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                std::thread::sleep(Duration::from_millis(20));
-            }
-            Err(e) => return Err(e),
-        }
-    }
+fn serve_socket(service: &Service, path: &std::path::Path) -> std::io::Result<()> {
+    noc_serve::socket::serve(service, path, &TERM)
 }
 
 #[cfg(not(unix))]
-fn serve_socket(_service: Service, _path: &std::path::Path) -> std::io::Result<()> {
+fn serve_socket(_service: &Service, _path: &std::path::Path) -> std::io::Result<()> {
     Err(std::io::Error::new(
         std::io::ErrorKind::Unsupported,
         "--socket requires a Unix platform; use stdin/stdout mode",

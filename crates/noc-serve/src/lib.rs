@@ -35,6 +35,7 @@
 
 mod retry;
 mod service;
+pub mod socket;
 
 use std::path::PathBuf;
 
@@ -65,6 +66,10 @@ pub struct ServeConfig {
     /// simulator, exercising the retry path end-to-end. `0` in
     /// production.
     pub chaos: u64,
+    /// Socket-mode connection bound: at most this many clients are
+    /// served concurrently; further connections get a typed `busy`
+    /// response and are closed. Must be >= 1. Ignored in stdio mode.
+    pub max_clients: usize,
 }
 
 impl Default for ServeConfig {
@@ -76,6 +81,7 @@ impl Default for ServeConfig {
             default_budget: 50_000_000,
             wal: None,
             chaos: 0,
+            max_clients: 8,
         }
     }
 }
@@ -89,6 +95,12 @@ impl ServeConfig {
             return Err(ConfigError::Parameter {
                 name: "queue_capacity",
                 why: "admission queue must hold at least one point".into(),
+            });
+        }
+        if self.max_clients == 0 {
+            return Err(ConfigError::Parameter {
+                name: "max_clients",
+                why: "socket mode must admit at least one client".into(),
             });
         }
         if self.default_budget == 0 {
@@ -114,6 +126,9 @@ mod tests {
     fn zero_knobs_are_rejected() {
         let c = ServeConfig { queue_capacity: 0, ..ServeConfig::default() };
         assert!(c.validate().is_err());
+        let c = ServeConfig { max_clients: 0, ..ServeConfig::default() };
+        let err = c.validate().unwrap_err();
+        assert!(err.to_string().contains("max_clients"), "{err}");
         let c = ServeConfig { default_budget: 0, ..ServeConfig::default() };
         let err = c.validate().unwrap_err();
         assert!(err.to_string().contains("default_budget"), "{err}");

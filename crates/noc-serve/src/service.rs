@@ -1,26 +1,43 @@
 //! The request engine: admission → deadline → retry → WAL → drain.
 //!
 //! A [`Service`] owns the admission queue, the result cache, the WAL,
-//! and the robustness counters. [`Service::handle_line`] consumes one
+//! and the robustness counters — all behind interior synchronization,
+//! so one service instance is shared by every connection thread in
+//! socket mode ([`crate::socket`]) exactly as it is by the single
+//! stdin loop. [`Service::handle_line`] consumes one
 //! `noc-eval/serve/v1` request line and writes response lines (flushed
 //! per line, so a client — or the smoke harness's mid-run `SIGKILL` —
 //! always observes a whole-line prefix of the response stream).
 //!
-//! Evaluation runs in chunks of `workers` points through
-//! [`noc_exp::run_grid_with`]; each evaluated outcome is appended to
-//! the WAL *before* its result line is emitted, so any answer a client
-//! has seen is durable (modulo the batched-fsync window, which only a
-//! machine crash can lose — a killed process loses nothing).
+//! **Concurrency model.** The queue, per-batch sequence counters,
+//! result cache, and draining flag live under one mutex that is held
+//! only for queue surgery and cache lookups — never across an
+//! evaluation or a write to a client. Evaluation runs lock-free in
+//! chunks of `workers` points through [`noc_exp::run_grid_with`]; the
+//! WAL serializes internally ([`noc_exp::Wal`] appends are single
+//! `write(2)` calls on an `O_APPEND` descriptor); counters are
+//! atomics. Two clients racing the same `(config digest, seed)` key
+//! may both evaluate it, but the simulator is a pure function of the
+//! key, so both compute — and both journal — the *same bytes*; the
+//! cache insert and WAL "last record wins" replay are idempotent.
+//! That is the whole correctness argument, and
+//! `tests/concurrent.rs` checks it against a serial reference.
+//!
+//! Each evaluated outcome is appended to the WAL *before* its result
+//! line is emitted, so any answer a client has seen is durable (modulo
+//! the batched-fsync window, which only a machine crash can lose — a
+//! killed process loses nothing).
 
 use std::collections::{HashMap, VecDeque};
 use std::io::{self, Write};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 
-use noc_analytic::AnalyticModel;
+use noc_analytic::{AnalyticModel, Confidence};
 use noc_eval::serve::{
     parse_request, HealthSnapshot, PointRequest, ServeOutcome, ServeRequest, ServeResponse,
-    ServeResult,
+    ServeResult, SweepRequest,
 };
 use noc_exp::{run_grid_with, serve_workers, Wal};
 use noc_openloop::measure_budgeted;
@@ -29,6 +46,13 @@ use noc_traffic::SizeKind;
 
 use crate::retry::{run_with_retry, Retried, RetryError, RetryPolicy};
 use crate::ServeConfig;
+
+/// WAL key prefix for service metadata records (drain status
+/// snapshots); replay skips these instead of parsing them as outcomes.
+const META_KEY_PREFIX: char = '@';
+
+/// WAL key for the status record a socket-mode final drain journals.
+const STATUS_KEY: &str = "@status";
 
 #[derive(Default)]
 struct Counters {
@@ -39,6 +63,8 @@ struct Counters {
     retries: AtomicU64,
     timeouts: AtomicU64,
     panics: AtomicU64,
+    clients: AtomicU64,
+    busy: AtomicU64,
 }
 
 /// Only outcomes that are pure functions of `(config, seed)` enter the
@@ -59,16 +85,56 @@ struct EvalCtx<'a> {
     deadline_ms: Option<u64>,
 }
 
+/// Outcome-kind counts for one batch or sweep (what `sweep-done`
+/// summarizes).
+#[derive(Debug, Default, Clone, Copy)]
+struct Tally {
+    points: u64,
+    ok: u64,
+    degraded: u64,
+    shed: u64,
+    invalid: u64,
+    timeout: u64,
+}
+
+impl Tally {
+    fn count(&mut self, outcome: &ServeOutcome) {
+        self.points += 1;
+        match outcome {
+            ServeOutcome::Ok { .. } => self.ok += 1,
+            ServeOutcome::Degraded { .. } => self.degraded += 1,
+            ServeOutcome::Shed { .. } => self.shed += 1,
+            ServeOutcome::Invalid { .. } => self.invalid += 1,
+            ServeOutcome::Timeout { .. } => self.timeout += 1,
+            ServeOutcome::Panicked { .. } => {}
+        }
+    }
+
+    fn merge(&mut self, other: Tally) {
+        self.points += other.points;
+        self.ok += other.ok;
+        self.degraded += other.degraded;
+        self.shed += other.shed;
+        self.invalid += other.invalid;
+        self.timeout += other.timeout;
+    }
+}
+
+/// The mutable service state one mutex guards (see module docs).
+struct ServeState {
+    queue: VecDeque<(u64, PointRequest)>,
+    next_seq: HashMap<String, u64>,
+    cache: HashMap<String, ServeOutcome>,
+    draining: bool,
+}
+
 /// The long-running evaluation service (see module docs).
 pub struct Service {
     cfg: ServeConfig,
     workers: usize,
-    queue: VecDeque<(u64, PointRequest)>,
-    next_seq: HashMap<String, u64>,
-    cache: HashMap<String, ServeOutcome>,
+    state: Mutex<ServeState>,
     wal: Option<Wal>,
     counters: Counters,
-    draining: bool,
     chaos_left: AtomicU64,
 }
 
@@ -91,6 +157,11 @@ impl Service {
                     eprintln!("noc-serve: skipped {} corrupt WAL line(s)", replay.corrupt);
                 }
                 for (key, frag) in replay.records {
+                    if key.starts_with(META_KEY_PREFIX) {
+                        // service metadata (drain status records), not
+                        // a point outcome
+                        continue;
+                    }
                     match ServeOutcome::parse(&frag) {
                         Ok(o) => {
                             cache.insert(key, o);
@@ -105,15 +176,24 @@ impl Service {
         let chaos_left = AtomicU64::new(cfg.chaos);
         Ok(Self {
             workers,
-            queue: VecDeque::new(),
-            next_seq: HashMap::new(),
-            cache,
+            state: Mutex::new(ServeState {
+                queue: VecDeque::new(),
+                next_seq: HashMap::new(),
+                cache,
+                draining: false,
+            }),
             wal,
             counters: Counters::default(),
-            draining: false,
             chaos_left,
             cfg,
         })
+    }
+
+    /// Lock the mutable state, tolerating poison: the guarded sections
+    /// never unwind mid-invariant (evaluation panics are caught on the
+    /// worker side of [`run_with_retry`], outside this lock).
+    fn st(&self) -> MutexGuard<'_, ServeState> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
     /// Worker threads a `run` fans out across.
@@ -121,30 +201,58 @@ impl Service {
         self.workers
     }
 
+    /// Client-connection bound for socket mode (`--max-clients`).
+    pub fn max_clients(&self) -> usize {
+        self.cfg.max_clients
+    }
+
     /// Results currently answerable from cache (WAL replay + this
     /// process's evaluations).
     pub fn cached_results(&self) -> usize {
-        self.cache.len()
+        self.st().cache.len()
+    }
+
+    /// A connection was accepted; returns the new live-client count.
+    pub fn client_connected(&self) -> u64 {
+        self.counters.clients.fetch_add(1, Ordering::SeqCst) + 1
+    }
+
+    /// A connection closed.
+    pub fn client_disconnected(&self) {
+        self.counters.clients.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// A connection was turned away at the `--max-clients` bound;
+    /// returns the live-client count it saw.
+    pub fn client_rejected(&self) -> u64 {
+        self.counters.busy.fetch_add(1, Ordering::SeqCst);
+        self.counters.clients.load(Ordering::SeqCst)
     }
 
     /// Handle one request line, writing responses to `out` (flushed per
     /// line). Returns `false` when the line was a `shutdown` request
     /// and the service has finished draining.
-    pub fn handle_line(&mut self, line: &str, out: &mut dyn Write) -> io::Result<bool> {
+    pub fn handle_line(&self, line: &str, out: &mut dyn Write) -> io::Result<bool> {
         let line = line.trim();
         if line.is_empty() {
             return Ok(true);
         }
         match parse_request(line) {
             Err(reason) => self.emit(out, &ServeResponse::Error { reason })?,
-            Ok(ServeRequest::Point(p)) => self.admit(*p, out)?,
+            Ok(ServeRequest::Point(p)) => {
+                self.admit(*p, out)?;
+            }
+            Ok(ServeRequest::Sweep(sw)) => self.run_sweep(&sw, out)?,
             Ok(ServeRequest::Run { batch, max_attempts, deadline_ms }) => {
-                self.run_batch(&batch, max_attempts, deadline_ms, out)?
+                self.run_batch(&batch, max_attempts, deadline_ms, out)?;
             }
             Ok(ServeRequest::Cancel { batch }) => {
-                let before = self.queue.len();
-                self.queue.retain(|(_, p)| p.batch != batch);
-                let dropped = (before - self.queue.len()) as u64;
+                let dropped = {
+                    let mut st = self.st();
+                    let before = st.queue.len();
+                    st.queue.retain(|(_, p)| p.batch != batch);
+                    (before - st.queue.len()) as u64
+                };
                 self.emit(out, &ServeResponse::Cancelled { batch, dropped })?;
             }
             Ok(ServeRequest::Health) => self.emit(out, &ServeResponse::Health(self.snapshot()))?,
@@ -156,58 +264,101 @@ impl Service {
         Ok(true)
     }
 
-    /// Admission control: typed rejection for invalid configs, load
-    /// shedding (or the degraded analytic answer) when the queue is
-    /// full, shedding while draining — and silence (until `run`) when
-    /// the point is accepted.
-    fn admit(&mut self, p: PointRequest, out: &mut dyn Write) -> io::Result<()> {
-        let seq = self.next_point(&p.batch);
-        if self.draining {
-            self.counters.shed.fetch_add(1, Ordering::Relaxed);
-            return self.answer(
-                out,
-                &p,
-                seq,
-                ServeOutcome::Shed {
-                    reason: "service is draining; resubmit to the next instance".into(),
-                },
-            );
-        }
-        if let Err(e) = validate_point(&p) {
-            return self.answer(out, &p, seq, ServeOutcome::Invalid { reason: e.to_string() });
-        }
-        if self.queue.len() >= self.cfg.queue_capacity {
-            let outcome = if p.allow_degraded {
-                match self.degraded_answer(&p) {
-                    Some(o) => {
-                        self.counters.degraded.fetch_add(1, Ordering::Relaxed);
-                        o
-                    }
-                    None => {
-                        self.counters.shed.fetch_add(1, Ordering::Relaxed);
-                        ServeOutcome::Shed {
-                            reason: format!(
-                                "queue full (capacity {}) and no analytic fallback for this \
-                                 configuration",
-                                self.cfg.queue_capacity
-                            ),
-                        }
-                    }
-                }
-            } else {
-                self.counters.shed.fetch_add(1, Ordering::Relaxed);
-                ServeOutcome::Shed {
-                    reason: format!(
-                        "queue full ({} queued, capacity {})",
-                        self.queue.len(),
-                        self.cfg.queue_capacity
-                    ),
-                }
+    /// Admission control: typed rejection for invalid configs, the
+    /// analytic admission prune (opt-in), load shedding (or the
+    /// degraded analytic answer) when the queue is full, shedding while
+    /// draining — and silence (until `run`) when the point is accepted.
+    /// Returns the outcome answered immediately, `None` if queued.
+    fn admit(&self, p: PointRequest, out: &mut dyn Write) -> io::Result<Option<ServeOutcome>> {
+        // everything derivable from the point alone happens before the
+        // lock; only queue surgery holds it
+        let verdict = match validate_point(&p) {
+            Err(e) => Some(ServeOutcome::Invalid { reason: e.to_string() }),
+            Ok(()) => self.admission_prune(&p),
+        };
+        let (seq, answer) = {
+            let mut st = self.st();
+            let seq = {
+                let c = st.next_seq.entry(p.batch.clone()).or_insert(0);
+                let seq = *c;
+                *c += 1;
+                seq
             };
-            return self.answer(out, &p, seq, outcome);
+            let answer = if st.draining {
+                Some(ServeOutcome::Shed {
+                    reason: "service is draining; resubmit to the next instance".into(),
+                })
+            } else if let Some(v) = verdict {
+                Some(v)
+            } else if st.queue.len() >= self.cfg.queue_capacity {
+                Some(self.overflow_answer(&p, st.queue.len()))
+            } else {
+                st.queue.push_back((seq, p.clone()));
+                None
+            };
+            (seq, answer)
+        };
+        let Some(outcome) = answer else { return Ok(None) };
+        match &outcome {
+            ServeOutcome::Shed { .. } => {
+                self.counters.shed.fetch_add(1, Ordering::Relaxed);
+            }
+            ServeOutcome::Degraded { .. } => {
+                self.counters.degraded.fetch_add(1, Ordering::Relaxed);
+            }
+            _ => {}
         }
-        self.queue.push_back((seq, p));
-        Ok(())
+        self.answer(out, &p, seq, outcome.clone())?;
+        Ok(Some(outcome))
+    }
+
+    /// The queue-full answer: a degraded analytic prediction when the
+    /// client opted in and the model covers the config, else a typed
+    /// shed with the capacity in the reason.
+    fn overflow_answer(&self, p: &PointRequest, queued: usize) -> ServeOutcome {
+        if p.allow_degraded {
+            if let Some(o) = self.degraded_answer(p) {
+                return o;
+            }
+            return ServeOutcome::Shed {
+                reason: format!(
+                    "queue full (capacity {}) and no analytic fallback for this configuration",
+                    self.cfg.queue_capacity
+                ),
+            };
+        }
+        ServeOutcome::Shed {
+            reason: format!("queue full ({} queued, capacity {})", queued, self.cfg.queue_capacity),
+        }
+    }
+
+    /// Analytic admission control: when the point opted in and the
+    /// model (at usable confidence) puts the requested load at or past
+    /// effective saturation, answer the closed-form prediction now
+    /// instead of spending a cycle budget discovering divergence.
+    ///
+    /// Pure-accelerator guarantee: interception depends only on the
+    /// point itself (never on queue state), and a point *not*
+    /// intercepted takes the identical path it would have taken with
+    /// the flag off — so enabling the flag can only turn answers into
+    /// `degraded` ones, never alter a non-degraded answer
+    /// (property-tested in `tests/sweep_equiv.rs`). Mirroring
+    /// `noc_analytic::sweep_pruned`, [`Confidence::Low`] disables the
+    /// prune entirely.
+    fn admission_prune(&self, p: &PointRequest) -> Option<ServeOutcome> {
+        if !p.analytic_admission {
+            return None;
+        }
+        let size = SizeKind::Fixed(p.packet_size.min(u16::MAX as u64) as u16);
+        let m = AnalyticModel::of(&p.net, p.pattern, size).ok()?;
+        if matches!(m.confidence, Confidence::Low) || p.load < m.effective_saturation {
+            return None;
+        }
+        Some(ServeOutcome::Degraded {
+            predicted_latency: m.latency_at(p.load),
+            predicted_saturation: m.effective_saturation,
+            stable: false,
+        })
     }
 
     /// The degradation ladder's last rung before shedding: a static
@@ -222,27 +373,68 @@ impl Service {
         })
     }
 
+    /// Expand a sweep spec server-side: admit every expanded point (in
+    /// grid order, through the byte-identical admission path a `point`
+    /// line takes), run the batch, and emit the `sweep-done` summary
+    /// after the `batch-done` marker.
+    fn run_sweep(&self, sw: &SweepRequest, out: &mut dyn Write) -> io::Result<()> {
+        if let Err(reason) = sw.validate_spec() {
+            return self.emit(out, &ServeResponse::Error { reason: format!("sweep: {reason}") });
+        }
+        let mut tally = Tally::default();
+        for p in sw.expand() {
+            if let Some(outcome) = self.admit(p, out)? {
+                tally.count(&outcome);
+            }
+        }
+        tally.merge(self.run_batch(&sw.batch, sw.max_attempts, sw.deadline_ms, out)?);
+        self.emit(
+            out,
+            &ServeResponse::SweepDone {
+                batch: sw.batch.clone(),
+                expanded: sw.expanded_len(),
+                ok: tally.ok,
+                degraded: tally.degraded,
+                shed: tally.shed,
+                invalid: tally.invalid,
+                timeout: tally.timeout,
+            },
+        )
+    }
+
     /// Evaluate every queued point of `batch` and emit results in
     /// submission order, then a `batch-done` marker. Evaluation fans
     /// out `workers` wide in chunks, so result lines stream out as the
-    /// batch progresses rather than all at the end.
+    /// batch progresses rather than all at the end; the state lock is
+    /// held only to extract the batch and to insert cache entries,
+    /// never across evaluation or client IO.
     fn run_batch(
-        &mut self,
+        &self,
         batch: &str,
         max_attempts: Option<u32>,
         deadline_ms: Option<u64>,
         out: &mut dyn Write,
-    ) -> io::Result<()> {
-        let mut mine = Vec::new();
-        let mut rest = VecDeque::with_capacity(self.queue.len());
-        for (seq, p) in self.queue.drain(..) {
-            if p.batch == batch {
-                mine.push((seq, p));
-            } else {
-                rest.push_back((seq, p));
+    ) -> io::Result<Tally> {
+        let items: Vec<(u64, PointRequest, String, Option<ServeOutcome>)> = {
+            let mut st = self.st();
+            let mut mine = Vec::new();
+            let mut rest = VecDeque::with_capacity(st.queue.len());
+            for (seq, p) in st.queue.drain(..) {
+                if p.batch == batch {
+                    mine.push((seq, p));
+                } else {
+                    rest.push_back((seq, p));
+                }
             }
-        }
-        self.queue = rest;
+            st.queue = rest;
+            mine.into_iter()
+                .map(|(seq, p)| {
+                    let key = p.key();
+                    let cached = st.cache.get(&key).cloned();
+                    (seq, p, key, cached)
+                })
+                .collect()
+        };
 
         let mut policy = self.cfg.retry.clone();
         if let Some(a) = max_attempts {
@@ -253,37 +445,39 @@ impl Service {
             deadline: deadline_ms.map(|ms| Instant::now() + Duration::from_millis(ms)),
             deadline_ms,
         };
-        let items: Vec<(u64, PointRequest, String, Option<ServeOutcome>)> = mine
-            .into_iter()
-            .map(|(seq, p)| {
-                let key = p.key();
-                let cached = self.cache.get(&key).cloned();
-                (seq, p, key, cached)
-            })
-            .collect();
 
-        let (mut points, mut ok) = (0u64, 0u64);
+        let mut tally = Tally::default();
         for chunk in items.chunks(self.workers.max(1)) {
             let results: Vec<ServeResult> =
                 run_grid_with(chunk, self.workers, |_, (seq, p, key, cached)| {
                     self.eval_point(*seq, p, key, cached.as_ref(), &ctx)
                 });
+            {
+                let mut st = self.st();
+                for r in &results {
+                    if !r.cached && cacheable(&r.outcome) {
+                        st.cache.insert(r.key.clone(), r.outcome.clone());
+                    }
+                }
+            }
             for r in results {
-                points += 1;
-                if matches!(r.outcome, ServeOutcome::Ok { .. }) {
-                    ok += 1;
-                }
+                tally.count(&r.outcome);
                 self.counters.completed.fetch_add(1, Ordering::Relaxed);
-                if !r.cached && cacheable(&r.outcome) {
-                    self.cache.insert(r.key.clone(), r.outcome.clone());
-                }
                 self.emit(out, &ServeResponse::Result(r))?;
             }
         }
         if let Some(w) = &self.wal {
             w.commit()?;
         }
-        self.emit(out, &ServeResponse::BatchDone { batch: batch.to_string(), points, ok })
+        self.emit(
+            out,
+            &ServeResponse::BatchDone {
+                batch: batch.to_string(),
+                points: tally.points,
+                ok: tally.ok,
+            },
+        )?;
+        Ok(tally)
     }
 
     /// Evaluate (or replay) one point. Runs on a worker thread; every
@@ -381,11 +575,30 @@ impl Service {
     /// Graceful drain: evaluate everything still queued (every batch,
     /// admission order), flush the WAL, and emit the final `status`
     /// record. New points arriving after this are shed.
-    pub fn shutdown(&mut self, out: &mut dyn Write) -> io::Result<()> {
-        self.draining = true;
-        while let Some((_, p)) = self.queue.front() {
-            let batch = p.batch.clone();
-            self.run_batch(&batch, None, None, out)?;
+    pub fn shutdown(&self, out: &mut dyn Write) -> io::Result<()> {
+        self.drain(None, out)
+    }
+
+    /// Drain: set the draining flag, evaluate queued points — every
+    /// batch in admission order when `batches` is `None`, else exactly
+    /// the named batches (a socket connection drains its own batches
+    /// to its own stream on `SIGTERM`) — then emit a `status` record.
+    /// Concurrent drains are safe: the queue mutex hands each batch to
+    /// exactly one drainer.
+    pub fn drain(&self, batches: Option<&[String]>, out: &mut dyn Write) -> io::Result<()> {
+        self.st().draining = true;
+        match batches {
+            Some(bs) => {
+                for b in bs {
+                    self.run_batch(b, None, None, out)?;
+                }
+            }
+            None => loop {
+                let Some(batch) = self.st().queue.front().map(|(_, p)| p.batch.clone()) else {
+                    break;
+                };
+                self.run_batch(&batch, None, None, out)?;
+            },
         }
         if let Some(w) = &self.wal {
             w.commit()?;
@@ -393,11 +606,30 @@ impl Service {
         self.emit(out, &ServeResponse::Status(self.snapshot()))
     }
 
+    /// The socket listener's final drain, after the last connection is
+    /// gone: evaluate orphaned points (clients that disconnected with
+    /// work queued), emit the status record to `out` (stderr in the
+    /// binary — an operator must see what the drain completed, so it
+    /// never goes to a sink), and journal a copy of the status into
+    /// the WAL when one is configured.
+    pub fn drain_to_operator(&self, out: &mut dyn Write) -> io::Result<()> {
+        self.drain(None, out)?;
+        if let Some(w) = &self.wal {
+            w.append(STATUS_KEY, &ServeResponse::Status(self.snapshot()).to_json())?;
+            w.commit()?;
+        }
+        Ok(())
+    }
+
     /// Current queue/worker/counter snapshot (the `health` answer).
     pub fn snapshot(&self) -> HealthSnapshot {
+        let (queue_depth, draining) = {
+            let st = self.st();
+            (st.queue.len() as u64, st.draining)
+        };
         let c = &self.counters;
         HealthSnapshot {
-            queue_depth: self.queue.len() as u64,
+            queue_depth,
             queue_capacity: self.cfg.queue_capacity as u64,
             workers: self.workers as u64,
             completed: c.completed.load(Ordering::Relaxed),
@@ -408,7 +640,9 @@ impl Service {
             timeouts: c.timeouts.load(Ordering::Relaxed),
             panics: c.panics.load(Ordering::Relaxed),
             wal_records: self.wal.as_ref().map(|w| w.records()).unwrap_or(0),
-            draining: self.draining,
+            clients: c.clients.load(Ordering::SeqCst),
+            busy: c.busy.load(Ordering::SeqCst),
+            draining,
         }
     }
 
@@ -436,13 +670,6 @@ impl Service {
     fn emit(&self, out: &mut dyn Write, resp: &ServeResponse) -> io::Result<()> {
         writeln!(out, "{}", resp.to_json())?;
         out.flush()
-    }
-
-    fn next_point(&mut self, batch: &str) -> u64 {
-        let c = self.next_seq.entry(batch.to_string()).or_insert(0);
-        let seq = *c;
-        *c += 1;
-        seq
     }
 }
 

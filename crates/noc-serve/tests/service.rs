@@ -21,6 +21,7 @@ fn point(batch: &str, seed: u64, load: f64) -> PointRequest {
         drain_max: 5_000,
         budget: None,
         allow_degraded: false,
+        analytic_admission: false,
     }
 }
 
@@ -370,7 +371,7 @@ fn shutdown_drains_queued_points_then_sheds_new_ones() {
 
 #[test]
 fn malformed_lines_get_typed_error_responses() {
-    let mut svc = Service::new(quick_cfg()).unwrap();
+    let svc = Service::new(quick_cfg()).unwrap();
     let mut buf = Vec::new();
     assert!(svc.handle_line("not json at all", &mut buf).unwrap());
     assert!(svc

@@ -1,0 +1,95 @@
+#!/usr/bin/env bash
+# Fleet-driving smoke for the concurrent evaluation service: start
+# noc-serve in socket mode, aim CLIENTS concurrent python3 clients at
+# it (each submitting one server-side sweep over an overlapping load
+# ladder), and report per-client wall time plus the server's final
+# drain status. Exits nonzero if any client misses its sweep summary
+# or the server exits uncleanly.
+#
+# Pure-stdlib python3 is the only extra dependency; if it is missing
+# the script skips (exit 0) so CI images without it stay green.
+#
+# Usage: scripts/serve_bench.sh [CLIENTS] [LOADS_PER_CLIENT]
+#   CLIENTS            concurrent client processes (default 3)
+#   LOADS_PER_CLIENT   loads in each client's sweep ladder (default 4)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+clients="${1:-3}"
+loads="${2:-4}"
+
+if ! command -v python3 >/dev/null 2>&1; then
+  echo "serve_bench: python3 not found; skipping fleet drive" >&2
+  exit 0
+fi
+
+cargo build --release -p noc-serve
+
+dir="$(mktemp -d)"
+sock="$dir/serve_bench.sock"
+wal="$dir/serve_bench.wal"
+trap 'kill "$server_pid" 2>/dev/null || true; rm -rf "$dir"' EXIT
+
+./target/release/noc-serve \
+  --socket "$sock" --wal "$wal" \
+  --max-clients "$((clients + 1))" --workers 2 \
+  2>"$dir/server.stderr" &
+server_pid=$!
+
+# wait for the listener to bind
+for _ in $(seq 1 100); do
+  [ -S "$sock" ] && break
+  sleep 0.05
+done
+[ -S "$sock" ] || { echo "serve_bench: server socket never appeared" >&2; exit 1; }
+
+echo "serve_bench: $clients clients x $loads-load sweeps against $sock"
+pids=()
+for c in $(seq 0 $((clients - 1))); do
+  python3 - "$sock" "$c" "$loads" <<'PYEOF' &
+import json, socket, sys, time
+
+sock_path, client, n_loads = sys.argv[1], int(sys.argv[2]), int(sys.argv[3])
+# overlapping ladders: client c starts one rung up from client c-1,
+# so every adjacent pair shares points (cache + WAL must race safely)
+loads = [round(0.05 + 0.02 * (client + i), 2) for i in range(n_loads)]
+req = {
+    "schema": "noc-eval/serve/v1", "req": "sweep", "batch": f"fleet{client}",
+    "topology": "mesh8", "routing": "dor", "arb": "rr", "vcs": 2, "vc_buf": 4,
+    "router_delay": 1, "patterns": ["uniform"], "loads": loads, "seeds": 1,
+    "packet_size": 1, "warmup": 2000, "measure": 4000, "drain_max": 40000,
+    "seed": 42,
+}
+s = socket.socket(socket.AF_UNIX)
+s.connect(sock_path)
+start = time.monotonic()
+s.sendall((json.dumps(req) + "\n").encode())
+results = summary = 0
+for line in s.makefile():
+    if '"resp": "result"' in line:
+        results += 1
+    if '"resp": "sweep-done"' in line:
+        summary += 1
+        break
+s.close()
+elapsed = time.monotonic() - start
+if summary != 1 or results != len(loads):
+    print(f"client {client}: FAIL ({results} results, {summary} summaries)")
+    sys.exit(1)
+print(f"client {client}: {results} points in {elapsed:.2f}s")
+PYEOF
+  pids+=($!)
+done
+
+status=0
+for p in "${pids[@]}"; do
+  wait "$p" || status=1
+done
+
+kill -TERM "$server_pid"
+wait "$server_pid" || { echo "serve_bench: server exited uncleanly" >&2; status=1; }
+echo "server drain status:"
+grep '"resp": "status"' "$dir/server.stderr" || true
+echo "wal records: $(wc -l < "$wal")"
+[ "$status" -eq 0 ] && echo "serve_bench: PASS"
+exit "$status"
